@@ -1,0 +1,421 @@
+package pgrid
+
+// This file contains one benchmark per table/figure of the paper's
+// evaluation, so `go test -bench=.` exercises every experiment end to end
+// (with sizes reduced to keep a full benchmark run in the minutes range).
+// The cmd/pgridbench binary runs the same experiments at full size and
+// prints the rows/series the paper reports; EXPERIMENTS.md records the
+// comparison.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pgrid/internal/churn"
+	"pgrid/internal/core"
+	"pgrid/internal/overlay"
+	"pgrid/internal/sim"
+	"pgrid/internal/workload"
+)
+
+// contextBackground is a tiny helper so benchmarks read uniformly.
+func contextBackground() context.Context { return context.Background() }
+
+// benchSweepConfig returns a reduced-size Figure 6 sweep configuration.
+func benchSweepConfig() sim.SweepConfig {
+	return sim.SweepConfig{
+		Repetitions:   1,
+		Peers:         96,
+		KeysPerPeer:   10,
+		MinReplicas:   3,
+		MaxKeysFactor: 10,
+		Seed:          1,
+	}
+}
+
+// BenchmarkFig3AlphaSecondDerivative regenerates Figure 3: the numerical
+// solution for alpha(p) and its second derivative over the skewed branch.
+func BenchmarkFig3AlphaSecondDerivative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for p := 0.05; p <= 0.3; p += 0.01 {
+			if _, err := core.AlphaOf(p); err != nil {
+				b.Fatal(err)
+			}
+			core.AlphaSecondDerivative(p)
+		}
+	}
+}
+
+// BenchmarkFig4PartitionDeviation regenerates Figure 4: the deviation of the
+// partition-0 size from n*p for the five models (MVA, SAM, AEP, COR, AUT).
+func BenchmarkFig4PartitionDeviation(b *testing.B) {
+	cfg := core.ExperimentConfig{N: 300, Samples: 10, Trials: 5, Seed: 1}
+	fractions := []float64{0.1, 0.3, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := core.Sweep(cfg, fractions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(core.AllModels())*len(fractions) {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkFig5Interactions regenerates Figure 5: the number of interactions
+// required by each model (the same sweep, reported on the cost axis).
+func BenchmarkFig5Interactions(b *testing.B) {
+	cfg := core.ExperimentConfig{N: 300, Samples: 10, Trials: 5, Seed: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := core.Sweep(cfg, []float64{0.05, 0.25, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0.0
+		for _, pt := range pts {
+			total += pt.MeanInteractions
+		}
+		if total <= 0 {
+			b.Fatal("no interactions measured")
+		}
+	}
+}
+
+// benchRunOnce runs one construction experiment for the given distribution
+// and population.
+func benchRunOnce(b *testing.B, dist workload.Distribution, peers, nmin, dmaxFactor int, heuristic bool) *sim.Result {
+	b.Helper()
+	cfg := sim.Config{
+		Peers:        peers,
+		KeysPerPeer:  10,
+		Distribution: dist,
+		Overlay: overlay.Config{
+			MaxKeys:      dmaxFactor * nmin,
+			MinReplicas:  nmin,
+			MaxRefs:      3,
+			UseHeuristic: heuristic,
+		},
+		MaxRounds: 80,
+		Seed:      int64(peers) + int64(nmin),
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig6aDeviationByPopulation regenerates Figure 6(a): deviation per
+// distribution for growing peer populations.
+func BenchmarkFig6aDeviationByPopulation(b *testing.B) {
+	for _, dist := range []workload.Distribution{workload.Uniform{}, workload.NewPareto(1.0)} {
+		for _, peers := range []int{64, 128} {
+			b.Run(fmt.Sprintf("%s/n=%d", dist.Name(), peers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := benchRunOnce(b, dist, peers, 3, 10, false)
+					if res.Deviation <= 0 {
+						b.Fatal("no deviation measured")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6bDeviationByReplication regenerates Figure 6(b): deviation
+// for increasing required replication n_min.
+func BenchmarkFig6bDeviationByReplication(b *testing.B) {
+	for _, nmin := range []int{3, 5} {
+		b.Run(fmt.Sprintf("nmin=%d", nmin), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchRunOnce(b, workload.NewPareto(1.0), 96, nmin, 10, false)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6cDeviationBySampleSize regenerates Figure 6(c): deviation for
+// different d_max factors (the sample size available to the estimators).
+func BenchmarkFig6cDeviationBySampleSize(b *testing.B) {
+	for _, factor := range []int{10, 20, 30} {
+		b.Run(fmt.Sprintf("dmax=%dxnmin", factor), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchRunOnce(b, workload.Uniform{}, 96, 3, factor, false)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6dTheoryVsHeuristics regenerates Figure 6(d): analytical
+// decision probabilities versus naive heuristics.
+func BenchmarkFig6dTheoryVsHeuristics(b *testing.B) {
+	for _, heuristic := range []bool{false, true} {
+		name := "theory"
+		if heuristic {
+			name = "heuristic"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchRunOnce(b, workload.NewPareto(1.0), 96, 3, 10, heuristic)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6eInteractionsPerPeer regenerates Figure 6(e): construction
+// interactions per peer across populations.
+func BenchmarkFig6eInteractionsPerPeer(b *testing.B) {
+	for _, peers := range []int{64, 128} {
+		b.Run(fmt.Sprintf("n=%d", peers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := benchRunOnce(b, workload.Uniform{}, peers, 3, 10, false)
+				if res.InteractionsPerPeer <= 0 {
+					b.Fatal("no interactions measured")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6fKeysMoved regenerates Figure 6(f): data keys moved per peer
+// during construction.
+func BenchmarkFig6fKeysMoved(b *testing.B) {
+	for _, dist := range []workload.Distribution{workload.Uniform{}, workload.NewNormal()} {
+		b.Run(dist.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := benchRunOnce(b, dist, 96, 3, 10, false)
+				if res.KeysMovedPerPeer <= 0 {
+					b.Fatal("no key movement measured")
+				}
+			}
+		})
+	}
+}
+
+// benchTimelineConfig returns a reduced PlanetLab-style timeline.
+func benchTimelineConfig() sim.TimelineConfig {
+	return sim.TimelineConfig{
+		Experiment: sim.Config{
+			Peers:        96,
+			KeysPerPeer:  10,
+			Distribution: workload.NewTextCorpus(workload.DefaultCorpusConfig()),
+			Overlay:      overlay.Config{MaxKeys: 30, MinReplicas: 3, MaxRefs: 4},
+			MaxRounds:    60,
+			Seed:         3,
+		},
+		JoinEnd:       20 * time.Minute,
+		ConstructEnd:  60 * time.Minute,
+		QueryEnd:      90 * time.Minute,
+		ChurnEnd:      110 * time.Minute,
+		QueryInterval: 2 * time.Minute,
+		Churn:         churn.PaperModel(),
+		HopLatency:    4 * time.Second,
+		Step:          time.Minute,
+	}
+}
+
+// BenchmarkFig7PeersOverTime regenerates Figure 7: the number of
+// participating peers over the experiment timeline.
+func BenchmarkFig7PeersOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunTimeline(benchTimelineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Peers.Buckets()) == 0 {
+			b.Fatal("no peer series")
+		}
+	}
+}
+
+// BenchmarkFig8Bandwidth regenerates Figure 8: aggregate maintenance and
+// query bandwidth over the timeline.
+func BenchmarkFig8Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunTimeline(benchTimelineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.MaintenanceBandwidth.Buckets()) == 0 || len(res.QueryBandwidth.Buckets()) == 0 {
+			b.Fatal("no bandwidth series")
+		}
+	}
+}
+
+// BenchmarkFig9QueryLatency regenerates Figure 9: query latency over the
+// timeline, including the churn phase.
+func BenchmarkFig9QueryLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunTimeline(benchTimelineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.QueryLatency.Buckets()) == 0 {
+			b.Fatal("no latency series")
+		}
+	}
+}
+
+// BenchmarkTable1SystemMetrics regenerates the in-text metrics of Section
+// 5.2 (deviation, path length, hops, replication factor, success rate).
+func BenchmarkTable1SystemMetrics(b *testing.B) {
+	cfg := sim.Config{
+		Peers:        96,
+		KeysPerPeer:  10,
+		Distribution: workload.NewTextCorpus(workload.DefaultCorpusConfig()),
+		Overlay:      overlay.Config{MaxKeys: 30, MinReplicas: 3, MaxRefs: 4},
+		MaxRounds:    80,
+		Queries:      100,
+		Seed:         4,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.QuerySuccessRate <= 0 {
+			b.Fatal("no successful queries")
+		}
+	}
+}
+
+// BenchmarkTable2PartitionCost regenerates the Section 3 cost comparison:
+// eager/AEP versus autonomous partitioning at p = 1/2.
+func BenchmarkTable2PartitionCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TheoreticalInteractions(0.5, 1000); err != nil {
+			b.Fatal(err)
+		}
+		core.AutonomousTheoreticalInteractions(1000)
+	}
+}
+
+// --- Ablation benchmarks for the design choices called out in DESIGN.md ---
+
+// BenchmarkAblationSampleSize measures the influence of the load-estimation
+// sample size (the paper finds none).
+func BenchmarkAblationSampleSize(b *testing.B) {
+	for _, samples := range []int{0, 2, 10} {
+		b.Run(fmt.Sprintf("s=%d", samples), func(b *testing.B) {
+			cfg := sim.Config{
+				Peers:        96,
+				KeysPerPeer:  10,
+				Distribution: workload.NewPareto(1.0),
+				Overlay:      overlay.Config{MaxKeys: 30, MinReplicas: 3, Samples: samples},
+				MaxRounds:    80,
+				Seed:         5,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCorrectedProbabilities compares plain AEP with the
+// bias-corrected COR variant in the discrete partitioning model.
+func BenchmarkAblationCorrectedProbabilities(b *testing.B) {
+	for _, m := range []core.Model{core.ModelAEP, core.ModelCOR} {
+		b.Run(m.String(), func(b *testing.B) {
+			cfg := core.ExperimentConfig{N: 500, Samples: 10, Trials: 5, Seed: 6}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Sweep(cfg, []float64{0.2, 0.4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRoutingRedundancy measures query success under churn for
+// different numbers of routing references per level.
+func BenchmarkAblationRoutingRedundancy(b *testing.B) {
+	for _, refs := range []int{1, 3} {
+		b.Run(fmt.Sprintf("refs=%d", refs), func(b *testing.B) {
+			cfg := sim.Config{
+				Peers:           96,
+				KeysPerPeer:     10,
+				Distribution:    workload.Uniform{},
+				Overlay:         overlay.Config{MaxKeys: 30, MinReplicas: 3, MaxRefs: refs},
+				MaxRounds:       80,
+				Queries:         100,
+				OfflineFraction: 0.25,
+				Seed:            7,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReplicaEstimation exercises the key-overlap replica
+// estimator against exact knowledge in the discrete model (the estimator is
+// what lets the protocol run without any global coordination).
+func BenchmarkAblationReplicaEstimation(b *testing.B) {
+	cfg := sim.Config{
+		Peers:        96,
+		KeysPerPeer:  10,
+		Distribution: workload.Uniform{},
+		Overlay:      overlay.Config{MaxKeys: 30, MinReplicas: 3},
+		MaxRounds:    80,
+		Seed:         8,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeanReplicasPerPartition <= 0 {
+			b.Fatal("no replication measured")
+		}
+	}
+}
+
+// BenchmarkClusterBuild measures the end-to-end public-API construction
+// path.
+func BenchmarkClusterBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewCluster(WithPeers(48), WithMaxKeys(20), WithMinReplicas(2), WithSeed(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 300; j++ {
+			_ = c.IndexFloat(float64(j)/300, fmt.Sprintf("v%d", j))
+		}
+		b.StartTimer()
+		if _, err := c.Build(contextBackground()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterQuery measures exact-match query latency on a constructed
+// overlay.
+func BenchmarkClusterQuery(b *testing.B) {
+	c, err := NewCluster(WithPeers(48), WithMaxKeys(20), WithMinReplicas(2), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 300; j++ {
+		_ = c.IndexFloat(float64(j)/300, fmt.Sprintf("v%d", j))
+	}
+	if _, err := c.Build(contextBackground()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(contextBackground(), FloatKey(float64(i%300)/300)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

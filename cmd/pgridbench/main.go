@@ -1,0 +1,314 @@
+// Command pgridbench regenerates the tables and figures of "Indexing
+// data-oriented overlay networks" (VLDB 2005) from this reproduction.
+//
+// Usage:
+//
+//	pgridbench -fig 3          # alpha''(p) (Figure 3)
+//	pgridbench -fig 4          # partitioning deviation per model (Figure 4)
+//	pgridbench -fig 5          # interactions per model (Figure 5)
+//	pgridbench -fig 6a ... 6f  # construction-quality sweeps (Figure 6)
+//	pgridbench -fig 7|8|9      # PlanetLab-style timeline figures
+//	pgridbench -fig t1         # Section 5.2 in-text system metrics
+//	pgridbench -fig t2         # eager vs autonomous analytic cost
+//	pgridbench -fig all        # everything
+//
+// The -quick flag shrinks populations and repetition counts so a full run
+// finishes in a couple of minutes on a laptop; drop it to use the paper's
+// parameters (n up to 1024 peers, 100 repetitions for Figures 4/5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"pgrid/internal/churn"
+	"pgrid/internal/core"
+	"pgrid/internal/sim"
+	"pgrid/internal/stats"
+	"pgrid/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6a,6b,6c,6d,6e,6f,7,8,9,t1,t2,all")
+	quick := flag.Bool("quick", true, "use reduced sizes for fast runs")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	targets := strings.Split(*fig, ",")
+	if *fig == "all" {
+		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2"}
+	}
+	for _, t := range targets {
+		if err := run(strings.TrimSpace(t), *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "pgridbench: figure %s: %v\n", t, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(fig string, quick bool, seed int64) error {
+	switch fig {
+	case "3":
+		return figure3()
+	case "4", "5":
+		return figure45(fig, quick, seed)
+	case "6a":
+		return figure6a(quick, seed)
+	case "6b":
+		return figure6b(quick, seed)
+	case "6c":
+		return figure6c(quick, seed)
+	case "6d":
+		return figure6d(quick, seed)
+	case "6e", "6f":
+		return figure6ef(fig, quick, seed)
+	case "7", "8", "9":
+		return figure789(fig, quick, seed)
+	case "t1":
+		return table1(quick, seed)
+	case "t2":
+		return table2()
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n==== %s ====\n", title)
+}
+
+// figure3 prints alpha”(p), the curvature of the balanced-split probability
+// on the skewed branch (Figure 3).
+func figure3() error {
+	header("Figure 3: alpha''(p) over the skewed branch")
+	fmt.Printf("%8s %12s %12s %14s\n", "p", "alpha(p)", "beta(p)", "alpha''(p)")
+	for p := 0.05; p <= 0.305; p += 0.025 {
+		a, err := core.AlphaOf(p)
+		if err != nil {
+			return err
+		}
+		b, _ := core.BetaOf(p)
+		fmt.Printf("%8.3f %12.4f %12.4f %14.2f\n", p, a, b, core.AlphaSecondDerivative(p))
+	}
+	return nil
+}
+
+// figure45 prints the per-model deviation (Figure 4) or interaction count
+// (Figure 5) over the load fractions of the paper.
+func figure45(which string, quick bool, seed int64) error {
+	cfg := core.DefaultExperimentConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.N = 400
+		cfg.Trials = 20
+	}
+	if which == "4" {
+		header(fmt.Sprintf("Figure 4: deviation of |partition 0| from n*p (N=%d, s=%d, %d trials)", cfg.N, cfg.Samples, cfg.Trials))
+	} else {
+		header(fmt.Sprintf("Figure 5: total number of interactions (N=%d, s=%d, %d trials)", cfg.N, cfg.Samples, cfg.Trials))
+	}
+	points, err := core.Sweep(cfg, core.PaperFractions())
+	if err != nil {
+		return err
+	}
+	models := core.AllModels()
+	fmt.Printf("%8s", "p")
+	for _, m := range models {
+		fmt.Printf(" %10s", m)
+	}
+	fmt.Println()
+	for _, p := range core.PaperFractions() {
+		fmt.Printf("%8.2f", p)
+		for _, m := range models {
+			for _, pt := range points {
+				if pt.Model == m && math.Abs(pt.P-p) < 1e-9 {
+					if which == "4" {
+						fmt.Printf(" %10.2f", pt.MeanDeviation)
+					} else {
+						fmt.Printf(" %10.0f", pt.MeanInteractions)
+					}
+				}
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func sweepConfig(quick bool, seed int64) sim.SweepConfig {
+	sc := sim.DefaultSweepConfig()
+	sc.Seed = seed
+	if quick {
+		sc.Repetitions = 2
+		sc.Peers = 128
+	} else {
+		sc.Repetitions = 10
+	}
+	return sc
+}
+
+func figure6a(quick bool, seed int64) error {
+	header("Figure 6(a): deviation per distribution and peer population")
+	sc := sweepConfig(quick, seed)
+	populations := []int{256, 512, 1024}
+	if quick {
+		populations = []int{64, 128, 256}
+	}
+	pts, err := sim.SweepPopulations(sc, populations)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatSweep(pts, "deviation"))
+	return nil
+}
+
+func figure6b(quick bool, seed int64) error {
+	header("Figure 6(b): deviation per required replication factor n_min")
+	sc := sweepConfig(quick, seed)
+	nmins := []int{5, 10, 15, 20, 25}
+	if quick {
+		nmins = []int{5, 10, 15}
+	}
+	pts, err := sim.SweepReplication(sc, nmins)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatSweep(pts, "deviation"))
+	return nil
+}
+
+func figure6c(quick bool, seed int64) error {
+	header("Figure 6(c): deviation per data sample size d_max")
+	sc := sweepConfig(quick, seed)
+	factors := []int{10, 20, 30}
+	pts, err := sim.SweepSampleSize(sc, factors)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatSweep(pts, "deviation"))
+	return nil
+}
+
+func figure6d(quick bool, seed int64) error {
+	header("Figure 6(d): theoretical probabilities vs heuristics")
+	sc := sweepConfig(quick, seed)
+	nmins := []int{5, 10}
+	if quick {
+		nmins = []int{5}
+	}
+	pts, err := sim.SweepTheoryVsHeuristics(sc, nmins)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatSweep(pts, "deviation"))
+	return nil
+}
+
+func figure6ef(which string, quick bool, seed int64) error {
+	sc := sweepConfig(quick, seed)
+	populations := []int{256, 512, 1024}
+	if quick {
+		populations = []int{64, 128, 256}
+	}
+	pts, err := sim.SweepPopulations(sc, populations)
+	if err != nil {
+		return err
+	}
+	if which == "6e" {
+		header("Figure 6(e): construction interactions per peer")
+		fmt.Print(sim.FormatSweep(pts, "interactions"))
+	} else {
+		header("Figure 6(f): data keys moved per peer (bandwidth)")
+		fmt.Print(sim.FormatSweep(pts, "keysmoved"))
+	}
+	return nil
+}
+
+func figure789(which string, quick bool, seed int64) error {
+	cfg := sim.DefaultTimelineConfig()
+	cfg.Experiment.Seed = seed
+	if quick {
+		cfg.Experiment.Peers = 96
+		cfg.JoinEnd = 30 * time.Minute
+		cfg.ConstructEnd = 90 * time.Minute
+		cfg.QueryEnd = 130 * time.Minute
+		cfg.ChurnEnd = 160 * time.Minute
+		cfg.Churn = churn.PaperModel()
+	}
+	res, err := sim.RunTimeline(cfg)
+	if err != nil {
+		return err
+	}
+	switch which {
+	case "7":
+		header("Figure 7: number of participating peers over time")
+		fmt.Print(res.Peers.Table())
+	case "8":
+		header("Figure 8: aggregate bandwidth (maintenance vs queries), bytes/sec")
+		fmt.Print(res.MaintenanceBandwidth.Table())
+		fmt.Print(res.QueryBandwidth.Table())
+	case "9":
+		header("Figure 9: query latency (seconds)")
+		fmt.Print(res.QueryLatency.Table())
+	}
+	fmt.Println(res.Summary())
+	return nil
+}
+
+// table1 prints the in-text system metrics of Section 5.2.
+func table1(quick bool, seed int64) error {
+	header("Section 5.2 system metrics (simulation vs PlanetLab report)")
+	cfg := sim.DefaultConfig()
+	cfg.Peers = 296
+	cfg.Distribution = workload.NewTextCorpus(workload.DefaultCorpusConfig())
+	cfg.Seed = seed
+	cfg.Queries = 400
+	if quick {
+		cfg.Peers = 128
+		cfg.Queries = 200
+	}
+	var devs []float64
+	reps := 3
+	if quick {
+		reps = 2
+	}
+	var last *sim.Result
+	for i := 0; i < reps; i++ {
+		cfg.Seed = seed + int64(i)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		devs = append(devs, res.Deviation)
+		last = res
+	}
+	fmt.Printf("%-36s %12s %12s\n", "metric", "paper", "measured")
+	fmt.Printf("%-36s %12s %12.2f ± %.2f\n", "load-balancing deviation", "0.38-0.39", stats.Mean(devs), stats.Std(devs))
+	fmt.Printf("%-36s %12s %12.2f\n", "mean path length", "≈6", last.MeanPathLength)
+	fmt.Printf("%-36s %12s %12.2f\n", "mean query hops", "≈3", last.MeanQueryHops)
+	fmt.Printf("%-36s %12s %12.2f\n", "replicas per partition", "≈5", last.MeanReplicasPerPartition)
+	fmt.Printf("%-36s %12s %12.0f%%\n", "query success rate", "95-100%", last.QuerySuccessRate*100)
+	return nil
+}
+
+// table2 prints the analytic interaction costs the paper derives in
+// Section 3: ln2 per peer for eager partitioning versus 2*ln2 for
+// autonomous partitioning at p = 1/2, plus the growth of t*(p) with skew.
+func table2() error {
+	header("Section 3 analytic interaction costs")
+	fmt.Printf("eager / AEP interactions per peer at p=0.5:      %.4f (ln 2)\n", math.Ln2)
+	fmt.Printf("autonomous partitioning interactions per peer:   %.4f (2 ln 2)\n", 2*math.Ln2)
+	fmt.Printf("\n%8s %16s\n", "p", "t*(p) per peer")
+	for _, p := range core.PaperFractions() {
+		t, err := core.TerminationTime(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8.2f %16.4f\n", p, t)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command pgridnode runs a single P-Grid peer on a real TCP transport, so a
+// small overlay can be deployed across actual machines (the paper deployed
+// the equivalent Java implementation on PlanetLab).
+//
+// Start a first node:
+//
+//	pgridnode -listen 127.0.0.1:7001 -put "database=doc-1" -put "overlay=doc-2"
+//
+// Start further nodes pointing at any existing one and let them construct
+// the overlay, then query:
+//
+//	pgridnode -listen 127.0.0.1:7002 -join 127.0.0.1:7001 \
+//	          -put "datalog=doc-3" -interactions 8 -get database
+//
+// The node keeps serving incoming protocol messages until the -serve
+// duration elapses (0 means exit right after the local work is done).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/overlay"
+	"pgrid/internal/replication"
+)
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var puts, gets multiFlag
+	var (
+		listen       = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		join         = flag.String("join", "", "address of an existing node to interact with")
+		interactions = flag.Int("interactions", 4, "construction interactions to initiate with the joined node")
+		nmin         = flag.Int("nmin", 2, "minimal replication factor")
+		dmax         = flag.Int("dmax", 20, "maximal storage load per partition")
+		serve        = flag.Duration("serve", 0, "keep serving for this duration after local work finishes")
+	)
+	flag.Var(&puts, "put", "index an entry of the form term=value (repeatable)")
+	flag.Var(&gets, "get", "query a term after construction (repeatable)")
+	flag.Parse()
+
+	if err := run(*listen, *join, puts, gets, *interactions, *nmin, *dmax, *serve); err != nil {
+		fmt.Fprintln(os.Stderr, "pgridnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, join string, puts, gets []string, interactions, nmin, dmax int, serve time.Duration) error {
+	ep, err := network.ListenTCP(listen)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	cfg := overlay.Config{MaxKeys: dmax, MinReplicas: nmin, Seed: time.Now().UnixNano()}
+	peer := overlay.New(cfg, ep)
+	fmt.Printf("pgridnode listening on %s\n", ep.Addr())
+
+	// Index the local entries.
+	var items []replication.Item
+	for _, kv := range puts {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("invalid -put %q, want term=value", kv)
+		}
+		items = append(items, replication.Item{
+			Key:   keyspace.MustEncodeString(parts[0], keyspace.DefaultDepth),
+			Value: parts[1],
+		})
+	}
+	peer.AddItems(items)
+	fmt.Printf("indexed %d local entries\n", len(items))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	if join != "" {
+		// Replicate the local entries to the bootstrap node and run a few
+		// construction interactions against it.
+		if err := peer.ReplicateItems(ctx, items, []network.Addr{network.Addr(join)}); err != nil {
+			fmt.Printf("replication to %s failed: %v\n", join, err)
+		}
+		for i := 0; i < interactions; i++ {
+			action, err := peer.Interact(ctx, network.Addr(join))
+			if err != nil {
+				fmt.Printf("interaction %d failed: %v\n", i+1, err)
+				continue
+			}
+			fmt.Printf("interaction %d: %s (path now %s)\n", i+1, action, peer.Path())
+		}
+	}
+
+	for _, term := range gets {
+		key := keyspace.MustEncodeString(term, keyspace.DefaultDepth)
+		res, err := peer.Query(ctx, key)
+		if err != nil {
+			fmt.Printf("get %q: %v\n", term, err)
+			continue
+		}
+		fmt.Printf("get %q: %d result(s) in %d hop(s)\n", term, len(res.Items), res.Hops)
+		for _, it := range res.Items {
+			fmt.Printf("  %s\n", it.Value)
+		}
+	}
+
+	if serve > 0 {
+		fmt.Printf("serving for %v (path %s, %d items)\n", serve, peer.Path(), peer.Store().Len())
+		time.Sleep(serve)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Inverted index: the peer-to-peer information-retrieval scenario that
+// motivates the paper (the Alvis search engine). A synthetic document
+// collection with a Zipf-distributed vocabulary is spread over many peers;
+// the cluster builds a distributed inverted file from scratch and answers
+// keyword queries, including under churn.
+//
+// Run with:
+//
+//	go run ./examples/invertedindex
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pgrid"
+	"pgrid/internal/workload"
+)
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+
+	// Generate a synthetic corpus standing in for the Alvis collection.
+	corpusCfg := workload.DefaultCorpusConfig()
+	corpusCfg.VocabularySize = 2000
+	corpusCfg.TermsPerDocument = 12
+	corpus := workload.NewTextCorpus(corpusCfg)
+	docs := corpus.Documents(300, rng)
+	postings := corpus.Postings(docs)
+	fmt.Printf("corpus: %d documents, %d postings, %d terms\n", len(docs), len(postings), corpusCfg.VocabularySize)
+
+	// A cluster of 64 peers holds the distributed inverted file.
+	cluster, err := pgrid.NewCluster(
+		pgrid.WithPeers(64),
+		pgrid.WithMaxKeys(120),
+		pgrid.WithMinReplicas(3),
+		pgrid.WithRoutingRedundancy(4),
+		pgrid.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range postings {
+		if err := cluster.IndexString(p.Term, p.Doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	report, err := cluster.Build(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("overlay construction:", report)
+
+	// Keyword search for a few frequent and a few rare terms.
+	queryTerms := []string{corpus.Term(0), corpus.Term(5), corpus.Term(100), corpus.Term(1500)}
+	for _, term := range queryTerms {
+		hits, err := cluster.SearchString(ctx, term)
+		if err != nil {
+			fmt.Printf("  %-12s -> query failed: %v\n", term, err)
+			continue
+		}
+		fmt.Printf("  %-12s -> %3d matching document(s), %d hop(s)\n", term, len(hits), hops(hits))
+	}
+
+	// Simulate churn: a quarter of the peers goes offline; replication and
+	// redundant routing references keep the index usable.
+	for i := 0; i < cluster.Peers()/4; i++ {
+		cluster.SetOnline(i, false)
+	}
+	fmt.Printf("churn: %d of %d peers offline\n", cluster.Peers()-cluster.OnlinePeers(), cluster.Peers())
+	success := 0
+	const attempts = 50
+	for i := 0; i < attempts; i++ {
+		term := corpus.Term(rng.Intn(200))
+		if hits, err := cluster.SearchString(ctx, term); err == nil && len(hits) >= 0 {
+			success++
+		}
+	}
+	fmt.Printf("query success under churn: %d/%d\n", success, attempts)
+}
+
+func hops(hits []pgrid.SearchHit) int {
+	if len(hits) == 0 {
+		return 0
+	}
+	return hits[0].Hops
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a small P-Grid overlay over a handful of indexed terms
+// and run exact-match and range queries against it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"pgrid"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A cluster of 32 in-process peers with the paper's default
+	// load-balancing parameters scaled down for a small data set.
+	cluster, err := pgrid.NewCluster(
+		pgrid.WithPeers(32),
+		pgrid.WithMaxKeys(12),
+		pgrid.WithMinReplicas(2),
+		pgrid.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index a few (term, document) postings. Keys preserve lexicographic
+	// order, so related terms end up in nearby partitions.
+	postings := map[string][]string{
+		"database":  {"doc-1", "doc-4", "doc-9"},
+		"datalog":   {"doc-2"},
+		"index":     {"doc-1", "doc-3"},
+		"overlay":   {"doc-5", "doc-6"},
+		"partition": {"doc-7"},
+		"peer":      {"doc-5", "doc-8"},
+		"query":     {"doc-3", "doc-9"},
+		"replica":   {"doc-6"},
+		"routing":   {"doc-2", "doc-7"},
+		"trie":      {"doc-8"},
+	}
+	for term, docs := range postings {
+		for _, doc := range docs {
+			if err := cluster.IndexString(term, doc); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Construct the overlay from scratch: replication followed by parallel,
+	// randomized key-space bisection.
+	report, err := cluster.Build(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("construction:", report)
+
+	// Exact-match search.
+	hits, err := cluster.SearchString(ctx, "database")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search 'database': %d hit(s)\n", len(hits))
+	for _, h := range hits {
+		fmt.Printf("  %s (resolved in %d hop(s))\n", h.Value, h.Hops)
+	}
+
+	// Range (prefix-style) search: every term in ["data", "datb").
+	rangeHits, err := cluster.SearchStringRange(ctx, "data", "datb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("terms starting with 'data': %d posting(s)\n", len(rangeHits))
+	for _, h := range rangeHits {
+		fmt.Printf("  %s\n", h.Value)
+	}
+}

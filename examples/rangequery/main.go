@@ -1,0 +1,87 @@
+// Range queries: the peer-to-peer data-management scenario. Sensor-style
+// tuples with a skewed numeric attribute are indexed without hashing, so the
+// overlay's order-preserving trie can answer range predicates directly —
+// exactly what uniform-hashing DHTs cannot do.
+//
+// Run with:
+//
+//	go run ./examples/rangequery
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pgrid"
+)
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(99))
+
+	cluster, err := pgrid.NewCluster(
+		pgrid.WithPeers(48),
+		pgrid.WithMaxKeys(60),
+		pgrid.WithMinReplicas(3),
+		pgrid.WithSeed(99),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index 1000 temperature readings. The distribution is skewed (most
+	// readings cluster around 21°C), which is what makes order-preserving
+	// indexing hard and load balancing necessary.
+	const readings = 1000
+	for i := 0; i < readings; i++ {
+		temp := 21 + rng.NormFloat64()*2.5
+		if rng.Float64() < 0.05 {
+			temp = 60 + rng.Float64()*30 // occasional sensor fault
+		}
+		normalized := clamp(temp/100, 0, 0.999)
+		value := fmt.Sprintf("sensor-%03d/reading-%04d/%.1fC", rng.Intn(40), i, temp)
+		if err := cluster.IndexFloat(normalized, value); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	report, err := cluster.Build(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("construction:", report)
+
+	// Range predicate: readings between 19°C and 23°C.
+	lo, hi := pgrid.FloatKey(19.0/100), pgrid.FloatKey(23.0/100)
+	hits, err := cluster.SearchRange(ctx, lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("readings in [19C, 23C): %d\n", len(hits))
+
+	// Outlier detection: everything at or above 50°C.
+	outliers, err := cluster.SearchRange(ctx, pgrid.FloatKey(50.0/100), pgrid.FloatKey(0.999))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("readings >= 50C (faults): %d\n", len(outliers))
+	for i, h := range outliers {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(outliers)-5)
+			break
+		}
+		fmt.Printf("  %s\n", h.Value)
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,136 @@
+// Re-indexing: the scenario from the paper's introduction. A document
+// collection is first indexed by title terms; later the application decides
+// to index by author instead (a new text-extraction function), so a brand
+// new overlay must be constructed from scratch — which is exactly the
+// operation the paper's parallel construction algorithm makes cheap.
+//
+// Run with:
+//
+//	go run ./examples/reindex
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"pgrid"
+)
+
+// document is a tiny bibliographic record.
+type document struct {
+	ID      string
+	Title   string
+	Authors []string
+}
+
+func collection() []document {
+	return []document{
+		{"d01", "indexing data oriented overlay networks", []string{"aberer", "datta", "hauswirth", "schmidt"}},
+		{"d02", "a scalable content addressable network", []string{"ratnasamy", "francis", "handley", "karp", "shenker"}},
+		{"d03", "chord a scalable peer to peer lookup service", []string{"stoica", "morris", "karger", "kaashoek", "balakrishnan"}},
+		{"d04", "pastry scalable distributed object location", []string{"rowstron", "druschel"}},
+		{"d05", "online balancing of range partitioned data", []string{"ganesan", "bawa", "garcia-molina"}},
+		{"d06", "the power of two choices in randomized load balancing", []string{"mitzenmacher"}},
+		{"d07", "balanced binary trees for id management", []string{"manku"}},
+		{"d08", "p grid a self organizing access structure", []string{"aberer"}},
+		{"d09", "gridvine building internet scale semantic overlay networks", []string{"aberer", "cudre-mauroux", "hauswirth", "van pelt"}},
+		{"d10", "the piazza peer data management system", []string{"halevy", "ives", "madhavan", "mork", "suciu", "tatarinov"}},
+		{"d11", "simple load balancing for distributed hash tables", []string{"byers", "considine", "mitzenmacher"}},
+		{"d12", "fast construction of overlay networks", []string{"angluin", "aspnes", "chen", "wu", "yin"}},
+	}
+}
+
+// buildIndex constructs a fresh overlay whose keys are produced by the given
+// extraction function.
+func buildIndex(ctx context.Context, docs []document, extract func(document) []string, seed int64) (*pgrid.Cluster, pgrid.BuildReport, error) {
+	cluster, err := pgrid.NewCluster(
+		pgrid.WithPeers(24),
+		pgrid.WithMaxKeys(10),
+		pgrid.WithMinReplicas(2),
+		pgrid.WithSeed(seed),
+	)
+	if err != nil {
+		return nil, pgrid.BuildReport{}, err
+	}
+	for _, d := range docs {
+		for _, term := range extract(d) {
+			if err := cluster.IndexString(term, d.ID); err != nil {
+				return nil, pgrid.BuildReport{}, err
+			}
+		}
+	}
+	report, err := cluster.Build(ctx)
+	return cluster, report, err
+}
+
+func main() {
+	ctx := context.Background()
+	docs := collection()
+
+	// First indexing pass: by title terms.
+	byTitle := func(d document) []string {
+		var terms []string
+		for _, w := range strings.Fields(d.Title) {
+			if len(w) > 3 {
+				terms = append(terms, w)
+			}
+		}
+		return terms
+	}
+	start := time.Now()
+	titleIndex, report, err := buildIndex(ctx, docs, byTitle, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("title index built in %v: %s\n", time.Since(start).Round(time.Millisecond), report)
+	hits, err := titleIndex.SearchString(ctx, "overlay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("documents with 'overlay' in the title: %s\n", values(hits))
+
+	// Requirements changed: retrieval should now work by author. The index
+	// keys change completely, so a new overlay is constructed from scratch
+	// (the old one simply stays around until it is dropped).
+	byAuthor := func(d document) []string { return d.Authors }
+	start = time.Now()
+	authorIndex, report2, err := buildIndex(ctx, docs, byAuthor, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("author index rebuilt in %v: %s\n", time.Since(start).Round(time.Millisecond), report2)
+
+	for _, author := range []string{"aberer", "mitzenmacher", "karger"} {
+		hits, err := authorIndex.SearchString(ctx, author)
+		if err != nil {
+			fmt.Printf("papers by %-14s -> query failed: %v\n", author, err)
+			continue
+		}
+		fmt.Printf("papers by %-14s -> %s\n", author, values(hits))
+	}
+
+	// The order-preserving keys also give us author prefix scans for free.
+	prefixHits, err := authorIndex.SearchStringRange(ctx, "ka", "kb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("authors starting with 'ka': %s\n", values(prefixHits))
+}
+
+func values(hits []pgrid.SearchHit) string {
+	if len(hits) == 0 {
+		return "(none)"
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, h := range hits {
+		if !seen[h.Value] {
+			seen[h.Value] = true
+			out = append(out, h.Value)
+		}
+	}
+	return strings.Join(out, ", ")
+}

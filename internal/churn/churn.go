@@ -1,0 +1,115 @@
+// Package churn models peer availability during the final phase of the
+// PlanetLab experiment (Section 5.1): each peer independently goes offline
+// for 1–5 minutes every 5–10 minutes, creating the sustained churn against
+// which search resilience is evaluated (Figure 7 and Figure 9).
+package churn
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Model describes a peer's on/off behaviour.
+type Model struct {
+	// MinOnline and MaxOnline bound the duration of an online session.
+	MinOnline, MaxOnline time.Duration
+	// MinOffline and MaxOffline bound the duration of an offline period.
+	MinOffline, MaxOffline time.Duration
+}
+
+// PaperModel returns the churn parameters of Section 5.1: offline 1–5
+// minutes every 5–10 minutes.
+func PaperModel() Model {
+	return Model{
+		MinOnline:  5 * time.Minute,
+		MaxOnline:  10 * time.Minute,
+		MinOffline: 1 * time.Minute,
+		MaxOffline: 5 * time.Minute,
+	}
+}
+
+// None returns a model without churn (peers stay online forever).
+func None() Model { return Model{} }
+
+// Enabled reports whether the model actually produces churn.
+func (m Model) Enabled() bool { return m.MaxOffline > 0 && m.MaxOnline > 0 }
+
+// sample draws a duration uniformly from [lo, hi].
+func sample(lo, hi time.Duration, r *rand.Rand) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.Int63n(int64(hi-lo)))
+}
+
+// Session is one online/offline cycle of a peer.
+type Session struct {
+	// Start is the offset at which the peer goes online.
+	Start time.Duration
+	// End is the offset at which the peer goes offline again.
+	End time.Duration
+}
+
+// Contains reports whether the peer is online at offset t.
+func (s Session) Contains(t time.Duration) bool { return t >= s.Start && t < s.End }
+
+// Schedule is a peer's precomputed availability over an experiment.
+type Schedule struct {
+	Sessions []Session
+	// Horizon is the experiment duration the schedule covers.
+	Horizon time.Duration
+}
+
+// Generate produces a peer's availability schedule over the interval
+// [from, horizon): the peer is online from the beginning of the churn phase
+// and alternates online/offline periods drawn from the model. A disabled
+// model yields a single session covering the whole interval.
+func (m Model) Generate(from, horizon time.Duration, r *rand.Rand) Schedule {
+	if !m.Enabled() || from >= horizon {
+		return Schedule{Sessions: []Session{{Start: from, End: horizon}}, Horizon: horizon}
+	}
+	var sessions []Session
+	t := from
+	for t < horizon {
+		on := sample(m.MinOnline, m.MaxOnline, r)
+		end := t + on
+		if end > horizon {
+			end = horizon
+		}
+		sessions = append(sessions, Session{Start: t, End: end})
+		off := sample(m.MinOffline, m.MaxOffline, r)
+		t = end + off
+	}
+	return Schedule{Sessions: sessions, Horizon: horizon}
+}
+
+// OnlineAt reports whether the peer is online at offset t (peers are online
+// before the first session starts only if t precedes the schedule's first
+// session start and the schedule starts at that time).
+func (s Schedule) OnlineAt(t time.Duration) bool {
+	for _, sess := range s.Sessions {
+		if sess.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// OnlineFraction returns the fraction of the interval [from, to) during
+// which the peer is online, sampled at the given resolution.
+func (s Schedule) OnlineFraction(from, to, step time.Duration) float64 {
+	if step <= 0 {
+		step = time.Minute
+	}
+	total, online := 0, 0
+	for t := from; t < to; t += step {
+		total++
+		if s.OnlineAt(t) {
+			online++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(online) / float64(total)
+}

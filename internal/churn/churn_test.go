@@ -1,0 +1,114 @@
+package churn
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPaperModelEnabled(t *testing.T) {
+	if !PaperModel().Enabled() {
+		t.Error("paper model should be enabled")
+	}
+	if None().Enabled() {
+		t.Error("None should be disabled")
+	}
+}
+
+func TestGenerateDisabled(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := None().Generate(10*time.Minute, 60*time.Minute, r)
+	if len(s.Sessions) != 1 {
+		t.Fatalf("sessions = %d", len(s.Sessions))
+	}
+	if !s.OnlineAt(30 * time.Minute) {
+		t.Error("peer should always be online without churn")
+	}
+	if s.OnlineFraction(10*time.Minute, 60*time.Minute, time.Minute) != 1 {
+		t.Error("online fraction should be 1")
+	}
+}
+
+func TestGenerateSessionsWithinHorizon(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m := PaperModel()
+	for trial := 0; trial < 50; trial++ {
+		s := m.Generate(0, 90*time.Minute, r)
+		if len(s.Sessions) == 0 {
+			t.Fatal("no sessions generated")
+		}
+		prevEnd := time.Duration(-1)
+		for _, sess := range s.Sessions {
+			if sess.Start < 0 || sess.End > 90*time.Minute || sess.End <= sess.Start {
+				t.Fatalf("invalid session %+v", sess)
+			}
+			if sess.Start <= prevEnd {
+				t.Fatalf("sessions overlap or are unordered: %+v", s.Sessions)
+			}
+			prevEnd = sess.End
+		}
+	}
+}
+
+func TestGenerateOnlineFractionInPaperRange(t *testing.T) {
+	// Online 5-10 min, offline 1-5 min: expected availability
+	// E[on]/(E[on]+E[off]) = 7.5/(7.5+3) ≈ 0.71. Averaged over many peers
+	// the measured fraction should be in a broad band around that.
+	r := rand.New(rand.NewSource(3))
+	m := PaperModel()
+	sum := 0.0
+	const peers = 200
+	for i := 0; i < peers; i++ {
+		s := m.Generate(0, 100*time.Minute, r)
+		sum += s.OnlineFraction(0, 100*time.Minute, time.Minute)
+	}
+	avg := sum / peers
+	if avg < 0.6 || avg > 0.85 {
+		t.Errorf("average online fraction %v outside expected band", avg)
+	}
+}
+
+func TestOnlineAtBoundaries(t *testing.T) {
+	s := Schedule{Sessions: []Session{{Start: 10 * time.Minute, End: 20 * time.Minute}}}
+	if s.OnlineAt(9 * time.Minute) {
+		t.Error("before session should be offline")
+	}
+	if !s.OnlineAt(10 * time.Minute) {
+		t.Error("session start should be online (inclusive)")
+	}
+	if s.OnlineAt(20 * time.Minute) {
+		t.Error("session end should be offline (exclusive)")
+	}
+}
+
+func TestOnlineFractionDegenerate(t *testing.T) {
+	s := Schedule{Sessions: []Session{{Start: 0, End: time.Minute}}}
+	if s.OnlineFraction(0, 0, time.Minute) != 0 {
+		t.Error("empty interval fraction should be 0")
+	}
+	// Zero step defaults to a minute rather than looping forever.
+	if got := s.OnlineFraction(0, 2*time.Minute, 0); got != 0.5 {
+		t.Errorf("fraction with default step = %v", got)
+	}
+}
+
+func TestGenerateFromAfterHorizon(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	s := PaperModel().Generate(10*time.Minute, 5*time.Minute, r)
+	if len(s.Sessions) != 1 {
+		t.Error("degenerate interval should produce the single covering session")
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		d := sample(2*time.Minute, 4*time.Minute, r)
+		if d < 2*time.Minute || d > 4*time.Minute {
+			t.Fatalf("sample %v out of bounds", d)
+		}
+	}
+	if sample(3*time.Minute, 3*time.Minute, r) != 3*time.Minute {
+		t.Error("degenerate sample should return lo")
+	}
+}

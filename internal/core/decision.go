@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+
+	"pgrid/internal/keyspace"
+)
+
+// Decider encapsulates the AEP decision rules for use by the overlay
+// construction protocol. Unlike the low-level Probabilities, a Decider
+// handles the general case where the load fraction of sub-partition 0 may
+// exceed 1/2 (the analysis assumes p <= 1/2 w.l.o.g.; the Decider mirrors
+// the partition labels internally) and where the fraction is estimated from
+// a peer's locally stored keys.
+type Decider struct {
+	// Samples is the number of data keys sampled when estimating the load
+	// fraction (0 = use every locally stored key).
+	Samples int
+	// UseCorrection selects the bias-corrected probabilities (COR) instead
+	// of the plain analytical ones (AEP).
+	UseCorrection bool
+	// UseHeuristic replaces the analytical probabilities by the naive
+	// heuristic ones (for the Figure 6(d) ablation). It takes precedence
+	// over UseCorrection.
+	UseHeuristic bool
+}
+
+// SplitDecision is the outcome of evaluating the AEP rules for one specific
+// partition split, after mirroring so callers can work directly with the
+// real sub-partition labels 0 and 1.
+type SplitDecision struct {
+	// P0 is the (estimated) fraction of the partition's data that falls
+	// into sub-partition 0.
+	P0 float64
+	// Alpha is the balanced-split probability.
+	Alpha float64
+	// Beta is the probability of deciding for the minority side when
+	// meeting a peer that already decided for the majority side.
+	Beta float64
+	// Minority is the sub-partition with the smaller data fraction.
+	Minority Decision
+}
+
+// EstimateP0 estimates the fraction of keys of the current partition
+// (identified by prefix) that belong to the left sub-partition, by sampling
+// up to d.Samples keys from the locally stored key set. When the local key
+// set has no key under the prefix the estimate falls back to 1/2.
+func (d Decider) EstimateP0(keys keyspace.Keys, prefix keyspace.Path, r *rand.Rand) float64 {
+	relevant := keys.FilterPrefix(prefix)
+	if len(relevant) == 0 {
+		return 0.5
+	}
+	sample := relevant
+	if d.Samples > 0 && d.Samples < len(relevant) {
+		sample = make(keyspace.Keys, d.Samples)
+		for i := range sample {
+			sample[i] = relevant[r.Intn(len(relevant))]
+		}
+	}
+	left := prefix.Child(0)
+	hits := 0
+	for _, k := range sample {
+		if k.HasPrefix(left) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(sample))
+}
+
+// ForEstimate computes the split decision parameters for an estimated
+// fraction p0 of data in sub-partition 0.
+func (d Decider) ForEstimate(p0 float64) SplitDecision {
+	minority := Zero
+	p := p0
+	if p0 > 0.5 {
+		minority = One
+		p = 1 - p0
+	}
+	p = clampFraction(p)
+	var pr Probabilities
+	var err error
+	switch {
+	case d.UseHeuristic:
+		pr = Heuristic(p)
+	case d.UseCorrection:
+		pr, err = Corrected(p, d.Samples)
+	default:
+		pr, err = ForFraction(p)
+	}
+	if err != nil {
+		pr = Probabilities{P: p, Alpha: 1, Beta: 1}
+	}
+	return SplitDecision{P0: p0, Alpha: pr.Alpha, Beta: pr.Beta, Minority: minority}
+}
+
+// Decide evaluates the AEP rules for a peer from local key information.
+// prefix identifies the partition being split; keys are the peer's locally
+// stored data keys.
+func (d Decider) Decide(keys keyspace.Keys, prefix keyspace.Path, r *rand.Rand) SplitDecision {
+	return d.ForEstimate(d.EstimateP0(keys, prefix, r))
+}
+
+// ShouldBalancedSplit reports whether two undecided peers that meet should
+// perform a balanced split (rule 2 of AEP): true with probability Alpha.
+func (sd SplitDecision) ShouldBalancedSplit(r *rand.Rand) bool {
+	return r.Float64() < sd.Alpha
+}
+
+// Majority returns the sub-partition with the larger data fraction.
+func (sd SplitDecision) Majority() Decision { return sd.Minority.Opposite() }
+
+// BalancedAssignment returns the sub-partitions the initiator and the
+// contacted peer take in a balanced split; the assignment is symmetric
+// random so neither role is privileged.
+func (sd SplitDecision) BalancedAssignment(r *rand.Rand) (initiator, contacted Decision) {
+	if r.Float64() < 0.5 {
+		return Zero, One
+	}
+	return One, Zero
+}
+
+// MeetDecided returns the decision an undecided peer takes when it contacts
+// a peer that has already decided (rules 3 and 4 of AEP), and whether the
+// initiator can take the contacted peer itself as its cross reference
+// (true) or must obtain a reference to the complementary partition from the
+// contacted peer (false).
+func (sd SplitDecision) MeetDecided(contacted Decision, r *rand.Rand) (decision Decision, directReference bool) {
+	if contacted == sd.Minority {
+		// Meeting a minority peer: always join the majority (rule 3).
+		return sd.Majority(), true
+	}
+	// Meeting a majority peer: join the minority with probability beta
+	// (rule 4), otherwise follow it into the majority and ask it for a
+	// reference into the minority partition.
+	if r.Float64() < sd.Beta {
+		return sd.Minority, true
+	}
+	return sd.Majority(), false
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pgrid/internal/keyspace"
+)
+
+func keysFromFloats(xs []float64) keyspace.Keys {
+	ks := make(keyspace.Keys, len(xs))
+	for i, x := range xs {
+		ks[i] = keyspace.MustFromFloat(x, 32)
+	}
+	return ks
+}
+
+func TestDeciderEstimateP0(t *testing.T) {
+	d := Decider{}
+	r := rand.New(rand.NewSource(1))
+	// 3 keys below 0.5 and 1 above: p0 = 0.75 at the root.
+	keys := keysFromFloats([]float64{0.1, 0.2, 0.3, 0.8})
+	if got := d.EstimateP0(keys, keyspace.Root, r); got != 0.75 {
+		t.Errorf("EstimateP0 = %v, want 0.75", got)
+	}
+	// Under prefix "0": keys 0.1, 0.2 are in [0,0.25) and 0.3 in [0.25,0.5).
+	if got := d.EstimateP0(keys, "0", r); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("EstimateP0(0) = %v, want 2/3", got)
+	}
+	// No keys under the prefix: fall back to 0.5.
+	if got := d.EstimateP0(keys, "111", r); got != 0.5 {
+		t.Errorf("EstimateP0(empty) = %v, want 0.5", got)
+	}
+}
+
+func TestDeciderEstimateWithSampling(t *testing.T) {
+	d := Decider{Samples: 5}
+	r := rand.New(rand.NewSource(2))
+	keys := make(keyspace.Keys, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		x := 0.9 * rand.New(rand.NewSource(int64(i))).Float64()
+		keys = append(keys, keyspace.MustFromFloat(x, 32))
+	}
+	// Average over many estimates should be near the true fraction.
+	sum := 0.0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		sum += d.EstimateP0(keys, keyspace.Root, r)
+	}
+	truth, _, _ := keys.SplitFraction(keyspace.Root)
+	if math.Abs(sum/trials-truth) > 0.05 {
+		t.Errorf("sampled estimate mean %v, true %v", sum/trials, truth)
+	}
+}
+
+func TestForEstimateMirroring(t *testing.T) {
+	d := Decider{}
+	// p0 = 0.3: minority is partition 0.
+	sd := d.ForEstimate(0.3)
+	if sd.Minority != Zero || sd.Majority() != One {
+		t.Errorf("minority should be 0 for p0=0.3: %+v", sd)
+	}
+	// p0 = 0.7: minority is partition 1, parameters computed for p = 0.3.
+	sd2 := d.ForEstimate(0.7)
+	if sd2.Minority != One || sd2.Majority() != Zero {
+		t.Errorf("minority should be 1 for p0=0.7: %+v", sd2)
+	}
+	if math.Abs(sd.Alpha-sd2.Alpha) > 1e-9 || math.Abs(sd.Beta-sd2.Beta) > 1e-9 {
+		t.Error("mirrored estimates should produce the same probabilities")
+	}
+}
+
+func TestForEstimateVariants(t *testing.T) {
+	plain := Decider{}.ForEstimate(0.35)
+	corr := Decider{Samples: 10, UseCorrection: true}.ForEstimate(0.35)
+	heur := Decider{UseHeuristic: true}.ForEstimate(0.35)
+	if corr.Beta >= plain.Beta {
+		t.Errorf("corrected beta %v should be below plain %v", corr.Beta, plain.Beta)
+	}
+	if heur.Alpha == plain.Alpha && heur.Beta == plain.Beta {
+		t.Error("heuristic should differ from theory")
+	}
+}
+
+func TestMeetDecidedRules(t *testing.T) {
+	d := Decider{}
+	r := rand.New(rand.NewSource(3))
+	sd := d.ForEstimate(0.4) // minority = Zero, beta in (0,1)
+	// Rule 3: meeting a minority peer always joins the majority with a
+	// direct reference.
+	dec, direct := sd.MeetDecided(Zero, r)
+	if dec != One || !direct {
+		t.Errorf("rule 3 violated: %v %v", dec, direct)
+	}
+	// Rule 4: meeting a majority peer joins minority with prob beta.
+	nMinority, nDirect := 0, 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		dec, direct := sd.MeetDecided(One, r)
+		if dec == Zero {
+			nMinority++
+			if !direct {
+				t.Fatal("deciding for minority must come with a direct reference")
+			}
+		} else if direct {
+			nDirect++
+		}
+	}
+	frac := float64(nMinority) / trials
+	if math.Abs(frac-sd.Beta) > 0.03 {
+		t.Errorf("minority fraction %v, want beta=%v", frac, sd.Beta)
+	}
+	if nDirect != 0 {
+		t.Error("joining the majority after meeting a majority peer must use an indirect reference")
+	}
+}
+
+func TestBalancedAssignment(t *testing.T) {
+	sd := Decider{}.ForEstimate(0.5)
+	r := rand.New(rand.NewSource(4))
+	zeroCount := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		a, b := sd.BalancedAssignment(r)
+		if a == b || a == Undecided || b == Undecided {
+			t.Fatal("balanced assignment must give opposite decisions")
+		}
+		if a == Zero {
+			zeroCount++
+		}
+	}
+	if zeroCount < trials/2-150 || zeroCount > trials/2+150 {
+		t.Errorf("assignment not symmetric: %d/%d", zeroCount, trials)
+	}
+}
+
+func TestShouldBalancedSplitProbability(t *testing.T) {
+	sd := Decider{}.ForEstimate(0.1) // alpha < 1
+	r := rand.New(rand.NewSource(5))
+	count := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if sd.ShouldBalancedSplit(r) {
+			count++
+		}
+	}
+	frac := float64(count) / trials
+	if math.Abs(frac-sd.Alpha) > 0.03 {
+		t.Errorf("split fraction %v, want alpha=%v", frac, sd.Alpha)
+	}
+}
+
+func TestDecideEndToEnd(t *testing.T) {
+	d := Decider{}
+	r := rand.New(rand.NewSource(6))
+	keys := keysFromFloats([]float64{0.1, 0.15, 0.2, 0.6, 0.9})
+	sd := d.Decide(keys, keyspace.Root, r)
+	if sd.P0 != 0.6 {
+		t.Errorf("P0 = %v, want 0.6", sd.P0)
+	}
+	if sd.Minority != One {
+		t.Errorf("minority = %v, want One", sd.Minority)
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Decision is the sub-partition a peer decides for during a bisection step.
+type Decision int8
+
+const (
+	// Undecided marks a peer that has not chosen a sub-partition yet.
+	Undecided Decision = iota - 1
+	// Zero is the left sub-partition (load fraction p).
+	Zero
+	// One is the right sub-partition (load fraction 1-p).
+	One
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Undecided:
+		return "undecided"
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return fmt.Sprintf("Decision(%d)", int8(d))
+	}
+}
+
+// Opposite returns the complementary decision. Undecided is its own
+// opposite.
+func (d Decision) Opposite() Decision {
+	switch d {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return Undecided
+	}
+}
+
+// Strategy selects the decentralized partitioning algorithm simulated by
+// Run.
+type Strategy int
+
+const (
+	// StrategyAEP is adaptive eager partitioning with probabilities derived
+	// from a per-peer sampled estimate of p (model "AEP" of Section 3.3).
+	StrategyAEP Strategy = iota
+	// StrategyCOR is AEP with the second-order corrected probabilities
+	// (model "COR").
+	StrategyCOR
+	// StrategyAUT is autonomous partitioning: peers decide up front
+	// according to their estimate of p and then keep contacting random
+	// peers until they meet one of the other partition (model "AUT").
+	StrategyAUT
+	// StrategyEager is plain eager partitioning (only correct for p = 1/2;
+	// provided as the baseline the paper derives AEP from).
+	StrategyEager
+	// StrategyHeuristic is AEP driven by the naive heuristic probability
+	// functions of Figure 6(d) instead of the analytical ones.
+	StrategyHeuristic
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAEP:
+		return "AEP"
+	case StrategyCOR:
+		return "COR"
+	case StrategyAUT:
+		return "AUT"
+	case StrategyEager:
+		return "EAGER"
+	case StrategyHeuristic:
+		return "HEUR"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterises a discrete simulation of one bisection step.
+type Config struct {
+	// N is the number of peers partitioning the key space.
+	N int
+	// P is the true load fraction of partition 0, in (0, 0.5].
+	P float64
+	// Samples is the number of Bernoulli samples each peer uses to estimate
+	// P; 0 means peers know P exactly.
+	Samples int
+	// Strategy selects the algorithm.
+	Strategy Strategy
+	// MaxInteractions bounds the run (0 means 100*N).
+	MaxInteractions int
+}
+
+// Result reports the outcome of a discrete bisection-step simulation.
+type Result struct {
+	// N0 and N1 are the numbers of peers that decided for partitions 0 and 1.
+	N0, N1 int
+	// Interactions is the total number of interactions initiated by peers.
+	Interactions int
+	// ReferentialIntegrity reports whether every peer ended the process
+	// knowing at least one peer of the complementary partition.
+	ReferentialIntegrity bool
+	// Strategy echoes the simulated algorithm.
+	Strategy Strategy
+}
+
+// Deviation returns N0 - n*p, the deviation of the size of partition 0 from
+// its expectation (the quantity plotted in Figure 4).
+func (r Result) Deviation(p float64) float64 {
+	return float64(r.N0) - float64(r.N0+r.N1)*p
+}
+
+// peerState is the per-peer state of the discrete simulation.
+type peerState struct {
+	decision Decision
+	// ref is the index of a known peer in the complementary partition, or
+	// -1 if none is known yet.
+	ref int
+	// estimate is the peer's sampled estimate of p.
+	estimate float64
+	// minority is the sub-partition the peer's estimate identifies as the
+	// minority (the probabilities are expressed for the minority side).
+	minority Decision
+	// probs are the decision probabilities the peer uses.
+	probs Probabilities
+	// satisfied marks an AUT peer that has found a counterpart.
+	satisfied bool
+}
+
+// Run simulates one bisection step with the given configuration and random
+// source. The simulation follows the paper's interaction model: undecided
+// (or, for AUT, unsatisfied) peers repeatedly initiate interactions with
+// uniformly randomly chosen peers until the process terminates.
+func Run(cfg Config, r *rand.Rand) (Result, error) {
+	if cfg.N < 2 {
+		return Result{}, errors.New("core: need at least two peers")
+	}
+	if cfg.P <= 0 || cfg.P > 0.5+1e-12 {
+		return Result{}, ErrFraction
+	}
+	maxI := cfg.MaxInteractions
+	if maxI <= 0 {
+		maxI = 100 * cfg.N
+	}
+	peers := make([]peerState, cfg.N)
+	for i := range peers {
+		raw := EstimateFraction(cfg.P, cfg.Samples, r)
+		minority, est := canonicalFraction(raw)
+		peers[i] = peerState{decision: Undecided, ref: -1, estimate: raw, minority: minority}
+		peers[i].probs = probsFor(cfg.Strategy, est, cfg.Samples)
+	}
+	switch cfg.Strategy {
+	case StrategyAUT:
+		return runAutonomous(cfg, peers, maxI, r), nil
+	default:
+		return runEagerFamily(cfg, peers, maxI, r), nil
+	}
+}
+
+// probsFor returns the decision probabilities a peer with estimate est uses
+// under the given strategy.
+func probsFor(s Strategy, est float64, samples int) Probabilities {
+	switch s {
+	case StrategyEager:
+		return Probabilities{P: est, Alpha: 1, Beta: 1}
+	case StrategyHeuristic:
+		return Heuristic(est)
+	case StrategyCOR:
+		pr, err := Corrected(est, samples)
+		if err != nil {
+			return Probabilities{P: est, Alpha: 1, Beta: 1}
+		}
+		return pr
+	default: // AEP, AUT (AUT ignores the probabilities)
+		pr, err := ForFraction(est)
+		if err != nil {
+			return Probabilities{P: est, Alpha: 1, Beta: 1}
+		}
+		return pr
+	}
+}
+
+// runEagerFamily simulates eager, AEP, COR and heuristic partitioning: only
+// undecided peers initiate interactions, and the process stops when all
+// peers have decided.
+func runEagerFamily(cfg Config, peers []peerState, maxI int, r *rand.Rand) Result {
+	undecided := make([]int, len(peers))
+	for i := range undecided {
+		undecided[i] = i
+	}
+	interactions := 0
+	for len(undecided) > 0 && interactions < maxI {
+		// Pick a random undecided initiator and a random other peer.
+		ui := r.Intn(len(undecided))
+		a := undecided[ui]
+		b := r.Intn(len(peers) - 1)
+		if b >= a {
+			b++
+		}
+		interactions++
+		pa := &peers[a]
+		pb := &peers[b]
+		switch {
+		case pb.decision == Undecided:
+			// Balanced split with probability alpha: initiator takes 0,
+			// contacted takes 1 or vice versa (symmetric), and they
+			// reference each other.
+			if r.Float64() < pa.probs.Alpha {
+				if r.Float64() < 0.5 {
+					pa.decision, pb.decision = Zero, One
+				} else {
+					pa.decision, pb.decision = One, Zero
+				}
+				pa.ref, pb.ref = b, a
+				undecided = removeValue(undecided, a, ui)
+				undecided = removeValueScan(undecided, b)
+			}
+		case pb.decision == pa.minority:
+			// Contacted already in the (estimated) minority: initiator joins
+			// the majority and references the contacted peer.
+			pa.decision = pa.minority.Opposite()
+			pa.ref = b
+			undecided = removeValue(undecided, a, ui)
+		default:
+			// Contacted in the majority: initiator joins the minority w.p.
+			// beta (referencing the contacted peer), otherwise follows it
+			// into the majority and obtains a cross reference from it.
+			if r.Float64() < pa.probs.Beta {
+				pa.decision = pa.minority
+				pa.ref = b
+			} else {
+				pa.decision = pa.minority.Opposite()
+				pa.ref = pb.ref
+			}
+			undecided = removeValue(undecided, a, ui)
+		}
+	}
+	return summarize(cfg.Strategy, peers, interactions)
+}
+
+// runAutonomous simulates autonomous partitioning: every peer decides
+// immediately according to its estimate, then unsatisfied peers contact
+// random peers until they learn of a peer of the other partition — either by
+// meeting one directly or by meeting a peer of their own partition that
+// already holds such a reference (otherwise, for skewed loads, the majority
+// peers would need on the order of 1/p attempts each, which is not what the
+// paper's cost analysis assumes).
+func runAutonomous(cfg Config, peers []peerState, maxI int, r *rand.Rand) Result {
+	unsatisfied := make([]int, 0, len(peers))
+	for i := range peers {
+		if r.Float64() < peers[i].estimate {
+			peers[i].decision = Zero
+		} else {
+			peers[i].decision = One
+		}
+		unsatisfied = append(unsatisfied, i)
+	}
+	interactions := 0
+	for len(unsatisfied) > 0 && interactions < maxI {
+		ui := r.Intn(len(unsatisfied))
+		a := unsatisfied[ui]
+		b := r.Intn(len(peers) - 1)
+		if b >= a {
+			b++
+		}
+		interactions++
+		pa := &peers[a]
+		pb := &peers[b]
+		switch {
+		case pa.decision != pb.decision:
+			pa.ref = b
+			pa.satisfied = true
+			unsatisfied = removeValue(unsatisfied, a, ui)
+			// The contacted peer also learns a counterpart for free.
+			if !pb.satisfied {
+				pb.ref = a
+				pb.satisfied = true
+				unsatisfied = removeValueScan(unsatisfied, b)
+			}
+		case pb.satisfied:
+			// Same partition, but the contacted peer can hand over its
+			// reference to the complementary partition.
+			pa.ref = pb.ref
+			pa.satisfied = true
+			unsatisfied = removeValue(unsatisfied, a, ui)
+		}
+	}
+	return summarize(cfg.Strategy, peers, interactions)
+}
+
+// summarize aggregates the final peer states into a Result.
+func summarize(s Strategy, peers []peerState, interactions int) Result {
+	res := Result{Strategy: s, Interactions: interactions, ReferentialIntegrity: true}
+	for i := range peers {
+		switch peers[i].decision {
+		case Zero:
+			res.N0++
+		case One:
+			res.N1++
+		}
+		if peers[i].decision != Undecided {
+			ref := peers[i].ref
+			if ref < 0 || peers[ref].decision == peers[i].decision || peers[ref].decision == Undecided {
+				res.ReferentialIntegrity = false
+			}
+		}
+	}
+	return res
+}
+
+// removeValue removes the element at index idx (which holds value v) from
+// the slice in O(1) by swapping with the last element.
+func removeValue(s []int, v, idx int) []int {
+	if s[idx] != v {
+		return removeValueScan(s, v)
+	}
+	s[idx] = s[len(s)-1]
+	return s[:len(s)-1]
+}
+
+// removeValueScan removes the first occurrence of v from the slice.
+func removeValueScan(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func runTrials(t *testing.T, cfg Config, trials int, seed int64) (meanDev, meanInter float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var devSum, interSum float64
+	for i := 0; i < trials; i++ {
+		res, err := Run(cfg, r)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.N0+res.N1 != cfg.N {
+			t.Fatalf("not all peers decided: %d+%d != %d", res.N0, res.N1, cfg.N)
+		}
+		devSum += res.Deviation(cfg.P)
+		interSum += float64(res.Interactions)
+	}
+	return devSum / float64(trials), interSum / float64(trials)
+}
+
+func TestEagerBalanced(t *testing.T) {
+	cfg := Config{N: 1000, P: 0.5, Strategy: StrategyEager}
+	dev, inter := runTrials(t, cfg, 30, 1)
+	if math.Abs(dev) > 25 {
+		t.Errorf("eager mean deviation %v too large for p=0.5", dev)
+	}
+	// Theory: ln2 * n ≈ 693 interactions.
+	if inter < 600 || inter > 800 {
+		t.Errorf("eager interactions %v, want ≈693", inter)
+	}
+}
+
+func TestAEPKnownPMatchesFraction(t *testing.T) {
+	for _, p := range []float64{0.1, 0.2, 0.35, 0.5} {
+		cfg := Config{N: 1000, P: p, Samples: 0, Strategy: StrategyAEP}
+		dev, _ := runTrials(t, cfg, 30, 2)
+		if math.Abs(dev) > 30 {
+			t.Errorf("AEP(p=%v) mean deviation %v exceeds 3%% of n", p, dev)
+		}
+	}
+}
+
+func TestAEPInteractionsIndependentOfPOnBalancedBranch(t *testing.T) {
+	cfg := Config{N: 1000, P: 0.35, Samples: 0, Strategy: StrategyAEP}
+	_, i35 := runTrials(t, cfg, 20, 3)
+	cfg.P = 0.5
+	_, i50 := runTrials(t, cfg, 20, 4)
+	if math.Abs(i35-i50)/i50 > 0.15 {
+		t.Errorf("interactions should be ≈equal on balanced branch: %v vs %v", i35, i50)
+	}
+	// And close to n*ln2.
+	want, _ := TheoreticalInteractions(0.5, 1000)
+	if math.Abs(i50-want)/want > 0.15 {
+		t.Errorf("interactions %v far from theory %v", i50, want)
+	}
+}
+
+func TestAEPMoreInteractionsForSkewedLoad(t *testing.T) {
+	cfg := Config{N: 1000, P: 0.05, Samples: 0, Strategy: StrategyAEP}
+	_, iSkew := runTrials(t, cfg, 20, 5)
+	cfg.P = 0.5
+	_, iBal := runTrials(t, cfg, 20, 6)
+	if iSkew <= iBal {
+		t.Errorf("skewed load should need more interactions: %v vs %v", iSkew, iBal)
+	}
+}
+
+func TestAUTMatchesFractionButCostsMore(t *testing.T) {
+	cfgAUT := Config{N: 1000, P: 0.5, Samples: 0, Strategy: StrategyAUT}
+	devAUT, interAUT := runTrials(t, cfgAUT, 30, 7)
+	if math.Abs(devAUT) > 30 {
+		t.Errorf("AUT deviation %v too large", devAUT)
+	}
+	cfgAEP := Config{N: 1000, P: 0.5, Samples: 0, Strategy: StrategyAEP}
+	_, interAEP := runTrials(t, cfgAEP, 30, 8)
+	if interAUT <= interAEP {
+		t.Errorf("AUT (%v) should cost more interactions than AEP (%v) at p=0.5", interAUT, interAEP)
+	}
+	// Paper: AUT ≈ 2 ln2 per peer vs ln2 for eager/AEP at p=1/2.
+	ratio := interAUT / interAEP
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Errorf("AUT/AEP interaction ratio %v, expected ≈2", ratio)
+	}
+}
+
+func TestAUTCostGrowsSlowerWithSkewThanAEP(t *testing.T) {
+	// Figure 5: AEP's interaction count rises steeply for small p (the
+	// alpha branch wastes balanced-split opportunities) while AUT's stays
+	// comparatively flat, so AUT becomes competitive for very skewed loads.
+	// We compare the relative growth of each algorithm between p=0.5 and
+	// p=0.05 rather than absolute values.
+	_, autSkew := runTrials(t, Config{N: 1000, P: 0.05, Samples: 10, Strategy: StrategyAUT}, 15, 9)
+	_, autBal := runTrials(t, Config{N: 1000, P: 0.5, Samples: 10, Strategy: StrategyAUT}, 15, 9)
+	_, aepSkew := runTrials(t, Config{N: 1000, P: 0.05, Samples: 10, Strategy: StrategyAEP}, 15, 10)
+	_, aepBal := runTrials(t, Config{N: 1000, P: 0.5, Samples: 10, Strategy: StrategyAEP}, 15, 10)
+	autGrowth := autSkew / autBal
+	aepGrowth := aepSkew / aepBal
+	if autGrowth >= aepGrowth {
+		t.Errorf("AUT cost growth (%v) should be below AEP cost growth (%v) as skew increases", autGrowth, aepGrowth)
+	}
+}
+
+func TestReferentialIntegrityAllStrategies(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, s := range []Strategy{StrategyAEP, StrategyCOR, StrategyAUT, StrategyEager, StrategyHeuristic} {
+		p := 0.5
+		if s == StrategyAEP || s == StrategyCOR {
+			p = 0.3
+		}
+		res, err := Run(Config{N: 400, P: p, Samples: 10, Strategy: s}, r)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !res.ReferentialIntegrity {
+			t.Errorf("%v: referential integrity violated", s)
+		}
+	}
+}
+
+func TestCORReducesSamplingBias(t *testing.T) {
+	// Figure 4: with sampled estimates, plain AEP shows a systematic
+	// positive deviation while COR removes most of it. We check that |bias|
+	// of COR is at most that of AEP plus a small tolerance, aggregated over
+	// several skewed fractions.
+	var aepBias, corBias float64
+	for _, p := range []float64{0.15, 0.2, 0.25, 0.3} {
+		dA, _ := runTrials(t, Config{N: 1000, P: p, Samples: 10, Strategy: StrategyAEP}, 60, 12)
+		dC, _ := runTrials(t, Config{N: 1000, P: p, Samples: 10, Strategy: StrategyCOR}, 60, 13)
+		aepBias += math.Abs(dA)
+		corBias += math.Abs(dC)
+	}
+	if corBias > aepBias+5 {
+		t.Errorf("correction should not increase bias: AEP=%v COR=%v", aepBias, corBias)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := Run(Config{N: 1, P: 0.5}, r); err == nil {
+		t.Error("expected error for n<2")
+	}
+	if _, err := Run(Config{N: 10, P: 0}, r); err == nil {
+		t.Error("expected error for p=0")
+	}
+	if _, err := Run(Config{N: 10, P: 0.9}, r); err == nil {
+		t.Error("expected error for p>0.5")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Undecided.String() != "undecided" || Zero.String() != "0" || One.String() != "1" {
+		t.Error("Decision.String wrong")
+	}
+	if Decision(9).String() == "" {
+		t.Error("unknown decision should still render")
+	}
+	if Zero.Opposite() != One || One.Opposite() != Zero || Undecided.Opposite() != Undecided {
+		t.Error("Opposite wrong")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	want := map[Strategy]string{
+		StrategyAEP: "AEP", StrategyCOR: "COR", StrategyAUT: "AUT",
+		StrategyEager: "EAGER", StrategyHeuristic: "HEUR",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	if Strategy(42).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}
+
+func TestHeuristicStrategyDegradesBalance(t *testing.T) {
+	// Figure 6(d): heuristic probabilities degrade the match between peer
+	// fraction and load fraction for skewed loads.
+	p := 0.2
+	devTheory, _ := runTrials(t, Config{N: 1000, P: p, Samples: 0, Strategy: StrategyAEP}, 40, 14)
+	devHeur, _ := runTrials(t, Config{N: 1000, P: p, Samples: 0, Strategy: StrategyHeuristic}, 40, 15)
+	if math.Abs(devHeur) <= math.Abs(devTheory) {
+		t.Errorf("heuristic (%v) should deviate more than theory (%v)", devHeur, devTheory)
+	}
+}
+
+func TestRemoveValueHelpers(t *testing.T) {
+	s := []int{5, 6, 7, 8}
+	s = removeValue(s, 6, 1)
+	if len(s) != 3 {
+		t.Fatal("removeValue length")
+	}
+	for _, v := range s {
+		if v == 6 {
+			t.Fatal("value not removed")
+		}
+	}
+	s = removeValueScan(s, 8)
+	for _, v := range s {
+		if v == 8 {
+			t.Fatal("scan removal failed")
+		}
+	}
+	// Removing a missing value is a no-op.
+	if got := removeValueScan([]int{1, 2}, 9); len(got) != 2 {
+		t.Error("missing value removal should be a no-op")
+	}
+	// removeValue with a stale index falls back to scanning.
+	s2 := []int{1, 2, 3}
+	s2 = removeValue(s2, 3, 0)
+	if len(s2) != 2 {
+		t.Error("stale-index removal failed")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file provides the experiment harness behind Figures 4 and 5: for a
+// range of load fractions p, it runs the five models (MVA, SAM, AEP, COR,
+// AUT) repeatedly and reports the mean deviation of the partition-0 size
+// from its expectation n*p and the mean total number of interactions.
+
+// Model identifies one of the five simulated models of Section 3.3.
+type Model int
+
+const (
+	// ModelMVA is the deterministic mean-value model with known p.
+	ModelMVA Model = iota
+	// ModelSAM is the mean-value model with p estimated from samples.
+	ModelSAM
+	// ModelAEP is the discrete simulation with sampled estimates.
+	ModelAEP
+	// ModelCOR is the discrete simulation with corrected probabilities.
+	ModelCOR
+	// ModelAUT is the discrete simulation of autonomous partitioning.
+	ModelAUT
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelMVA:
+		return "MVA"
+	case ModelSAM:
+		return "SAM"
+	case ModelAEP:
+		return "AEP"
+	case ModelCOR:
+		return "COR"
+	case ModelAUT:
+		return "AUT"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// AllModels lists the models in the paper's presentation order.
+func AllModels() []Model { return []Model{ModelMVA, ModelSAM, ModelAEP, ModelCOR, ModelAUT} }
+
+// ExperimentConfig parameterises a Figure 4/5 style experiment.
+type ExperimentConfig struct {
+	// N is the number of peers (paper: 1000).
+	N int
+	// Samples is the sample size s used for estimating p (paper: 10).
+	Samples int
+	// Trials is the number of repetitions per point (paper: 100).
+	Trials int
+	// Seed makes the experiment deterministic.
+	Seed int64
+}
+
+// DefaultExperimentConfig returns the parameters used in Section 3.3.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{N: 1000, Samples: 10, Trials: 100, Seed: 1}
+}
+
+// Point is one measured point of a Figure 4/5 experiment.
+type Point struct {
+	Model Model
+	// P is the true load fraction.
+	P float64
+	// MeanDeviation is the mean of N0 - n*p over the trials (Figure 4).
+	MeanDeviation float64
+	// StdDeviation is the standard deviation of N0 - n*p over the trials.
+	StdDeviation float64
+	// MeanInteractions is the mean total number of interactions (Figure 5).
+	MeanInteractions float64
+}
+
+// RunModel executes one trial of the given model and returns the deviation
+// of the partition-0 size from n*p and the number of interactions.
+func RunModel(m Model, p float64, n, samples int, r *rand.Rand) (deviation, interactions float64, err error) {
+	switch m {
+	case ModelMVA:
+		res, err := MVA(p, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.P0 - float64(n)*p, float64(res.Steps), nil
+	case ModelSAM:
+		res, err := SampledMVA(p, n, samples, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.P0 - float64(n)*p, float64(res.Steps), nil
+	case ModelAEP, ModelCOR, ModelAUT:
+		strategy := StrategyAEP
+		if m == ModelCOR {
+			strategy = StrategyCOR
+		}
+		if m == ModelAUT {
+			strategy = StrategyAUT
+		}
+		res, err := Run(Config{N: n, P: p, Samples: samples, Strategy: strategy}, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Deviation(p), float64(res.Interactions), nil
+	default:
+		return 0, 0, fmt.Errorf("core: unknown model %v", m)
+	}
+}
+
+// Sweep runs every model over the given load fractions and returns one Point
+// per (model, p) pair. This regenerates the data behind Figures 4 and 5.
+func Sweep(cfg ExperimentConfig, fractions []float64) ([]Point, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var out []Point
+	for _, m := range AllModels() {
+		for _, p := range fractions {
+			var devs, ints []float64
+			trials := cfg.Trials
+			if m == ModelMVA {
+				trials = 1 // deterministic
+			}
+			for t := 0; t < trials; t++ {
+				d, i, err := RunModel(m, p, cfg.N, cfg.Samples, r)
+				if err != nil {
+					return nil, err
+				}
+				devs = append(devs, d)
+				ints = append(ints, i)
+			}
+			out = append(out, Point{
+				Model:            m,
+				P:                p,
+				MeanDeviation:    mean(devs),
+				StdDeviation:     stddev(devs),
+				MeanInteractions: mean(ints),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PaperFractions returns the load fractions plotted in Figures 4 and 5.
+func PaperFractions() []float64 {
+	return []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSweepSmall(t *testing.T) {
+	cfg := ExperimentConfig{N: 200, Samples: 10, Trials: 5, Seed: 1}
+	pts, err := Sweep(cfg, []float64{0.2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(AllModels())*2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.MeanInteractions <= 0 {
+			t.Errorf("%v p=%v: no interactions recorded", pt.Model, pt.P)
+		}
+		if math.IsNaN(pt.MeanDeviation) || math.IsNaN(pt.StdDeviation) {
+			t.Errorf("%v p=%v: NaN statistics", pt.Model, pt.P)
+		}
+		// Deviations must stay a small fraction of n for every model.
+		if math.Abs(pt.MeanDeviation) > 0.2*float64(cfg.N) {
+			t.Errorf("%v p=%v: deviation %v too large", pt.Model, pt.P, pt.MeanDeviation)
+		}
+	}
+}
+
+func TestRunModelAllModels(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, m := range AllModels() {
+		dev, inter, err := RunModel(m, 0.4, 300, 10, r)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if inter <= 0 {
+			t.Errorf("%v: interactions = %v", m, inter)
+		}
+		if math.Abs(dev) > 100 {
+			t.Errorf("%v: deviation = %v", m, dev)
+		}
+	}
+	if _, _, err := RunModel(Model(99), 0.4, 100, 10, r); err == nil {
+		t.Error("expected error for unknown model")
+	}
+	if _, _, err := RunModel(ModelMVA, 0, 100, 10, r); err == nil {
+		t.Error("expected error for invalid p")
+	}
+	if _, _, err := RunModel(ModelAEP, 0, 100, 10, r); err == nil {
+		t.Error("expected error for invalid p in discrete model")
+	}
+	if _, _, err := RunModel(ModelSAM, 0, 100, 10, r); err == nil {
+		t.Error("expected error for invalid p in SAM")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	want := map[Model]string{ModelMVA: "MVA", ModelSAM: "SAM", ModelAEP: "AEP", ModelCOR: "COR", ModelAUT: "AUT"}
+	for m, w := range want {
+		if m.String() != w {
+			t.Errorf("%d -> %q want %q", m, m.String(), w)
+		}
+	}
+	if Model(7).String() == "" {
+		t.Error("unknown model should render")
+	}
+}
+
+func TestPaperFractions(t *testing.T) {
+	fs := PaperFractions()
+	if len(fs) != 10 || fs[0] != 0.05 || fs[len(fs)-1] != 0.5 {
+		t.Errorf("PaperFractions = %v", fs)
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i] <= fs[i-1] {
+			t.Error("fractions must be increasing")
+		}
+	}
+}
+
+func TestDefaultExperimentConfig(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	if cfg.N != 1000 || cfg.Samples != 10 || cfg.Trials != 100 {
+		t.Errorf("defaults = %+v, want the paper's N=1000, s=10, 100 trials", cfg)
+	}
+}
+
+func TestMeanAndStddev(t *testing.T) {
+	if mean(nil) != 0 || stddev(nil) != 0 || stddev([]float64{1}) != 0 {
+		t.Error("degenerate statistics wrong")
+	}
+	xs := []float64{1, 2, 3, 4}
+	if mean(xs) != 2.5 {
+		t.Errorf("mean = %v", mean(xs))
+	}
+	if math.Abs(stddev(xs)-1.2909944) > 1e-6 {
+		t.Errorf("stddev = %v", stddev(xs))
+	}
+}
+
+func TestSweepErrorPropagation(t *testing.T) {
+	cfg := ExperimentConfig{N: 100, Samples: 10, Trials: 1, Seed: 1}
+	if _, err := Sweep(cfg, []float64{0.9}); err == nil {
+		t.Error("expected error for invalid fraction")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MVAResult holds the outcome of one run of the mean-value (fluid) model of
+// the bisection step.
+type MVAResult struct {
+	// P0 and P1 are the (possibly fractional) numbers of peers that decided
+	// for partitions 0 and 1 at termination.
+	P0, P1 float64
+	// Steps is the number of interaction steps executed until no undecided
+	// peers remained.
+	Steps int
+}
+
+// MVA runs the mean-value model of AEP for n peers with exactly known load
+// fraction p (model "MVA" of Section 3.3). In each step one undecided peer
+// contacts a uniformly random peer; the expected contributions of the
+// possible outcomes are added as fractional mass.
+func MVA(p float64, n int) (MVAResult, error) {
+	pr, err := ForFraction(p)
+	if err != nil {
+		return MVAResult{}, err
+	}
+	return runMeanValue(n, func() (Probabilities, Decision) { return pr, Zero }), nil
+}
+
+// SampledMVA runs the mean-value model where in every step the initiating
+// peer estimates p from s Bernoulli samples and uses probabilities derived
+// from the estimate (model "SAM"). This exposes the systematic bias of
+// sampling without the discretization noise of the full simulation.
+func SampledMVA(p float64, n, s int, r *rand.Rand) (MVAResult, error) {
+	if _, err := ForFraction(p); err != nil {
+		return MVAResult{}, err
+	}
+	return runMeanValue(n, func() (Probabilities, Decision) {
+		est := EstimateFraction(p, s, r)
+		minority, canon := canonicalFraction(est)
+		pr, err := ForFraction(canon)
+		if err != nil {
+			pr = Probabilities{P: canon, Alpha: 1, Beta: 1}
+		}
+		return pr, minority
+	}), nil
+}
+
+// runMeanValue executes the per-step mean-value recursion. probs returns,
+// for the initiating peer of each step, its decision probabilities and
+// which sub-partition it regards as the minority (the analysis of Section 3
+// assumes the minority is partition 0; a peer whose sampled estimate puts
+// the majority of keys into partition 0 mirrors the roles).
+//
+// Expected flows per step (minority m, majority M):
+//
+//	balanced split:       p_m += alpha*u, p_M += alpha*u
+//	contacted in m:       p_M += p_m_frac
+//	contacted in M:       p_m += beta*p_M_frac, p_M += (1-beta)*p_M_frac
+//
+// Termination when fewer than half a peer remains undecided (fractional
+// steps as in the paper's analysis).
+func runMeanValue(n int, probs func() (Probabilities, Decision)) MVAResult {
+	var mass [2]float64
+	steps := 0
+	for {
+		u := float64(n) - mass[0] - mass[1]
+		if u < 0.5 {
+			break
+		}
+		pr, minority := probs()
+		m, maj := 0, 1
+		if minority == One {
+			m, maj = 1, 0
+		}
+		total := float64(n)
+		pu := (u - 1) / total // probability the contacted peer is undecided
+		if pu < 0 {
+			pu = 0
+		}
+		pMin := mass[m] / total
+		pMaj := mass[maj] / total
+		// Balanced split: both the initiator and the contacted peer decide.
+		mass[m] += pr.Alpha * pu
+		mass[maj] += pr.Alpha * pu
+		// Contacted already in the minority: initiator joins the majority.
+		mass[maj] += pMin
+		// Contacted in the majority: initiator joins the minority w.p. beta.
+		mass[m] += pr.Beta * pMaj
+		mass[maj] += (1 - pr.Beta) * pMaj
+		steps++
+		if steps > 100*n {
+			break
+		}
+	}
+	return MVAResult{P0: mass[0], P1: mass[1], Steps: steps}
+}
+
+// EstimateFraction simulates a peer estimating the load fraction p of the
+// left sub-partition by drawing s Bernoulli(p) samples from its locally
+// stored keys and averaging them (Section 3.2). With s <= 0 the exact value
+// is returned.
+func EstimateFraction(p float64, s int, r *rand.Rand) float64 {
+	if s <= 0 {
+		return p
+	}
+	hits := 0
+	for i := 0; i < s; i++ {
+		if r.Float64() < p {
+			hits++
+		}
+	}
+	return float64(hits) / float64(s)
+}
+
+// canonicalFraction folds an estimated fraction of partition 0 into the
+// canonical range (0, 0.5] used by the probability formulas, together with
+// the sub-partition that plays the minority role: for estimates above 1/2
+// the roles of the two sub-partitions are mirrored (partition 1 becomes the
+// minority).
+func canonicalFraction(p0 float64) (minority Decision, p float64) {
+	minority, p = Zero, p0
+	if p0 > 0.5 {
+		minority, p = One, 1-p0
+	}
+	if p <= 0 {
+		p = 1e-4
+	}
+	return minority, p
+}
+
+// clampFraction folds an estimated fraction into the canonical range
+// (0, 0.5] used by the probability formulas, discarding the orientation.
+func clampFraction(p float64) float64 {
+	_, c := canonicalFraction(p)
+	return c
+}
+
+// TheoreticalInteractions returns the expected total number of interactions
+// for n peers predicted by the fluid model: n * t*(p). It is used to check
+// simulation results against theory.
+func TheoreticalInteractions(p float64, n int) (float64, error) {
+	t, err := TerminationTime(p)
+	if err != nil {
+		return 0, err
+	}
+	return t * float64(n), nil
+}
+
+// AutonomousTheoreticalInteractions returns the asymptotic interactions per
+// peer of autonomous partitioning at p = 1/2, which the paper derives to be
+// 2*ln 2 per peer versus ln 2 for eager partitioning.
+func AutonomousTheoreticalInteractions(n int) float64 {
+	return 2 * math.Ln2 * float64(n)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMVAMatchesFraction(t *testing.T) {
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.31, 0.4, 0.5} {
+		res, err := MVA(p, 1000)
+		if err != nil {
+			t.Fatalf("MVA(%v): %v", p, err)
+		}
+		if math.Abs(res.P0+res.P1-1000) > 1 {
+			t.Errorf("MVA(%v): total %v", p, res.P0+res.P1)
+		}
+		if math.Abs(res.P0-1000*p) > 20 {
+			t.Errorf("MVA(%v): P0 = %v, want ≈%v", p, res.P0, 1000*p)
+		}
+	}
+}
+
+func TestMVAStepsMatchTheory(t *testing.T) {
+	res, err := MVA(0.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := TheoreticalInteractions(0.5, 1000)
+	if math.Abs(float64(res.Steps)-want) > 0.1*want {
+		t.Errorf("MVA steps %d, theory %v", res.Steps, want)
+	}
+	// Skewed: more steps.
+	resSkew, _ := MVA(0.05, 1000)
+	if resSkew.Steps <= res.Steps {
+		t.Errorf("skewed MVA should take more steps: %d vs %d", resSkew.Steps, res.Steps)
+	}
+}
+
+func TestMVAInvalidFraction(t *testing.T) {
+	if _, err := MVA(0, 100); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := MVA(0.8, 100); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSampledMVAShowsBias(t *testing.T) {
+	// With sampling, the mean-value model acquires a systematic deviation
+	// for skewed p (this is what Figure 4's SAM curve shows); for p=0.5 the
+	// bias is negligible by symmetry.
+	r := rand.New(rand.NewSource(21))
+	devAt := func(p float64) float64 {
+		sum := 0.0
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			res, err := SampledMVA(p, 1000, 10, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.P0 - 1000*p
+		}
+		return sum / trials
+	}
+	biasBalanced := devAt(0.5)
+	if math.Abs(biasBalanced) > 20 {
+		t.Errorf("balanced SAM bias %v should be small (estimates mirror symmetrically)", biasBalanced)
+	}
+	biasSkewed := devAt(0.2)
+	if math.Abs(biasSkewed) < math.Abs(biasBalanced) {
+		t.Logf("note: skewed bias %v not larger than balanced %v (can happen with few trials)", biasSkewed, biasBalanced)
+	}
+}
+
+func TestSampledMVAInvalid(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := SampledMVA(0, 100, 10, r); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestEstimateFraction(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if EstimateFraction(0.3, 0, r) != 0.3 {
+		t.Error("s=0 should return exact value")
+	}
+	sum := 0.0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		e := EstimateFraction(0.3, 10, r)
+		if e < 0 || e > 1 {
+			t.Fatalf("estimate out of range: %v", e)
+		}
+		sum += e
+	}
+	if math.Abs(sum/trials-0.3) > 0.02 {
+		t.Errorf("estimator biased: mean %v", sum/trials)
+	}
+}
+
+func TestCanonicalAndClampFraction(t *testing.T) {
+	if math.Abs(clampFraction(0.7)-0.3) > 1e-12 {
+		t.Error("should mirror values above 0.5")
+	}
+	if clampFraction(0) <= 0 {
+		t.Error("should nudge zero inward")
+	}
+	if clampFraction(0.4) != 0.4 {
+		t.Error("should pass through valid values")
+	}
+	if clampFraction(1) < 0 {
+		t.Error("estimate of 1 should mirror to a non-negative value")
+	}
+	if m, p := canonicalFraction(0.7); m != One || math.Abs(p-0.3) > 1e-12 {
+		t.Errorf("canonicalFraction(0.7) = %v,%v", m, p)
+	}
+	if m, p := canonicalFraction(0.3); m != Zero || p != 0.3 {
+		t.Errorf("canonicalFraction(0.3) = %v,%v", m, p)
+	}
+	if m, _ := canonicalFraction(0.5); m != Zero {
+		t.Errorf("canonicalFraction(0.5) minority = %v", m)
+	}
+}
+
+func TestAutonomousTheoreticalInteractions(t *testing.T) {
+	if got := AutonomousTheoreticalInteractions(1000); math.Abs(got-2*math.Ln2*1000) > 1e-9 {
+		t.Errorf("AUT theoretical interactions = %v", got)
+	}
+	eager, _ := TheoreticalInteractions(0.5, 1000)
+	if AutonomousTheoreticalInteractions(1000) <= eager {
+		t.Error("AUT must cost more than eager at p=1/2")
+	}
+}

@@ -1,0 +1,402 @@
+// Package core implements the paper's primary contribution (Section 3):
+// decentralized, parallel partitioning of a key-space partition among a set
+// of peers such that the fraction of peers deciding for each sub-partition
+// matches the data-load fraction p, while every peer learns a reference to a
+// peer of the complementary sub-partition (referential integrity).
+//
+// The package provides
+//
+//   - the decision probabilities alpha(p) and beta(p) of Adaptive Eager
+//     Partitioning (AEP), obtained by solving the mean-value (fluid-limit)
+//     model of the random-encounter process,
+//   - the second-order corrected probabilities that compensate the
+//     systematic bias introduced when p is estimated from a small sample
+//     (Section 3.2, equations 9 and 10),
+//   - mean-value models (MVA, SAM) and discrete simulators (AEP, COR, AUT,
+//     eager) of the bisection step used for Figures 3–5, and
+//   - the decision engine used by the overlay construction protocol.
+//
+// Conventions: partition 0 receives the data fraction p with 0 < p <= 1/2
+// (w.l.o.g., the caller mirrors the partition labels otherwise); partition 1
+// receives 1-p.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BalancedThreshold is 1 - ln 2 ≈ 0.3069. For p >= BalancedThreshold the
+// partitioning uses alpha = 1 and adapts beta; for smaller p no positive
+// beta exists (the load is too skewed for always-balanced splits) and the
+// algorithm instead sets beta = 0 and reduces alpha.
+var BalancedThreshold = 1 - math.Ln2
+
+// ErrFraction is returned when a load fraction is outside (0, 0.5].
+var ErrFraction = errors.New("core: load fraction must be in (0, 0.5]")
+
+// Probabilities bundles the AEP decision probabilities for a given load
+// fraction p.
+type Probabilities struct {
+	// P is the load fraction of partition 0 (the smaller side), in (0, 0.5].
+	P float64
+	// Alpha is the probability of performing a balanced split when two
+	// undecided peers meet.
+	Alpha float64
+	// Beta is the probability that a peer meeting a peer already decided
+	// for partition 1 decides for partition 0 (with 1-Beta it follows the
+	// contacted peer into partition 1 and obtains a cross reference from
+	// it).
+	Beta float64
+}
+
+// betaEquation is the fluid-limit relationship between p and beta on the
+// alpha = 1 branch:
+//
+//	p = 1 - (1 - 2^(-beta)) / beta
+//
+// obtained by integrating the mean-value model dy/dt = 1 - beta*y,
+// du/dt = -(1+u) up to the termination time t* = ln 2 (which is independent
+// of p — the number of interactions per peer does not depend on the load
+// skew). The function is monotonically increasing from 1-ln2 (beta -> 0) to
+// 1/2 (beta = 1).
+func betaEquation(beta float64) float64 {
+	if beta == 0 {
+		return 1 - math.Ln2
+	}
+	return 1 - (1-math.Exp2(-beta))/beta
+}
+
+// alphaEquation is the fluid-limit relationship between p and alpha on the
+// beta = 0 branch:
+//
+//	p = alpha/(2*alpha-1) * (1 - ln(2*alpha)/(2*alpha-1))
+//
+// valid for alpha in (0, 1]; the removable singularity at alpha = 1/2 has
+// the value 1/4. The function increases from 0 (alpha -> 0) to 1-ln2
+// (alpha = 1), matching betaEquation at the branch point.
+func alphaEquation(alpha float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	c := 2*alpha - 1
+	if math.Abs(c) < 1e-9 {
+		// Series expansion around c = 0: t* ≈ 1 - c/2 + c^2/3 and
+		// p ≈ alpha*(1/2 - c/3).
+		return alpha * (0.5 - c/3)
+	}
+	tstar := math.Log(2*alpha) / c
+	return alpha / c * (1 - tstar)
+}
+
+// BetaForP solves betaEquation(beta) = p for p in [1-ln2, 1/2], returning
+// beta in (0, 1]. It returns an error for p outside that range.
+func BetaForP(p float64) (float64, error) {
+	if p < BalancedThreshold-1e-12 || p > 0.5+1e-12 {
+		return 0, fmt.Errorf("core: no positive beta for p=%v (valid range [%.4f, 0.5])", p, BalancedThreshold)
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return bisect(betaEquation, p, 1e-9, 1)
+}
+
+// AlphaForP solves alphaEquation(alpha) = p for p in (0, 1-ln2], returning
+// alpha in (0, 1]. It returns an error for p outside that range.
+func AlphaForP(p float64) (float64, error) {
+	if p <= 0 || p > BalancedThreshold+1e-12 {
+		return 0, fmt.Errorf("core: alpha branch only valid for p in (0, %.4f], got %v", BalancedThreshold, p)
+	}
+	if p >= BalancedThreshold {
+		return 1, nil
+	}
+	return bisect(alphaEquation, p, 1e-9, 1)
+}
+
+// ForFraction returns the AEP probabilities for load fraction p in (0, 0.5].
+// For p >= 1-ln2 it uses alpha = 1 and the adapted beta; for smaller p it
+// uses beta = 0 and the adapted alpha (Section 3.1).
+func ForFraction(p float64) (Probabilities, error) {
+	if p <= 0 || p > 0.5+1e-12 {
+		return Probabilities{}, ErrFraction
+	}
+	if p > 0.5 {
+		p = 0.5
+	}
+	if p >= BalancedThreshold {
+		beta, err := BetaForP(p)
+		if err != nil {
+			return Probabilities{}, err
+		}
+		return Probabilities{P: p, Alpha: 1, Beta: beta}, nil
+	}
+	alpha, err := AlphaForP(p)
+	if err != nil {
+		return Probabilities{}, err
+	}
+	return Probabilities{P: p, Alpha: alpha, Beta: 0}, nil
+}
+
+// Heuristic returns the naive probabilities used for the "theory vs.
+// heuristics" ablation of Figure 6(d): functions that are qualitatively
+// similar to the analytical alpha(p) and beta(p) but not derived from the
+// model (alpha_heur(p) = 2p/(1-ln2) capped at 1, beta_heur(p) = 2p - ... the
+// paper uses alpha = p/(1-ln2) and beta = 2p; any qualitatively-similar pair
+// degrades load balancing, which is the point of the experiment).
+func Heuristic(p float64) Probabilities {
+	if p <= 0 {
+		p = 1e-6
+	}
+	if p > 0.5 {
+		p = 0.5
+	}
+	alpha := p / BalancedThreshold
+	if alpha > 1 {
+		alpha = 1
+	}
+	beta := 0.0
+	if p >= BalancedThreshold {
+		beta = 2 * (p - BalancedThreshold) / (1 - 2*BalancedThreshold)
+		if beta > 1 {
+			beta = 1
+		}
+	}
+	return Probabilities{P: p, Alpha: alpha, Beta: beta}
+}
+
+// TerminationTime returns the asymptotic (per-peer normalized) number of
+// interaction steps t* at which all peers have decided, i.e. the fluid-limit
+// total number of interactions divided by the number of peers. On the
+// alpha=1 branch t* = ln 2 independent of p (equation 1 of the paper); on
+// the beta=0 branch t* = ln(2*alpha)/(2*alpha - 1) (equation 3), which grows
+// as the skew increases.
+func TerminationTime(p float64) (float64, error) {
+	if p <= 0 || p > 0.5+1e-12 {
+		return 0, ErrFraction
+	}
+	if p >= BalancedThreshold {
+		return math.Ln2, nil
+	}
+	alpha, err := AlphaForP(p)
+	if err != nil {
+		return 0, err
+	}
+	c := 2*alpha - 1
+	if math.Abs(c) < 1e-9 {
+		return 1, nil
+	}
+	return math.Log(2*alpha) / c, nil
+}
+
+// bisect solves f(x) = target for x in (lo, hi] assuming f is monotonically
+// increasing on the interval.
+func bisect(f func(float64) float64, target, lo, hi float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if target < flo-1e-9 || target > fhi+1e-9 {
+		return 0, fmt.Errorf("core: target %v outside range [%v,%v]", target, flo, fhi)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// AlphaOf returns alpha(p) over the full range (0, 0.5]: the solved value on
+// the beta=0 branch and 1 above the branch point.
+func AlphaOf(p float64) (float64, error) {
+	pr, err := ForFraction(p)
+	if err != nil {
+		return 0, err
+	}
+	return pr.Alpha, nil
+}
+
+// BetaOf returns beta(p) over the full range (0, 0.5]: 0 on the alpha branch
+// and the solved value above the branch point.
+func BetaOf(p float64) (float64, error) {
+	pr, err := ForFraction(p)
+	if err != nil {
+		return 0, err
+	}
+	return pr.Beta, nil
+}
+
+// SecondDerivative numerically differentiates f twice at x using a central
+// finite-difference stencil with step h.
+func SecondDerivative(f func(float64) float64, x, h float64) float64 {
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// FirstDerivative numerically differentiates f at x using a central
+// difference with step h.
+func FirstDerivative(f func(float64) float64, x, h float64) float64 {
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// AlphaSecondDerivative computes alpha”(p) (Figure 3): it grows extremely
+// fast for small p, which is why sampling errors hurt most for very skewed
+// partitions and why the correction terms are needed.
+func AlphaSecondDerivative(p float64) float64 {
+	f := func(x float64) float64 {
+		if x <= 1e-6 {
+			x = 1e-6
+		}
+		if x > 0.5 {
+			x = 0.5
+		}
+		a, err := AlphaOf(x)
+		if err != nil {
+			return math.NaN()
+		}
+		return a
+	}
+	h := 1e-4
+	if p < 0.01 {
+		h = p / 10
+	}
+	return SecondDerivative(f, p, h)
+}
+
+// BetaSecondDerivative computes beta”(p) on the beta branch.
+func BetaSecondDerivative(p float64) float64 {
+	f := func(x float64) float64 {
+		if x <= 1e-6 {
+			x = 1e-6
+		}
+		if x > 0.5 {
+			x = 0.5
+		}
+		b, err := BetaOf(x)
+		if err != nil {
+			return math.NaN()
+		}
+		return b
+	}
+	return SecondDerivative(f, p, 1e-4)
+}
+
+// CorrectedTaylor returns the probabilities corrected for the systematic
+// bias introduced by estimating p from s Bernoulli samples using the
+// second-order Taylor form of the paper (equations 9 and 10):
+//
+//	alpha_corr(p) = alpha(p) - 1/2 * alpha''(p) * p(1-p)/s
+//	beta_corr(p)  = beta(p)  - 1/2 * beta''(p)  * p(1-p)/s
+//
+// The corrected values are clamped into [0,1]. With s <= 0 no correction is
+// applied. For very small sample sizes and fractions near the branch point
+// the Taylor term can overshoot (the curvature of alpha(p) is large while
+// alpha itself is bounded by 1); Corrected therefore uses the exact binomial
+// bias instead — see its documentation.
+func CorrectedTaylor(p float64, s int) (Probabilities, error) {
+	pr, err := ForFraction(p)
+	if err != nil {
+		return Probabilities{}, err
+	}
+	if s <= 0 {
+		return pr, nil
+	}
+	variance := p * (1 - p) / float64(s)
+	if pr.Alpha < 1 {
+		pr.Alpha = clamp01(pr.Alpha - 0.5*AlphaSecondDerivative(p)*variance)
+	}
+	if pr.Beta > 0 {
+		pr.Beta = clamp01(pr.Beta - 0.5*BetaSecondDerivative(p)*variance)
+	}
+	return pr, nil
+}
+
+// Corrected returns the bias-corrected probabilities for a peer whose
+// estimate of the load fraction is p, obtained from s Bernoulli samples
+// (model "COR" of Section 3.3).
+//
+// Peers using the raw probabilities evaluate alpha and beta at their noisy
+// estimate, so the population-level effective probability is
+// E[alpha(p_hat)], which differs from alpha(p) because alpha is non-linear —
+// this is the systematic shift identified in Section 3.2. The correction
+// subtracts that bias. The paper expresses it as the second-order Taylor
+// term (see CorrectedTaylor); here we evaluate the bias exactly under the
+// binomial sampling distribution,
+//
+//	alpha_corr(p) = 2*alpha(p) - E_{K~Binomial(s,p)}[alpha(K/s)],
+//
+// which coincides with the Taylor form when the expansion is valid and
+// remains well behaved for the very small sample sizes (s=10 and below)
+// used in the experiments. With s <= 0 no correction is applied.
+func Corrected(p float64, s int) (Probabilities, error) {
+	pr, err := ForFraction(p)
+	if err != nil {
+		return Probabilities{}, err
+	}
+	if s <= 0 {
+		return pr, nil
+	}
+	expAlpha, expBeta := expectedProbabilities(p, s)
+	pr.Alpha = clamp01(2*pr.Alpha - expAlpha)
+	pr.Beta = clamp01(2*pr.Beta - expBeta)
+	return pr, nil
+}
+
+// expectedProbabilities computes E[alpha(K/s)] and E[beta(K/s)] for
+// K ~ Binomial(s, p), folding estimates above 1/2 back into the canonical
+// range exactly as the decision engine does.
+func expectedProbabilities(p float64, s int) (expAlpha, expBeta float64) {
+	for k := 0; k <= s; k++ {
+		w := binomialPMF(s, k, p)
+		est := clampFraction(float64(k) / float64(s))
+		pk, err := ForFraction(est)
+		if err != nil {
+			pk = Probabilities{Alpha: 1, Beta: 1}
+		}
+		expAlpha += w * pk.Alpha
+		expBeta += w * pk.Beta
+	}
+	return expAlpha, expBeta
+}
+
+// binomialPMF returns P(K = k) for K ~ Binomial(n, p).
+func binomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	// Compute via logarithms for numerical stability.
+	logC := 0.0
+	for i := 1; i <= k; i++ {
+		logC += math.Log(float64(n-k+i)) - math.Log(float64(i))
+	}
+	logP := logC
+	if k > 0 {
+		logP += float64(k) * math.Log(p)
+	}
+	if n-k > 0 {
+		logP += float64(n-k) * math.Log(1-p)
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(logP)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

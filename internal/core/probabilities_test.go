@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetaEquationEndpoints(t *testing.T) {
+	if got := betaEquation(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("betaEquation(1) = %v, want 0.5", got)
+	}
+	if got := betaEquation(1e-9); math.Abs(got-BalancedThreshold) > 1e-6 {
+		t.Errorf("betaEquation(0+) = %v, want %v", got, BalancedThreshold)
+	}
+	if got := betaEquation(0); math.Abs(got-BalancedThreshold) > 1e-12 {
+		t.Errorf("betaEquation(0) = %v, want %v", got, BalancedThreshold)
+	}
+}
+
+func TestAlphaEquationEndpoints(t *testing.T) {
+	if got := alphaEquation(1); math.Abs(got-BalancedThreshold) > 1e-9 {
+		t.Errorf("alphaEquation(1) = %v, want %v", got, BalancedThreshold)
+	}
+	// The removable singularity at alpha = 1/2 has value 1/4.
+	if got := alphaEquation(0.5); math.Abs(got-0.25) > 1e-6 {
+		t.Errorf("alphaEquation(0.5) = %v, want 0.25", got)
+	}
+	// Continuity around the singularity.
+	if math.Abs(alphaEquation(0.5+1e-7)-alphaEquation(0.5-1e-7)) > 1e-5 {
+		t.Error("alphaEquation discontinuous at 0.5")
+	}
+	if alphaEquation(0) != 0 {
+		t.Error("alphaEquation(0) should be 0")
+	}
+	if got := alphaEquation(0.01); got <= 0 || got > 0.1 {
+		t.Errorf("alphaEquation(0.01) = %v, want small positive", got)
+	}
+}
+
+func TestAlphaBetaEquationsMonotone(t *testing.T) {
+	prev := -1.0
+	for b := 0.01; b <= 1.0; b += 0.01 {
+		v := betaEquation(b)
+		if v <= prev {
+			t.Fatalf("betaEquation not increasing at %v", b)
+		}
+		prev = v
+	}
+	prev = -1.0
+	for a := 0.01; a <= 1.0; a += 0.01 {
+		v := alphaEquation(a)
+		if v <= prev {
+			t.Fatalf("alphaEquation not increasing at %v", a)
+		}
+		prev = v
+	}
+}
+
+func TestBetaForPRoundTrip(t *testing.T) {
+	for p := BalancedThreshold; p <= 0.5; p += 0.01 {
+		beta, err := BetaForP(p)
+		if err != nil {
+			t.Fatalf("BetaForP(%v): %v", p, err)
+		}
+		if beta < 0 || beta > 1 {
+			t.Fatalf("BetaForP(%v) = %v out of [0,1]", p, beta)
+		}
+		if got := betaEquation(beta); math.Abs(got-p) > 1e-6 {
+			t.Errorf("round trip failed: betaEquation(BetaForP(%v)) = %v", p, got)
+		}
+	}
+	if _, err := BetaForP(0.2); err == nil {
+		t.Error("expected error below threshold")
+	}
+	if _, err := BetaForP(0.6); err == nil {
+		t.Error("expected error above 0.5")
+	}
+	if beta, err := BetaForP(0.5); err != nil || math.Abs(beta-1) > 1e-9 {
+		t.Errorf("BetaForP(0.5) = %v, %v", beta, err)
+	}
+}
+
+func TestAlphaForPRoundTrip(t *testing.T) {
+	for p := 0.01; p <= BalancedThreshold; p += 0.01 {
+		alpha, err := AlphaForP(p)
+		if err != nil {
+			t.Fatalf("AlphaForP(%v): %v", p, err)
+		}
+		if alpha <= 0 || alpha > 1 {
+			t.Fatalf("AlphaForP(%v) = %v out of (0,1]", p, alpha)
+		}
+		if got := alphaEquation(alpha); math.Abs(got-p) > 1e-6 {
+			t.Errorf("round trip failed: alphaEquation(AlphaForP(%v)) = %v", p, got)
+		}
+	}
+	if _, err := AlphaForP(0.4); err == nil {
+		t.Error("expected error above threshold")
+	}
+	if _, err := AlphaForP(0); err == nil {
+		t.Error("expected error at 0")
+	}
+}
+
+func TestForFraction(t *testing.T) {
+	// Above the branch point: alpha = 1, beta in (0,1].
+	pr, err := ForFraction(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Alpha != 1 || pr.Beta <= 0 || pr.Beta > 1 {
+		t.Errorf("ForFraction(0.4) = %+v", pr)
+	}
+	// Below the branch point: beta = 0, alpha in (0,1).
+	pr, err = ForFraction(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Beta != 0 || pr.Alpha <= 0 || pr.Alpha >= 1 {
+		t.Errorf("ForFraction(0.1) = %+v", pr)
+	}
+	// Balanced load: eager behaviour.
+	pr, err = ForFraction(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Alpha != 1 || math.Abs(pr.Beta-1) > 1e-9 {
+		t.Errorf("ForFraction(0.5) = %+v, want alpha=beta=1", pr)
+	}
+	// Errors.
+	if _, err := ForFraction(0); err == nil {
+		t.Error("expected error for p=0")
+	}
+	if _, err := ForFraction(0.7); err == nil {
+		t.Error("expected error for p>0.5")
+	}
+}
+
+func TestForFractionContinuityAtBranchPoint(t *testing.T) {
+	lo, err := ForFraction(BalancedThreshold - 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := ForFraction(BalancedThreshold + 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo.Alpha-1) > 1e-3 || math.Abs(hi.Alpha-1) > 1e-12 {
+		t.Errorf("alpha discontinuous at branch point: %v vs %v", lo.Alpha, hi.Alpha)
+	}
+	if lo.Beta != 0 || hi.Beta > 1e-3 {
+		t.Errorf("beta discontinuous at branch point: %v vs %v", lo.Beta, hi.Beta)
+	}
+}
+
+func TestTerminationTime(t *testing.T) {
+	// Independent of p on the balanced branch.
+	for _, p := range []float64{0.31, 0.4, 0.5} {
+		tt, err := TerminationTime(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tt-math.Ln2) > 1e-9 {
+			t.Errorf("TerminationTime(%v) = %v, want ln2", p, tt)
+		}
+	}
+	// Grows for small p.
+	t1, _ := TerminationTime(0.2)
+	t2, _ := TerminationTime(0.05)
+	if !(t2 > t1 && t1 > math.Ln2) {
+		t.Errorf("termination time should grow with skew: %v %v", t1, t2)
+	}
+	if _, err := TerminationTime(0); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestAlphaSecondDerivativeShape(t *testing.T) {
+	// Figure 3 plots alpha''(p) over p in [0.05, 0.3] with values roughly
+	// between 10 and 60: the curvature is large on the skewed branch, which
+	// is why sampling errors translate into large partitioning errors
+	// there. Our fluid-limit derivation reproduces that range, with the
+	// curvature growing towards the branch point.
+	at005 := AlphaSecondDerivative(0.05)
+	at015 := AlphaSecondDerivative(0.15)
+	at025 := AlphaSecondDerivative(0.25)
+	for _, v := range []float64{at005, at015, at025} {
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("second derivative invalid: %v", v)
+		}
+	}
+	if at025 < 10 || at025 > 200 {
+		t.Errorf("alpha''(0.25) = %v, expected the tens as in Figure 3", at025)
+	}
+	if !(at005 < at015 && at015 < at025) {
+		t.Errorf("alpha'' should grow towards the branch point: %v %v %v", at005, at015, at025)
+	}
+}
+
+func TestCorrectedReducesProbabilities(t *testing.T) {
+	// The second derivative of beta(p) on the balanced branch is positive,
+	// so the correction should reduce beta; similarly for alpha on the
+	// skewed branch.
+	plain, err := ForFraction(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := Corrected(0.35, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr.Beta >= plain.Beta {
+		t.Errorf("corrected beta %v should be below plain %v", corr.Beta, plain.Beta)
+	}
+	if corr.Alpha != 1 {
+		t.Errorf("alpha should stay 1 on the balanced branch, got %v", corr.Alpha)
+	}
+
+	plainA, _ := ForFraction(0.15)
+	corrA, err := Corrected(0.15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrA.Alpha >= plainA.Alpha {
+		t.Errorf("corrected alpha %v should be below plain %v", corrA.Alpha, plainA.Alpha)
+	}
+	// No samples means no correction.
+	same, _ := Corrected(0.35, 0)
+	if same.Beta != plain.Beta {
+		t.Error("s=0 should disable the correction")
+	}
+}
+
+func TestCorrectedStaysInRangeProperty(t *testing.T) {
+	f := func(rawP float64, rawS uint8) bool {
+		p := 0.01 + math.Mod(math.Abs(rawP), 0.49)
+		s := int(rawS%50) + 1
+		pr, err := Corrected(p, s)
+		if err != nil {
+			return false
+		}
+		return pr.Alpha >= 0 && pr.Alpha <= 1 && pr.Beta >= 0 && pr.Beta <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeuristicQualitativeShape(t *testing.T) {
+	h := Heuristic(0.1)
+	if h.Alpha <= 0 || h.Alpha >= 1 || h.Beta != 0 {
+		t.Errorf("Heuristic(0.1) = %+v", h)
+	}
+	h = Heuristic(0.5)
+	if h.Alpha != 1 || h.Beta != 1 {
+		t.Errorf("Heuristic(0.5) = %+v", h)
+	}
+	h = Heuristic(-1)
+	if h.Alpha < 0 || h.Beta < 0 {
+		t.Errorf("Heuristic(-1) = %+v", h)
+	}
+	h = Heuristic(0.9)
+	if h.Alpha != 1 || h.Beta != 1 {
+		t.Errorf("Heuristic(0.9) = %+v", h)
+	}
+}
+
+func TestHeuristicDiffersFromTheory(t *testing.T) {
+	// The whole point of Figure 6(d): the heuristic is close in shape but
+	// not equal to the analytical functions.
+	diff := 0.0
+	for p := 0.05; p <= 0.5; p += 0.05 {
+		th, err := ForFraction(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		he := Heuristic(p)
+		diff += math.Abs(th.Alpha-he.Alpha) + math.Abs(th.Beta-he.Beta)
+	}
+	if diff < 0.1 {
+		t.Errorf("heuristic too close to theory (diff=%v); ablation would be meaningless", diff)
+	}
+}
+
+func TestNumericalDerivativeHelpers(t *testing.T) {
+	sq := func(x float64) float64 { return x * x }
+	if d := FirstDerivative(sq, 3, 1e-5); math.Abs(d-6) > 1e-4 {
+		t.Errorf("FirstDerivative = %v", d)
+	}
+	if d := SecondDerivative(sq, 3, 1e-4); math.Abs(d-2) > 1e-3 {
+		t.Errorf("SecondDerivative = %v", d)
+	}
+}
+
+func TestAlphaOfBetaOfFullRange(t *testing.T) {
+	for p := 0.02; p <= 0.5; p += 0.02 {
+		a, err := AlphaOf(p)
+		if err != nil {
+			t.Fatalf("AlphaOf(%v): %v", p, err)
+		}
+		b, err := BetaOf(p)
+		if err != nil {
+			t.Fatalf("BetaOf(%v): %v", p, err)
+		}
+		if a < 0 || a > 1 || b < 0 || b > 1 {
+			t.Fatalf("out of range at p=%v: alpha=%v beta=%v", p, a, b)
+		}
+		if p < BalancedThreshold && b != 0 {
+			t.Errorf("beta should be 0 below threshold, got %v at %v", b, p)
+		}
+		if p > BalancedThreshold && a != 1 {
+			t.Errorf("alpha should be 1 above threshold, got %v at %v", a, p)
+		}
+	}
+}

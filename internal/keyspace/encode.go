@@ -1,0 +1,92 @@
+package keyspace
+
+import (
+	"math"
+	"strings"
+)
+
+// This file implements order-preserving encodings from application values
+// (strings such as inverted-file terms, unsigned integers, floats) into
+// binary keys. Order preservation is what distinguishes a data-oriented
+// overlay from a DHT: the overlay can answer prefix and range queries
+// because lexicographically adjacent values map to adjacent keys — at the
+// price of a skewed key distribution.
+
+// EncodeString maps a string to an order-preserving key of the given depth.
+// The encoding interprets the first bytes of the lower-cased string as a
+// base-256 fraction; ties beyond depth bits are truncated. Two strings that
+// share a long prefix therefore map to nearby keys, which is exactly the
+// clustering behaviour needed for prefix/range search over terms.
+func EncodeString(s string, depth int) (Key, error) {
+	if depth < 0 || depth > 64 {
+		return Key{}, ErrDepth
+	}
+	s = strings.ToLower(s)
+	var bits uint64
+	filled := 0
+	for i := 0; i < len(s) && filled < depth; i++ {
+		c := uint64(s[i])
+		take := 8
+		if depth-filled < 8 {
+			take = depth - filled
+			c >>= uint(8 - take)
+		}
+		bits = (bits << uint(take)) | c
+		filled += take
+	}
+	bits <<= uint(64 - filled)
+	// Zero-extend to the requested depth: trailing zeros keep ordering.
+	return Key{Bits: bits, Len: depth}, nil
+}
+
+// MustEncodeString is like EncodeString but panics on error.
+func MustEncodeString(s string, depth int) Key {
+	k, err := EncodeString(s, depth)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// EncodeUint64 maps an unsigned integer to an order-preserving key of the
+// given depth by left-aligning its binary representation.
+func EncodeUint64(v uint64, depth int) (Key, error) {
+	if depth < 0 || depth > 64 {
+		return Key{}, ErrDepth
+	}
+	// v is interpreted as the 64-bit fraction v/2^64, so the key is simply
+	// the high `depth` bits of v, left-aligned.
+	bits := v
+	if depth < 64 {
+		bits = v >> uint(64-depth) << uint(64-depth)
+	}
+	return Key{Bits: bits, Len: depth}, nil
+}
+
+// EncodeFloat maps an arbitrary float64 to an order-preserving key by first
+// squashing the real line monotonically into (0,1) with a logistic map and
+// then applying FromFloat. Values already in [0,1) should use FromFloat
+// directly for better resolution.
+func EncodeFloat(x float64, depth int) (Key, error) {
+	if math.IsNaN(x) {
+		x = 0
+	}
+	u := 1.0 / (1.0 + math.Exp(-x))
+	return FromFloat(u, depth)
+}
+
+// DecodePrefixString recovers the printable prefix encoded by EncodeString,
+// reading full bytes from the key. It is a diagnostic aid (keys are not
+// generally invertible once truncated).
+func DecodePrefixString(k Key) string {
+	var b strings.Builder
+	nBytes := k.Len / 8
+	for i := 0; i < nBytes; i++ {
+		c := byte(k.Bits >> uint(56-8*i))
+		if c == 0 {
+			break
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package keyspace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeStringOrderPreserving(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "omega", "aaa", "ab", "abc", "zzz"}
+	for _, a := range words {
+		for _, b := range words {
+			ka := MustEncodeString(a, 48)
+			kb := MustEncodeString(b, 48)
+			cmpStr := strings.Compare(strings.ToLower(a), strings.ToLower(b))
+			cmpKey := ka.Compare(kb)
+			// Truncation can merge strings sharing a 6-byte prefix but must
+			// never invert the order.
+			if cmpStr < 0 && cmpKey > 0 || cmpStr > 0 && cmpKey < 0 {
+				t.Errorf("order inverted for %q vs %q: %d vs %d", a, b, cmpStr, cmpKey)
+			}
+		}
+	}
+}
+
+func TestEncodeStringOrderProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 6 {
+			a = a[:6]
+		}
+		if len(b) > 6 {
+			b = b[:6]
+		}
+		ka := MustEncodeString(a, 64)
+		kb := MustEncodeString(b, 64)
+		cmpStr := strings.Compare(strings.ToLower(a), strings.ToLower(b))
+		cmpKey := ka.Compare(kb)
+		return !(cmpStr < 0 && cmpKey > 0) && !(cmpStr > 0 && cmpKey < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeStringCaseInsensitive(t *testing.T) {
+	if !MustEncodeString("Term", 32).Equal(MustEncodeString("term", 32)) {
+		t.Error("encoding should be case insensitive")
+	}
+}
+
+func TestEncodeStringDepthError(t *testing.T) {
+	if _, err := EncodeString("x", 100); err == nil {
+		t.Error("expected depth error")
+	}
+}
+
+func TestEncodeUint64Monotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := r.Uint64(), r.Uint64()
+		if a > b {
+			a, b = b, a
+		}
+		ka, err := EncodeUint64(a, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := EncodeUint64(b, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ka.Compare(kb) > 0 {
+			t.Fatalf("order inverted for %d vs %d", a, b)
+		}
+	}
+	if _, err := EncodeUint64(1, 70); err == nil {
+		t.Error("expected depth error")
+	}
+}
+
+func TestEncodeUint64FullDepth(t *testing.T) {
+	k, err := EncodeUint64(0xDEADBEEFCAFEBABE, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Bits != 0xDEADBEEFCAFEBABE || k.Len != 64 {
+		t.Error("full-depth encoding should be identity on bits")
+	}
+}
+
+func TestEncodeFloatMonotone(t *testing.T) {
+	xs := []float64{-100, -1, -0.5, 0, 0.5, 1, 10, 1000}
+	for i := 1; i < len(xs); i++ {
+		a, err := EncodeFloat(xs[i-1], 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EncodeFloat(xs[i], 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Compare(b) >= 0 {
+			t.Errorf("EncodeFloat not strictly increasing at %v -> %v", xs[i-1], xs[i])
+		}
+	}
+}
+
+func TestDecodePrefixString(t *testing.T) {
+	k := MustEncodeString("hello", 64)
+	got := DecodePrefixString(k)
+	if !strings.HasPrefix("hello", got) || len(got) == 0 {
+		t.Errorf("DecodePrefixString = %q", got)
+	}
+	if got != "hello" {
+		// 64 bits = 8 bytes, "hello" is 5 bytes so it should decode fully.
+		t.Errorf("expected full decode, got %q", got)
+	}
+}

@@ -1,0 +1,295 @@
+package keyspace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatBasic(t *testing.T) {
+	cases := []struct {
+		x     float64
+		depth int
+		want  string
+	}{
+		{0, 4, "0000"},
+		{0.5, 4, "1000"},
+		{0.25, 4, "0100"},
+		{0.75, 4, "1100"},
+		{0.875, 4, "1110"},
+		{0.999, 4, "1111"},
+		{1.0, 4, "1111"},  // clamped below 1
+		{-0.5, 4, "0000"}, // clamped at 0
+	}
+	for _, c := range cases {
+		k, err := FromFloat(c.x, c.depth)
+		if err != nil {
+			t.Fatalf("FromFloat(%v,%d): %v", c.x, c.depth, err)
+		}
+		if k.String() != c.want {
+			t.Errorf("FromFloat(%v,%d) = %q, want %q", c.x, c.depth, k.String(), c.want)
+		}
+	}
+}
+
+func TestFromFloatDepthErrors(t *testing.T) {
+	if _, err := FromFloat(0.5, -1); err == nil {
+		t.Error("expected error for negative depth")
+	}
+	if _, err := FromFloat(0.5, 65); err == nil {
+		t.Error("expected error for depth > 64")
+	}
+	if _, err := FromFloat(0.5, 64); err != nil {
+		t.Errorf("depth 64 should be valid: %v", err)
+	}
+}
+
+func TestFromStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "0", "1", "0101", "111000111", "0000000000000000"} {
+		k, err := FromString(s)
+		if err != nil {
+			t.Fatalf("FromString(%q): %v", s, err)
+		}
+		if k.String() != s {
+			t.Errorf("round trip %q -> %q", s, k.String())
+		}
+		if k.Len != len(s) {
+			t.Errorf("len %q = %d, want %d", s, k.Len, len(s))
+		}
+	}
+}
+
+func TestFromStringInvalid(t *testing.T) {
+	if _, err := FromString("01x"); err == nil {
+		t.Error("expected error for invalid character")
+	}
+	if _, err := FromString(string(make([]byte, 65))); err == nil {
+		t.Error("expected error for over-long string")
+	}
+}
+
+func TestKeyCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"0", "1", -1},
+		{"1", "0", 1},
+		{"01", "01", 0},
+		{"0", "00", -1}, // prefix is smaller
+		{"001", "01", -1},
+		{"11", "110", -1},
+		{"", "0", -1},
+	}
+	for _, c := range cases {
+		a, b := MustFromString(c.a), MustFromString(c.b)
+		if got := a.Compare(b); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := b.Compare(a); got != -c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestOrderPreservationProperty(t *testing.T) {
+	// FromFloat must be monotone: x <= y => key(x) <= key(y).
+	f := func(x, y float64) bool {
+		x = frac(x)
+		y = frac(y)
+		if x > y {
+			x, y = y, x
+		}
+		kx := MustFromFloat(x, 32)
+		ky := MustFromFloat(y, 32)
+		return kx.Compare(ky) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatRoundTripProperty(t *testing.T) {
+	// Float() must return a value within 2^-depth of the original.
+	f := func(x float64) bool {
+		x = frac(x)
+		k := MustFromFloat(x, 40)
+		diff := x - k.Float()
+		return diff >= 0 && diff < 1.0/float64(uint64(1)<<40)*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	gen := func(r *rand.Rand) Key {
+		n := r.Intn(20)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('0' + r.Intn(2))
+		}
+		return MustFromString(string(b))
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		// antisymmetry
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated for %q,%q", a, b)
+		}
+		// transitivity
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated for %q,%q,%q", a, b, c)
+		}
+		// reflexivity / equality consistency
+		if (a.Compare(b) == 0) != a.Equal(b) {
+			t.Fatalf("equal/compare mismatch for %q,%q", a, b)
+		}
+	}
+}
+
+func TestKeyBitAndTruncate(t *testing.T) {
+	k := MustFromString("101101")
+	wantBits := []int{1, 0, 1, 1, 0, 1}
+	for i, w := range wantBits {
+		if k.Bit(i) != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, k.Bit(i), w)
+		}
+	}
+	if got := k.Truncate(3).String(); got != "101" {
+		t.Errorf("Truncate(3) = %q", got)
+	}
+	if got := k.Truncate(10).String(); got != "101101" {
+		t.Errorf("Truncate(10) = %q", got)
+	}
+	if got := k.Truncate(-1).String(); got != "" {
+		t.Errorf("Truncate(-1) = %q", got)
+	}
+}
+
+func TestKeyBitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range bit index")
+		}
+	}()
+	MustFromString("01").Bit(5)
+}
+
+func TestHasPrefix(t *testing.T) {
+	k := MustFromString("10110")
+	cases := []struct {
+		p    Path
+		want bool
+	}{
+		{"", true},
+		{"1", true},
+		{"10", true},
+		{"10110", true},
+		{"101101", false}, // longer than key
+		{"11", false},
+		{"0", false},
+	}
+	for _, c := range cases {
+		if got := k.HasPrefix(c.p); got != c.want {
+			t.Errorf("HasPrefix(%q) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestKeysSortAndFilter(t *testing.T) {
+	ks := Keys{
+		MustFromString("110"),
+		MustFromString("001"),
+		MustFromString("101"),
+		MustFromString("000"),
+		MustFromString("011"),
+	}
+	ks.Sort()
+	if !sort.IsSorted(ks) {
+		t.Fatal("keys not sorted")
+	}
+	if got := ks.CountWithPrefix("0"); got != 3 {
+		t.Errorf("CountWithPrefix(0) = %d, want 3", got)
+	}
+	if got := ks.CountWithPrefix("11"); got != 1 {
+		t.Errorf("CountWithPrefix(11) = %d, want 1", got)
+	}
+	sub := ks.FilterPrefix("0")
+	if len(sub) != 3 {
+		t.Errorf("FilterPrefix(0) len = %d, want 3", len(sub))
+	}
+	for _, k := range sub {
+		if !k.HasPrefix("0") {
+			t.Errorf("filtered key %q lacks prefix", k)
+		}
+	}
+}
+
+func TestSplitFraction(t *testing.T) {
+	ks := Keys{
+		MustFromString("000"),
+		MustFromString("001"),
+		MustFromString("010"),
+		MustFromString("100"),
+	}
+	p, l, r := ks.SplitFraction(Root)
+	if l != 3 || r != 1 {
+		t.Fatalf("counts = %d,%d want 3,1", l, r)
+	}
+	if p != 0.75 {
+		t.Errorf("fraction = %v, want 0.75", p)
+	}
+	// Sub-partition "0": keys 000,001 go left, 010 goes right.
+	p, l, r = ks.SplitFraction("0")
+	if l != 2 || r != 1 || p < 0.66 || p > 0.67 {
+		t.Errorf("sub split = %v (%d,%d)", p, l, r)
+	}
+	// Empty prefix match falls back to 0.5.
+	p, l, r = ks.SplitFraction("111")
+	if p != 0.5 || l != 0 || r != 0 {
+		t.Errorf("empty split = %v (%d,%d)", p, l, r)
+	}
+}
+
+func TestKeyPathPadding(t *testing.T) {
+	k := MustFromString("11")
+	if got := k.Path(4); got != "1100" {
+		t.Errorf("Path(4) = %q, want 1100", got)
+	}
+	if got := k.Path(1); got != "1" {
+		t.Errorf("Path(1) = %q, want 1", got)
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	k, err := FromBits(0xF000000000000000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.String() != "1111" {
+		t.Errorf("FromBits = %q", k.String())
+	}
+	// Insignificant bits must be cleared so Equal works structurally.
+	k2, _ := FromBits(0xF0000000000000FF, 4)
+	if !k.Equal(k2) {
+		t.Error("insignificant bits not cleared")
+	}
+	if _, err := FromBits(0, 65); err == nil {
+		t.Error("expected depth error")
+	}
+}
+
+// frac maps an arbitrary float into [0,1) deterministically for property tests.
+func frac(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	x = x - float64(int64(x))
+	if x < 0 || x >= 1 {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,194 @@
+package keyspace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path identifies a key-space partition: the empty path denotes the whole
+// interval [0,1); appending a '0' selects the left half of the current
+// partition and a '1' the right half. Paths are exactly the peer paths of
+// the P-Grid trie: a peer with path "01" is responsible for keys whose
+// binary expansion starts with 01, i.e. the interval [0.25, 0.5).
+type Path string
+
+// Root is the empty path, denoting the full key space.
+const Root Path = ""
+
+// Valid reports whether the path consists only of '0' and '1' characters.
+func (p Path) Valid() bool {
+	for i := 0; i < len(p); i++ {
+		if p[i] != '0' && p[i] != '1' {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the length of the path, i.e. the level of the partition in
+// the bisection trie.
+func (p Path) Depth() int { return len(p) }
+
+// Child returns the path extended by one bit (0 or 1).
+func (p Path) Child(bit int) Path {
+	if bit == 0 {
+		return p + "0"
+	}
+	return p + "1"
+}
+
+// Parent returns the path with its last bit removed. The root is its own
+// parent.
+func (p Path) Parent() Path {
+	if len(p) == 0 {
+		return p
+	}
+	return p[:len(p)-1]
+}
+
+// Bit returns the i-th bit of the path as 0 or 1. It panics when i is out of
+// range.
+func (p Path) Bit(i int) int {
+	if i < 0 || i >= len(p) {
+		panic(fmt.Sprintf("keyspace: path bit index %d out of range [0,%d)", i, len(p)))
+	}
+	if p[i] == '1' {
+		return 1
+	}
+	return 0
+}
+
+// Sibling returns the path that differs from p in the last bit only. The
+// root has no sibling and is returned unchanged.
+func (p Path) Sibling() Path {
+	if len(p) == 0 {
+		return p
+	}
+	return p.FlipAt(len(p) - 1)
+}
+
+// FlipAt returns the prefix of length i+1 of p with bit i complemented.
+// This is the partition a routing-table entry at level i must point into.
+func (p Path) FlipAt(i int) Path {
+	if i < 0 || i >= len(p) {
+		panic(fmt.Sprintf("keyspace: flip index %d out of range [0,%d)", i, len(p)))
+	}
+	b := []byte(p[:i+1])
+	if b[i] == '0' {
+		b[i] = '1'
+	} else {
+		b[i] = '0'
+	}
+	return Path(b)
+}
+
+// IsPrefixOf reports whether p is a (not necessarily proper) prefix of q.
+func (p Path) IsPrefixOf(q Path) bool { return strings.HasPrefix(string(q), string(p)) }
+
+// HasPrefix reports whether q is a prefix of p.
+func (p Path) HasPrefix(q Path) bool { return strings.HasPrefix(string(p), string(q)) }
+
+// CommonPrefixLen returns the length of the longest common prefix of p and q.
+func (p Path) CommonPrefixLen(q Path) int {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		if p[i] != q[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// CommonPrefix returns the longest common prefix of p and q.
+func (p Path) CommonPrefix(q Path) Path { return p[:p.CommonPrefixLen(q)] }
+
+// SamePartition reports whether two peers with paths p and q currently
+// belong to the same partition in the sense of the construction protocol:
+// one path is a prefix of the other (Figure 2, "peers from same partition
+// or one's path is the prefix of the other").
+func (p Path) SamePartition(q Path) bool { return p.IsPrefixOf(q) || q.IsPrefixOf(p) }
+
+// Interval returns the dyadic sub-interval of [0,1) addressed by the path.
+func (p Path) Interval() Interval {
+	lo, width := 0.0, 1.0
+	for i := 0; i < len(p); i++ {
+		width /= 2
+		if p[i] == '1' {
+			lo += width
+		}
+	}
+	return Interval{Lo: lo, Hi: lo + width}
+}
+
+// MinKey returns the smallest key (of the given depth) contained in the
+// partition, i.e. the path padded with zeros.
+func (p Path) MinKey(depth int) Key {
+	k := MustFromString(string(p))
+	return k.Path(depth).key()
+}
+
+// MaxKey returns the largest key (of the given depth) contained in the
+// partition, i.e. the path padded with ones.
+func (p Path) MaxKey(depth int) Key {
+	s := string(p)
+	for len(s) < depth {
+		s += "1"
+	}
+	return MustFromString(s[:depth])
+}
+
+// key converts a path (used internally where the path length equals the
+// desired key depth) into a Key.
+func (p Path) key() Key { return MustFromString(string(p)) }
+
+// Key converts the path into a Key with one bit per path character.
+func (p Path) Key() Key { return MustFromString(string(p)) }
+
+// String returns the path as a plain string; the root prints as "ε".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "ε"
+	}
+	return string(p)
+}
+
+// Paths is a sortable slice of paths (lexicographic order).
+type Paths []Path
+
+func (s Paths) Len() int           { return len(s) }
+func (s Paths) Less(i, j int) bool { return s[i] < s[j] }
+func (s Paths) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// CoversKeySpace reports whether the set of paths forms a complete
+// partitioning of the key space: every infinite bit string has exactly one
+// path as prefix. The check is performed by verifying that the dyadic
+// intervals are disjoint and their total measure is 1.
+func CoversKeySpace(paths []Path) bool {
+	if len(paths) == 0 {
+		return false
+	}
+	seen := make(map[Path]bool, len(paths))
+	total := 0.0
+	for _, p := range paths {
+		if !p.Valid() {
+			return false
+		}
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		total += 1.0 / float64(uint64(1)<<uint(len(p)))
+	}
+	// Disjointness: no path may be a proper prefix of another.
+	for _, p := range paths {
+		for _, q := range paths {
+			if p != q && p.IsPrefixOf(q) {
+				return false
+			}
+		}
+	}
+	return total > 1-1e-9 && total < 1+1e-9
+}

@@ -1,0 +1,199 @@
+package keyspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathChildrenAndParent(t *testing.T) {
+	p := Root
+	if p.Depth() != 0 {
+		t.Fatal("root depth")
+	}
+	l := p.Child(0)
+	r := p.Child(1)
+	if l != "0" || r != "1" {
+		t.Fatalf("children = %q,%q", l, r)
+	}
+	if l.Parent() != Root || r.Parent() != Root {
+		t.Error("parent of level-1 path should be root")
+	}
+	if Root.Parent() != Root {
+		t.Error("root parent should be root")
+	}
+	deep := Path("0101")
+	if deep.Child(1) != "01011" {
+		t.Errorf("Child = %q", deep.Child(1))
+	}
+	if deep.Parent() != "010" {
+		t.Errorf("Parent = %q", deep.Parent())
+	}
+}
+
+func TestPathSiblingAndFlip(t *testing.T) {
+	p := Path("0110")
+	if p.Sibling() != "0111" {
+		t.Errorf("Sibling = %q", p.Sibling())
+	}
+	if Root.Sibling() != Root {
+		t.Error("root sibling should be root")
+	}
+	if p.FlipAt(0) != "1" {
+		t.Errorf("FlipAt(0) = %q", p.FlipAt(0))
+	}
+	if p.FlipAt(2) != "010" {
+		t.Errorf("FlipAt(2) = %q", p.FlipAt(2))
+	}
+	if p.FlipAt(3) != "0111" {
+		t.Errorf("FlipAt(3) = %q", p.FlipAt(3))
+	}
+}
+
+func TestPathFlipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Path("01").FlipAt(2)
+}
+
+func TestPathBit(t *testing.T) {
+	p := Path("101")
+	if p.Bit(0) != 1 || p.Bit(1) != 0 || p.Bit(2) != 1 {
+		t.Error("Bit values wrong")
+	}
+}
+
+func TestPathPrefixRelations(t *testing.T) {
+	a, b := Path("01"), Path("0110")
+	if !a.IsPrefixOf(b) || a.IsPrefixOf(Path("00")) {
+		t.Error("IsPrefixOf wrong")
+	}
+	if !b.HasPrefix(a) || b.HasPrefix(Path("00")) {
+		t.Error("HasPrefix wrong")
+	}
+	if !a.SamePartition(b) || !b.SamePartition(a) {
+		t.Error("SamePartition should hold for prefix relation")
+	}
+	if a.SamePartition(Path("00")) {
+		t.Error("SamePartition should not hold for diverging paths")
+	}
+	if got := Path("0110").CommonPrefixLen(Path("0101")); got != 2 {
+		t.Errorf("CommonPrefixLen = %d", got)
+	}
+	if got := Path("0110").CommonPrefix(Path("0101")); got != "01" {
+		t.Errorf("CommonPrefix = %q", got)
+	}
+}
+
+func TestPathInterval(t *testing.T) {
+	cases := []struct {
+		p      Path
+		lo, hi float64
+	}{
+		{Root, 0, 1},
+		{"0", 0, 0.5},
+		{"1", 0.5, 1},
+		{"01", 0.25, 0.5},
+		{"110", 0.75, 0.875},
+	}
+	for _, c := range cases {
+		iv := c.p.Interval()
+		if iv.Lo != c.lo || iv.Hi != c.hi {
+			t.Errorf("Interval(%q) = %v, want [%g,%g)", c.p, iv, c.lo, c.hi)
+		}
+	}
+}
+
+func TestPathIntervalConsistentWithKeyPrefix(t *testing.T) {
+	// A key has prefix p iff its float value lies in p's interval (up to
+	// boundary effects avoided by the generator).
+	f := func(x float64, raw uint8) bool {
+		x = frac(x)
+		depth := int(raw%6) + 1
+		k := MustFromFloat(x, 32)
+		p := MustFromFloat(x, depth).Path(depth)
+		return k.HasPrefix(p) && p.Interval().Contains(k.Float())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathMinMaxKey(t *testing.T) {
+	p := Path("10")
+	min := p.MinKey(4)
+	max := p.MaxKey(4)
+	if min.String() != "1000" {
+		t.Errorf("MinKey = %q", min)
+	}
+	if max.String() != "1011" {
+		t.Errorf("MaxKey = %q", max)
+	}
+	if min.Compare(max) >= 0 {
+		t.Error("MinKey should be < MaxKey")
+	}
+}
+
+func TestPathValid(t *testing.T) {
+	if !Path("0101").Valid() || !Root.Valid() {
+		t.Error("valid path reported invalid")
+	}
+	if Path("01a1").Valid() {
+		t.Error("invalid path reported valid")
+	}
+}
+
+func TestCoversKeySpace(t *testing.T) {
+	cases := []struct {
+		paths []Path
+		want  bool
+	}{
+		{[]Path{"0", "1"}, true},
+		{[]Path{"00", "01", "1"}, true},
+		{[]Path{"00", "01", "10", "11"}, true},
+		{[]Path{"0", "10"}, false},              // missing 11
+		{[]Path{"0", "1", "11"}, false},         // overlap
+		{[]Path{"0", "0", "1"}, false},          // duplicate
+		{[]Path{}, false},                       // empty
+		{[]Path{Root}, true},                    // single root covers all
+		{[]Path{"0", "1x"}, false},              // invalid path
+		{[]Path{"000", "001", "01", "1"}, true}, // unbalanced trie
+	}
+	for _, c := range cases {
+		if got := CoversKeySpace(c.paths); got != c.want {
+			t.Errorf("CoversKeySpace(%v) = %v, want %v", c.paths, got, c.want)
+		}
+	}
+}
+
+func TestCoversKeySpaceRandomTrieProperty(t *testing.T) {
+	// Randomly grown bisection tries always cover the key space.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		leaves := []Path{Root}
+		for i := 0; i < 20; i++ {
+			j := r.Intn(len(leaves))
+			p := leaves[j]
+			if len(p) >= 16 {
+				continue
+			}
+			leaves = append(leaves[:j], leaves[j+1:]...)
+			leaves = append(leaves, p.Child(0), p.Child(1))
+		}
+		if !CoversKeySpace(leaves) {
+			t.Fatalf("trial %d: random trie does not cover key space: %v", trial, leaves)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if Root.String() != "ε" {
+		t.Errorf("root string = %q", Root.String())
+	}
+	if Path("010").String() != "010" {
+		t.Error("path string wrong")
+	}
+}

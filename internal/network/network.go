@@ -1,0 +1,84 @@
+// Package network provides the message-passing substrate the overlay runs
+// on. Two transports are provided:
+//
+//   - Sim, an in-process simulated network where every peer endpoint is
+//     served by goroutines and messages experience configurable latency and
+//     loss. This stands in for the PlanetLab deployment of Section 5 (see
+//     DESIGN.md, "Substitutions") and supports taking peers offline to model
+//     churn.
+//   - TCP, a real transport over net.Conn with a length-prefixed JSON codec,
+//     used by the cmd/pgridnode binary to run an actual distributed
+//     deployment of the protocol.
+//
+// Both expose the same request/response Transport interface so the overlay
+// protocol code is transport agnostic.
+package network
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Addr identifies a peer endpoint. For the simulated network it is an
+// opaque peer name; for the TCP transport it is a host:port address.
+type Addr string
+
+// Handler processes an incoming request and produces a response. Handlers
+// are invoked concurrently; implementations must be safe for concurrent
+// use.
+type Handler func(ctx context.Context, from Addr, req any) (resp any, err error)
+
+// Transport is a synchronous request/response endpoint.
+type Transport interface {
+	// Addr returns the endpoint's own address.
+	Addr() Addr
+	// Call sends a request to the peer at the given address and waits for
+	// its response or a failure.
+	Call(ctx context.Context, to Addr, req any) (any, error)
+	// Handle registers the handler invoked for incoming requests. It must
+	// be called before the endpoint receives traffic.
+	Handle(h Handler)
+	// Close shuts the endpoint down; subsequent calls fail.
+	Close() error
+}
+
+// WireSizer lets message types report their approximate wire size in bytes
+// so the simulated network can account bandwidth the way the PlanetLab
+// experiment measured it. Messages that do not implement WireSizer are
+// accounted with DefaultMessageSize bytes.
+type WireSizer interface {
+	WireSize() int
+}
+
+// DefaultMessageSize is the bandwidth accounted for messages that do not
+// implement WireSizer (roughly a small control message with headers).
+const DefaultMessageSize = 64
+
+// Errors returned by transports.
+var (
+	// ErrUnreachable indicates the destination endpoint does not exist, is
+	// offline, or the message was lost.
+	ErrUnreachable = errors.New("network: peer unreachable")
+	// ErrClosed indicates the local endpoint has been closed.
+	ErrClosed = errors.New("network: endpoint closed")
+	// ErrNoHandler indicates the remote endpoint has no registered handler.
+	ErrNoHandler = errors.New("network: no handler registered")
+)
+
+// RemoteError wraps an error string returned by a remote handler so callers
+// can distinguish transport failures from application-level failures.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return fmt.Sprintf("remote error: %s", e.Msg) }
+
+// messageSize returns the accounted size of a request or response value.
+func messageSize(v any) int {
+	if ws, ok := v.(WireSizer); ok {
+		return ws.WireSize()
+	}
+	return DefaultMessageSize
+}

@@ -1,0 +1,266 @@
+package network
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pgrid/internal/stats"
+)
+
+// LatencyModel produces a one-way message delay for a (from, to) pair.
+type LatencyModel func(from, to Addr, r *rand.Rand) time.Duration
+
+// ConstantLatency returns a model with a fixed one-way delay.
+func ConstantLatency(d time.Duration) LatencyModel {
+	return func(Addr, Addr, *rand.Rand) time.Duration { return d }
+}
+
+// PlanetLabLatency mimics the widely varying delays observed on the shared
+// PlanetLab testbed: a base delay plus heavy-tailed jitter.
+func PlanetLabLatency(base time.Duration) LatencyModel {
+	return func(_, _ Addr, r *rand.Rand) time.Duration {
+		// Exponential jitter with mean equal to the base produces the long
+		// tail responsible for the high absolute latencies of Figure 9.
+		jitter := time.Duration(r.ExpFloat64() * float64(base))
+		return base/2 + jitter
+	}
+}
+
+// SimConfig parameterises a simulated network.
+type SimConfig struct {
+	// Latency is the one-way delay model; nil means no delay.
+	Latency LatencyModel
+	// LossProbability is the probability that a request or a response is
+	// dropped (each direction independently).
+	LossProbability float64
+	// Seed drives the network's internal randomness.
+	Seed int64
+	// TimeScale divides all delays, letting experiments replay the paper's
+	// multi-hour timeline in seconds of wall-clock time (e.g. a TimeScale
+	// of 600 turns 10 minutes into one second). Zero or negative means 1.
+	TimeScale float64
+}
+
+// Sim is an in-process network connecting any number of endpoints. It is
+// safe for concurrent use.
+type Sim struct {
+	cfg SimConfig
+
+	mu        sync.RWMutex
+	endpoints map[Addr]*SimEndpoint
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+
+	// Bytes and Messages account total traffic (requests and responses).
+	Bytes    stats.Counter
+	Messages stats.Counter
+}
+
+// NewSim creates a simulated network.
+func NewSim(cfg SimConfig) *Sim {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	return &Sim{
+		cfg:       cfg,
+		endpoints: make(map[Addr]*SimEndpoint),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// SimEndpoint is one peer's endpoint on a simulated network.
+type SimEndpoint struct {
+	net  *Sim
+	addr Addr
+
+	mu      sync.RWMutex
+	handler Handler
+	online  bool
+	closed  bool
+
+	// BytesSent counts the traffic this endpoint originated (requests it
+	// sent plus responses it produced), matching the per-peer bandwidth
+	// accounting of Figure 8.
+	BytesSent stats.Counter
+}
+
+// Endpoint creates (or returns) the endpoint with the given address. New
+// endpoints start online.
+func (s *Sim) Endpoint(addr Addr) *SimEndpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ep, ok := s.endpoints[addr]; ok {
+		return ep
+	}
+	ep := &SimEndpoint{net: s, addr: addr, online: true}
+	s.endpoints[addr] = ep
+	return ep
+}
+
+// Lookup returns the endpoint for addr, or nil if it does not exist.
+func (s *Sim) Lookup(addr Addr) *SimEndpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.endpoints[addr]
+}
+
+// Addrs returns the addresses of all endpoints ever created.
+func (s *Sim) Addrs() []Addr {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Addr, 0, len(s.endpoints))
+	for a := range s.endpoints {
+		out = append(out, a)
+	}
+	return out
+}
+
+// SetOnline switches an endpoint online or offline (churn). Calls to or
+// from an offline endpoint fail with ErrUnreachable.
+func (s *Sim) SetOnline(addr Addr, online bool) {
+	if ep := s.Lookup(addr); ep != nil {
+		ep.mu.Lock()
+		ep.online = online
+		ep.mu.Unlock()
+	}
+}
+
+// OnlineCount returns the number of endpoints currently online.
+func (s *Sim) OnlineCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ep := range s.endpoints {
+		ep.mu.RLock()
+		if ep.online && !ep.closed {
+			n++
+		}
+		ep.mu.RUnlock()
+	}
+	return n
+}
+
+// random runs f under the network's RNG lock (rand.Rand is not safe for
+// concurrent use).
+func (s *Sim) random(f func(r *rand.Rand)) {
+	s.rngMu.Lock()
+	f(s.rng)
+	s.rngMu.Unlock()
+}
+
+// delay returns the scaled one-way latency for a message.
+func (s *Sim) delay(from, to Addr) time.Duration {
+	if s.cfg.Latency == nil {
+		return 0
+	}
+	var d time.Duration
+	s.random(func(r *rand.Rand) { d = s.cfg.Latency(from, to, r) })
+	return time.Duration(float64(d) / s.cfg.TimeScale)
+}
+
+// lost reports whether a message is dropped.
+func (s *Sim) lost() bool {
+	if s.cfg.LossProbability <= 0 {
+		return false
+	}
+	var l bool
+	s.random(func(r *rand.Rand) { l = r.Float64() < s.cfg.LossProbability })
+	return l
+}
+
+// Addr implements Transport.
+func (e *SimEndpoint) Addr() Addr { return e.addr }
+
+// Handle implements Transport.
+func (e *SimEndpoint) Handle(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+// Online reports whether the endpoint is currently online.
+func (e *SimEndpoint) Online() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.online && !e.closed
+}
+
+// Close implements Transport.
+func (e *SimEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return nil
+}
+
+// Call implements Transport: it delivers the request to the destination
+// endpoint's handler after the simulated latency and returns its response
+// after the return latency.
+func (e *SimEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
+	if !e.Online() {
+		return nil, ErrClosed
+	}
+	dst := e.net.Lookup(to)
+	if dst == nil {
+		return nil, ErrUnreachable
+	}
+	// Account request traffic.
+	sz := float64(messageSize(req))
+	e.net.Bytes.Add(sz)
+	e.net.Messages.Add(1)
+	e.BytesSent.Add(sz)
+
+	if err := sleepCtx(ctx, e.net.delay(e.addr, to)); err != nil {
+		return nil, err
+	}
+	if e.net.lost() {
+		return nil, ErrUnreachable
+	}
+	dst.mu.RLock()
+	handler := dst.handler
+	online := dst.online && !dst.closed
+	dst.mu.RUnlock()
+	if !online {
+		return nil, ErrUnreachable
+	}
+	if handler == nil {
+		return nil, ErrNoHandler
+	}
+	resp, err := handler(ctx, e.addr, req)
+	if err != nil {
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	// Account response traffic, attributed to the responder.
+	rsz := float64(messageSize(resp))
+	e.net.Bytes.Add(rsz)
+	e.net.Messages.Add(1)
+	dst.BytesSent.Add(rsz)
+
+	if err := sleepCtx(ctx, e.net.delay(to, e.addr)); err != nil {
+		return nil, err
+	}
+	if e.net.lost() {
+		return nil, ErrUnreachable
+	}
+	if !e.Online() {
+		return nil, ErrClosed
+	}
+	return resp, nil
+}
+
+// sleepCtx sleeps for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

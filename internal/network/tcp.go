@@ -1,0 +1,288 @@
+package network
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+)
+
+// This file implements a real TCP transport with a length-prefixed JSON
+// codec, so the same overlay protocol that runs in the simulator can run as
+// an actual distributed system (cmd/pgridnode). Message payload types must
+// be registered with RegisterType so they can be reconstructed on the
+// receiving side.
+
+// typeRegistry maps symbolic type names to constructors of pointer values
+// the JSON decoder can fill.
+var (
+	typeRegistryMu sync.RWMutex
+	typeRegistry   = map[string]reflect.Type{}
+)
+
+// RegisterType registers a payload type under a symbolic name for use with
+// the TCP transport. The sample value is used only for its type; register
+// the value type (not a pointer). Registering the same name twice with the
+// same type is a no-op; re-registering a name with a different type panics,
+// as that is always a programming error.
+func RegisterType(name string, sample any) {
+	t := reflect.TypeOf(sample)
+	typeRegistryMu.Lock()
+	defer typeRegistryMu.Unlock()
+	if prev, ok := typeRegistry[name]; ok && prev != t {
+		panic(fmt.Sprintf("network: type name %q already registered with %v", name, prev))
+	}
+	typeRegistry[name] = t
+}
+
+// lookupType resolves a registered type name.
+func lookupType(name string) (reflect.Type, bool) {
+	typeRegistryMu.RLock()
+	defer typeRegistryMu.RUnlock()
+	t, ok := typeRegistry[name]
+	return t, ok
+}
+
+// typeName returns the registered name for a value's type, or "" if it is
+// not registered.
+func typeName(v any) string {
+	t := reflect.TypeOf(v)
+	typeRegistryMu.RLock()
+	defer typeRegistryMu.RUnlock()
+	for name, rt := range typeRegistry {
+		if rt == t {
+			return name
+		}
+	}
+	return ""
+}
+
+// envelope is the wire format of the TCP transport.
+type envelope struct {
+	From Addr            `json:"from"`
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body"`
+	Err  string          `json:"err,omitempty"`
+}
+
+// maxFrame bounds the size of a single message frame (16 MiB).
+const maxFrame = 16 << 20
+
+// writeFrame writes a length-prefixed JSON frame.
+func writeFrame(w io.Writer, env envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("network: encode frame: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("network: frame too large: %d bytes", len(body))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads a length-prefixed JSON frame.
+func readFrame(r io.Reader) (envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return envelope{}, fmt.Errorf("network: frame too large: %d bytes", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return envelope{}, fmt.Errorf("network: decode frame: %w", err)
+	}
+	return env, nil
+}
+
+// encodePayload wraps a payload value into an envelope.
+func encodePayload(from Addr, v any) (envelope, error) {
+	name := typeName(v)
+	if name == "" {
+		return envelope{}, fmt.Errorf("network: payload type %T not registered", v)
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return envelope{}, fmt.Errorf("network: encode payload: %w", err)
+	}
+	return envelope{From: from, Type: name, Body: body}, nil
+}
+
+// decodePayload reconstructs the payload value of an envelope.
+func decodePayload(env envelope) (any, error) {
+	t, ok := lookupType(env.Type)
+	if !ok {
+		return nil, fmt.Errorf("network: unknown payload type %q", env.Type)
+	}
+	ptr := reflect.New(t)
+	if err := json.Unmarshal(env.Body, ptr.Interface()); err != nil {
+		return nil, fmt.Errorf("network: decode payload %q: %w", env.Type, err)
+	}
+	return ptr.Elem().Interface(), nil
+}
+
+// TCPEndpoint is a Transport backed by a TCP listener. Each Call opens a
+// short-lived connection to the destination, sends one request frame and
+// reads one response frame.
+type TCPEndpoint struct {
+	listener net.Listener
+	addr     Addr
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+
+	wg sync.WaitGroup
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// ListenTCP creates a TCP endpoint bound to the given address ("host:port";
+// use ":0" to pick a free port).
+func ListenTCP(addr string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listen: %w", err)
+	}
+	ep := &TCPEndpoint{
+		listener:    l,
+		addr:        Addr(l.Addr().String()),
+		DialTimeout: 5 * time.Second,
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr implements Transport.
+func (e *TCPEndpoint) Addr() Addr { return e.addr }
+
+// Handle implements Transport.
+func (e *TCPEndpoint) Handle(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+// Close implements Transport.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.listener.Close()
+	e.wg.Wait()
+	return err
+}
+
+// acceptLoop serves incoming connections until the listener closes.
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer conn.Close()
+			e.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one incoming request/response exchange.
+func (e *TCPEndpoint) serveConn(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	br := bufio.NewReader(conn)
+	env, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	e.mu.RLock()
+	handler := e.handler
+	closed := e.closed
+	e.mu.RUnlock()
+
+	var out envelope
+	switch {
+	case closed:
+		out = envelope{From: e.addr, Err: ErrClosed.Error()}
+	case handler == nil:
+		out = envelope{From: e.addr, Err: ErrNoHandler.Error()}
+	default:
+		req, derr := decodePayload(env)
+		if derr != nil {
+			out = envelope{From: e.addr, Err: derr.Error()}
+			break
+		}
+		resp, herr := handler(context.Background(), env.From, req)
+		if herr != nil {
+			out = envelope{From: e.addr, Err: herr.Error()}
+			break
+		}
+		out, err = encodePayload(e.addr, resp)
+		if err != nil {
+			out = envelope{From: e.addr, Err: err.Error()}
+		}
+	}
+	_ = writeFrame(conn, out)
+}
+
+// Call implements Transport.
+func (e *TCPEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	env, err := encodePayload(e.addr, req)
+	if err != nil {
+		return nil, err
+	}
+	d := net.Dialer{Timeout: e.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	} else {
+		_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	}
+	if err := writeFrame(conn, env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	respEnv, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	if respEnv.Err != "" {
+		return nil, &RemoteError{Msg: respEnv.Err}
+	}
+	return decodePayload(respEnv)
+}

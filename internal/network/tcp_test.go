@@ -1,0 +1,182 @@
+package network
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+type tcpPing struct {
+	Value int
+}
+
+type tcpPong struct {
+	Value int
+}
+
+func init() {
+	RegisterType("test.ping", tcpPing{})
+	RegisterType("test.pong", tcpPong{})
+}
+
+func TestRegisterType(t *testing.T) {
+	// Re-registering the same type is a no-op.
+	RegisterType("test.ping", tcpPing{})
+	if name := typeName(tcpPing{}); name != "test.ping" {
+		t.Errorf("typeName = %q", name)
+	}
+	if name := typeName(42); name != "" {
+		t.Errorf("unregistered type should have no name, got %q", name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on conflicting registration")
+		}
+	}()
+	RegisterType("test.ping", tcpPong{})
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	env, err := encodePayload("me", tcpPing{Value: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := decodePayload(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(tcpPing).Value != 7 {
+		t.Errorf("round trip = %v", v)
+	}
+}
+
+func TestEncodeUnregisteredPayload(t *testing.T) {
+	if _, err := encodePayload("me", struct{ X int }{1}); err == nil {
+		t.Error("expected error for unregistered payload type")
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	if _, err := decodePayload(envelope{Type: "nope", Body: []byte("{}")}); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	server, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	server.Handle(func(_ context.Context, from Addr, req any) (any, error) {
+		ping := req.(tcpPing)
+		return tcpPong{Value: ping.Value * 2}, nil
+	})
+
+	client, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := client.Call(ctx, server.Addr(), tcpPing{Value: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(tcpPong).Value != 42 {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	server, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	server.Handle(func(context.Context, Addr, any) (any, error) {
+		return nil, errors.New("nope")
+	})
+	client, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	_, err = client.Call(context.Background(), server.Addr(), tcpPing{})
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "nope") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPNoHandler(t *testing.T) {
+	server, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Call(context.Background(), server.Addr(), tcpPing{}); err == nil {
+		t.Error("expected error when no handler is registered")
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	client, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.DialTimeout = 200 * time.Millisecond
+	if _, err := client.Call(context.Background(), "127.0.0.1:1", tcpPing{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPCallAfterClose(t *testing.T) {
+	ep, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Errorf("double close should be harmless: %v", err)
+	}
+	if _, err := ep.Call(context.Background(), "127.0.0.1:1", tcpPing{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("call after close: %v", err)
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("expected error for oversized frame")
+	}
+}
+
+func TestRemoteErrorMessage(t *testing.T) {
+	e := &RemoteError{Msg: "x"}
+	if !strings.Contains(e.Error(), "x") {
+		t.Error("error message should contain cause")
+	}
+}

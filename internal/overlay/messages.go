@@ -1,0 +1,246 @@
+// Package overlay implements the P-Grid peer: the trie-structured overlay
+// node with its routing table and data store, the decentralized construction
+// protocol driven by random peer encounters (exchange/split, replicate,
+// refer — Figure 2 of the paper), and exact-match plus range query
+// processing on the constructed overlay.
+package overlay
+
+import (
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/replication"
+	"pgrid/internal/routing"
+)
+
+// Message type names registered for the TCP transport.
+const (
+	msgExchangeRequest  = "pgrid.exchange.request"
+	msgExchangeResponse = "pgrid.exchange.response"
+	msgQueryRequest     = "pgrid.query.request"
+	msgQueryResponse    = "pgrid.query.response"
+	msgRangeRequest     = "pgrid.range.request"
+	msgRangeResponse    = "pgrid.range.response"
+	msgReplicateRequest = "pgrid.replicate.request"
+	msgReplicateReply   = "pgrid.replicate.response"
+	msgPingRequest      = "pgrid.ping.request"
+	msgPingResponse     = "pgrid.ping.response"
+)
+
+func init() {
+	network.RegisterType(msgExchangeRequest, ExchangeRequest{})
+	network.RegisterType(msgExchangeResponse, ExchangeResponse{})
+	network.RegisterType(msgQueryRequest, QueryRequest{})
+	network.RegisterType(msgQueryResponse, QueryResponse{})
+	network.RegisterType(msgRangeRequest, RangeRequest{})
+	network.RegisterType(msgRangeResponse, RangeResponse{})
+	network.RegisterType(msgReplicateRequest, ReplicateRequest{})
+	network.RegisterType(msgReplicateReply, ReplicateResponse{})
+	network.RegisterType(msgPingRequest, PingRequest{})
+	network.RegisterType(msgPingResponse, PingResponse{})
+}
+
+// Action describes the outcome of an exchange interaction.
+type Action string
+
+// Exchange outcomes (Figure 2).
+const (
+	// ActionSplit means the two peers split the current partition between
+	// them (divide and conquer).
+	ActionSplit Action = "split"
+	// ActionExtend means the initiator extended its path after meeting a
+	// peer that had already decided (rules 3/4 of AEP).
+	ActionExtend Action = "extend"
+	// ActionReplicate means the peers became (or already were) replicas of
+	// the same partition and reconciled their content.
+	ActionReplicate Action = "replicate"
+	// ActionRefer means the peers belong to different partitions; routing
+	// tables were exchanged and the initiator was referred to another peer.
+	ActionRefer Action = "refer"
+	// ActionNone means the interaction had no effect (e.g. a balanced split
+	// was not performed because of the alpha probability).
+	ActionNone Action = "none"
+)
+
+// ExchangeRequest is sent by a peer initiating a construction interaction.
+type ExchangeRequest struct {
+	// From is the initiator's address.
+	From network.Addr
+	// Path is the initiator's current path.
+	Path keyspace.Path
+	// Estimate is the initiator's estimate of the fraction of the current
+	// partition's data that falls into sub-partition 0.
+	Estimate float64
+	// Items are the initiator's data items for the current partition
+	// (needed for content exchange on splits and replication).
+	Items []replication.Item
+	// RoutingPath and RoutingRefs are a snapshot of the initiator's routing
+	// table (exchanged to add redundancy and randomization).
+	RoutingPath keyspace.Path
+	RoutingRefs [][]routing.Ref
+	// Replicas is the initiator's current replica list.
+	Replicas []network.Addr
+	// Done reports whether the initiator considers its construction
+	// converged (used for termination detection).
+	Done bool
+}
+
+// WireSize implements network.WireSizer.
+func (r ExchangeRequest) WireSize() int { return messageBytes(len(r.Items), refCount(r.RoutingRefs)) }
+
+// ExchangeResponse is the contacted peer's reply.
+type ExchangeResponse struct {
+	// Action is the interaction outcome.
+	Action Action
+	// From is the responder's address.
+	From network.Addr
+	// ResponderPath is the responder's (possibly new) path.
+	ResponderPath keyspace.Path
+	// NewPath, when non-empty, is the path the initiator must adopt.
+	NewPath keyspace.Path
+	// NewPathSet marks NewPath as meaningful even when it equals the root.
+	NewPathSet bool
+	// Items are data items handed over to the initiator.
+	Items []replication.Item
+	// TakenOver reports that the responder absorbed the initiator's items
+	// that are not covered by the initiator's new path, so the initiator
+	// may drop them.
+	TakenOver bool
+	// Refs are routing references the initiator should add, keyed by level.
+	Refs []LevelRef
+	// RoutingPath and RoutingRefs snapshot the responder's routing table.
+	RoutingPath keyspace.Path
+	RoutingRefs [][]routing.Ref
+	// Replicas is the responder's replica list (for replica discovery).
+	Replicas []network.Addr
+	// Referral is a peer the initiator should contact next (refer action).
+	Referral network.Addr
+	// ResponderDone reports the responder's convergence state.
+	ResponderDone bool
+}
+
+// WireSize implements network.WireSizer.
+func (r ExchangeResponse) WireSize() int {
+	return messageBytes(len(r.Items), refCount(r.RoutingRefs)+len(r.Refs))
+}
+
+// LevelRef is a routing reference tagged with its level.
+type LevelRef struct {
+	Level int
+	Ref   routing.Ref
+}
+
+// QueryRequest asks the receiving peer to resolve an exact-match query.
+type QueryRequest struct {
+	Key keyspace.Key
+	// Hops counts the routing hops taken so far.
+	Hops int
+	// TTL bounds the remaining hops.
+	TTL int
+}
+
+// WireSize implements network.WireSizer.
+func (QueryRequest) WireSize() int { return 96 }
+
+// QueryResponse carries the query result.
+type QueryResponse struct {
+	// Found reports whether the responsible peer was reached.
+	Found bool
+	// Items are the data items stored under the queried key.
+	Items []replication.Item
+	// Hops is the total number of routing hops used.
+	Hops int
+	// Responsible is the address of the peer that answered.
+	Responsible network.Addr
+	// ResponsiblePath is that peer's path.
+	ResponsiblePath keyspace.Path
+}
+
+// WireSize implements network.WireSizer.
+func (r QueryResponse) WireSize() int { return messageBytes(len(r.Items), 0) }
+
+// RangeRequest asks for all items with keys in [Lo, Hi).
+type RangeRequest struct {
+	Lo, Hi keyspace.Key
+	// HiUnbounded marks a range that extends to the end of the key space.
+	HiUnbounded bool
+	Hops        int
+	TTL         int
+}
+
+// WireSize implements network.WireSizer.
+func (RangeRequest) WireSize() int { return 128 }
+
+// RangeResponse carries a (partial) range query result.
+type RangeResponse struct {
+	Items []replication.Item
+	// Hops is the maximal hop count over all branches of the query.
+	Hops int
+	// Partitions is the number of distinct partitions that contributed.
+	Partitions int
+	// Incomplete reports that some branch of the query could not be
+	// resolved (e.g. all references to a sub-tree were offline).
+	Incomplete bool
+}
+
+// WireSize implements network.WireSizer.
+func (r RangeResponse) WireSize() int { return messageBytes(len(r.Items), 0) }
+
+// ReplicateRequest pushes items to another peer during the pre-construction
+// replication phase, or runs anti-entropy between replicas afterwards.
+type ReplicateRequest struct {
+	From  network.Addr
+	Path  keyspace.Path
+	Items []replication.Item
+	// AntiEntropy requests the responder to send back items the initiator
+	// is missing.
+	AntiEntropy bool
+	// Replicas is the initiator's replica list for gossip-style discovery.
+	Replicas []network.Addr
+}
+
+// WireSize implements network.WireSizer.
+func (r ReplicateRequest) WireSize() int { return messageBytes(len(r.Items), 0) }
+
+// ReplicateResponse acknowledges replication and optionally returns missing
+// items.
+type ReplicateResponse struct {
+	Accepted int
+	Items    []replication.Item
+	Replicas []network.Addr
+	Path     keyspace.Path
+}
+
+// WireSize implements network.WireSizer.
+func (r ReplicateResponse) WireSize() int { return messageBytes(len(r.Items), 0) }
+
+// PingRequest probes a peer for liveness and its current path.
+type PingRequest struct{ From network.Addr }
+
+// WireSize implements network.WireSizer.
+func (PingRequest) WireSize() int { return 32 }
+
+// PingResponse answers a ping.
+type PingResponse struct {
+	Path keyspace.Path
+	Done bool
+}
+
+// WireSize implements network.WireSizer.
+func (PingResponse) WireSize() int { return 48 }
+
+// messageBytes approximates the wire size of a protocol message carrying
+// nItems data items and nRefs routing references: a fixed header plus ~24
+// bytes per item (8-byte key, length, short value) and ~20 bytes per
+// reference.
+func messageBytes(nItems, nRefs int) int {
+	return 64 + 24*nItems + 20*nRefs
+}
+
+// refCount counts the references of a routing snapshot.
+func refCount(levels [][]routing.Ref) int {
+	n := 0
+	for _, l := range levels {
+		n += len(l)
+	}
+	return n
+}

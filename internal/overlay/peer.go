@@ -1,0 +1,275 @@
+package overlay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pgrid/internal/core"
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/replication"
+	"pgrid/internal/routing"
+	"pgrid/internal/stats"
+)
+
+// Config parameterises a P-Grid peer.
+type Config struct {
+	// MaxKeys is d_max: a partition holding more keys than this is
+	// considered overloaded and eligible for splitting.
+	MaxKeys int
+	// MinReplicas is n_min: the minimal number of replica peers per
+	// partition; splits only happen while the estimated replica count
+	// leaves at least MinReplicas on each side.
+	MinReplicas int
+	// MaxDepth bounds the peer's path length (0 means 32).
+	MaxDepth int
+	// MaxRefs is the number of routing references kept per level.
+	MaxRefs int
+	// Samples is the number of local keys sampled when estimating load
+	// fractions (0 = use all local keys).
+	Samples int
+	// UseCorrection selects the bias-corrected decision probabilities.
+	UseCorrection bool
+	// UseHeuristic selects the naive heuristic probabilities (Figure 6(d)
+	// ablation).
+	UseHeuristic bool
+	// DoneAfterIdle is the number of consecutive unproductive interactions
+	// after which a peer considers its construction converged (paper: a
+	// fixed small number such as 2).
+	DoneAfterIdle int
+	// QueryTTL bounds the number of routing hops per query (0 means 64).
+	QueryTTL int
+	// Seed drives the peer's local randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the paper's simulations:
+// n_min = 5 and d_max = 10*n_min, with AEP probabilities.
+func DefaultConfig() Config {
+	return Config{
+		MaxKeys:       50,
+		MinReplicas:   5,
+		MaxRefs:       routing.DefaultMaxRefs,
+		DoneAfterIdle: 2,
+	}
+}
+
+// normalize fills in defaults for zero-valued fields.
+func (c Config) normalize() Config {
+	if c.MaxKeys <= 0 {
+		c.MaxKeys = 50
+	}
+	if c.MinReplicas <= 0 {
+		c.MinReplicas = 5
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 32
+	}
+	if c.MaxRefs <= 0 {
+		c.MaxRefs = routing.DefaultMaxRefs
+	}
+	if c.DoneAfterIdle <= 0 {
+		c.DoneAfterIdle = 2
+	}
+	if c.QueryTTL <= 0 {
+		c.QueryTTL = 64
+	}
+	return c
+}
+
+// Metrics aggregates a peer's protocol activity for the evaluation figures.
+type Metrics struct {
+	// Interactions is the number of construction interactions initiated.
+	Interactions stats.Counter
+	// KeysMoved counts data items sent or received during construction
+	// (Figure 6(f)).
+	KeysMoved stats.Counter
+	// Queries and QueryHops count exact-match queries answered locally or
+	// forwarded, and the hops they took.
+	Queries   stats.Counter
+	QueryHops stats.Counter
+	// MaintenanceBytes and QueryBytes separate bandwidth by purpose
+	// (Figure 8).
+	MaintenanceBytes stats.Counter
+	QueryBytes       stats.Counter
+}
+
+// Peer is one P-Grid node.
+type Peer struct {
+	cfg       Config
+	transport network.Transport
+	decider   core.Decider
+
+	mu       sync.Mutex
+	table    *routing.Table
+	store    *replication.Store
+	replicas map[network.Addr]bool
+	idle     int
+	done     bool
+	rng      *rand.Rand
+
+	// Metrics are exported counters; they are updated without holding mu.
+	Metrics Metrics
+}
+
+// New creates a peer bound to the given transport.
+func New(cfg Config, transport network.Transport) *Peer {
+	cfg = cfg.normalize()
+	p := &Peer{
+		cfg:       cfg,
+		transport: transport,
+		decider: core.Decider{
+			Samples:       cfg.Samples,
+			UseCorrection: cfg.UseCorrection,
+			UseHeuristic:  cfg.UseHeuristic,
+		},
+		table:    routing.New(cfg.MaxRefs, cfg.Seed),
+		store:    replication.NewStore(),
+		replicas: make(map[network.Addr]bool),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	p.table.SetOwner(transport.Addr())
+	transport.Handle(p.handle)
+	return p
+}
+
+// Addr returns the peer's network address.
+func (p *Peer) Addr() network.Addr { return p.transport.Addr() }
+
+// Path returns the peer's current path.
+func (p *Peer) Path() keyspace.Path { return p.table.Path() }
+
+// Store returns the peer's data store.
+func (p *Peer) Store() *replication.Store { return p.store }
+
+// Table returns the peer's routing table.
+func (p *Peer) Table() *routing.Table { return p.table }
+
+// Config returns the peer's configuration.
+func (p *Peer) Config() Config { return p.cfg }
+
+// Replicas returns the addresses of the peers currently known to replicate
+// this peer's partition.
+func (p *Peer) Replicas() []network.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]network.Addr, 0, len(p.replicas))
+	for a := range p.replicas {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Done reports whether the peer considers its part of the construction
+// converged.
+func (p *Peer) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+// AddItems loads data items into the peer's store (the peer's initial local
+// data before index construction).
+func (p *Peer) AddItems(items []replication.Item) {
+	p.store.AddAll(items)
+}
+
+// handle dispatches incoming protocol messages.
+func (p *Peer) handle(ctx context.Context, from network.Addr, req any) (any, error) {
+	switch m := req.(type) {
+	case ExchangeRequest:
+		return p.handleExchange(m), nil
+	case QueryRequest:
+		return p.handleQuery(ctx, m), nil
+	case RangeRequest:
+		return p.handleRange(ctx, m), nil
+	case ReplicateRequest:
+		return p.handleReplicate(m), nil
+	case PingRequest:
+		return PingResponse{Path: p.Path(), Done: p.Done()}, nil
+	default:
+		return nil, fmt.Errorf("overlay: unknown request type %T", req)
+	}
+}
+
+// errNotResponsible is returned by query handling when routing cannot make
+// progress.
+var errNotResponsible = errors.New("overlay: no route towards responsible peer")
+
+// random returns a random float using the peer's RNG under the state lock's
+// protection (callers must hold p.mu).
+func (p *Peer) randomLocked() float64 { return p.rng.Float64() }
+
+// markProductiveLocked resets the idle counter after a state-changing
+// interaction (callers must hold p.mu).
+func (p *Peer) markProductiveLocked() {
+	p.idle = 0
+	p.done = false
+}
+
+// markIdleLocked records an unproductive interaction and flips the peer to
+// done when the threshold is reached (callers must hold p.mu).
+func (p *Peer) markIdleLocked() {
+	p.idle++
+	if p.idle >= p.cfg.DoneAfterIdle {
+		p.done = true
+	}
+}
+
+// addReplicaLocked records a replica peer (callers must hold p.mu).
+func (p *Peer) addReplicaLocked(a network.Addr) {
+	if a == "" || a == p.Addr() {
+		return
+	}
+	p.replicas[a] = true
+}
+
+// clearReplicasLocked forgets the replica list, which becomes stale when the
+// peer's path changes (callers must hold p.mu).
+func (p *Peer) clearReplicasLocked() {
+	p.replicas = make(map[network.Addr]bool)
+}
+
+// snapshotReplicasLocked returns the replica list (callers must hold p.mu).
+func (p *Peer) snapshotReplicasLocked() []network.Addr {
+	out := make([]network.Addr, 0, len(p.replicas))
+	for a := range p.replicas {
+		out = append(out, a)
+	}
+	return out
+}
+
+// handleReplicate serves the pre-construction replication push and replica
+// anti-entropy.
+func (p *Peer) handleReplicate(req ReplicateRequest) ReplicateResponse {
+	accepted := p.store.AddAll(req.Items)
+	p.Metrics.KeysMoved.Add(float64(len(req.Items)))
+	resp := ReplicateResponse{Accepted: accepted, Path: p.Path()}
+	p.mu.Lock()
+	if req.From != "" && req.Path.SamePartition(p.table.Path()) {
+		p.addReplicaLocked(req.From)
+	}
+	for _, r := range req.Replicas {
+		if r != p.Addr() {
+			p.addReplicaLocked(r)
+		}
+	}
+	resp.Replicas = p.snapshotReplicasLocked()
+	p.mu.Unlock()
+	if req.AntiEntropy {
+		// Send back the items the initiator appears to be missing within
+		// the shared partition.
+		initiator := replication.NewStore()
+		initiator.AddAll(req.Items)
+		for _, it := range p.store.ItemsWithPrefix(req.Path) {
+			if len(initiator.Lookup(it.Key)) == 0 {
+				resp.Items = append(resp.Items, it)
+			}
+		}
+		p.Metrics.KeysMoved.Add(float64(len(resp.Items)))
+	}
+	return resp
+}

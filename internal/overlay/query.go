@@ -1,0 +1,211 @@
+package overlay
+
+import (
+	"context"
+	"sort"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/replication"
+)
+
+// This file implements query processing on the constructed overlay: exact
+// key lookups by prefix routing (resolve the key bit by bit, forwarding to a
+// routing reference as soon as the key diverges from the local path) and
+// range queries by recursive fan-out into every sub-tree overlapping the
+// range.
+
+// QueryResult is the outcome of an exact-match query.
+type QueryResult struct {
+	// Items are the data items stored under the key at the responsible
+	// peer.
+	Items []replication.Item
+	// Hops is the number of routing hops used to reach the responsible
+	// peer (0 if the local peer was responsible).
+	Hops int
+	// Responsible is the peer that answered.
+	Responsible network.Addr
+}
+
+// Query resolves an exact-match query for the given key, starting at this
+// peer.
+func (p *Peer) Query(ctx context.Context, key keyspace.Key) (QueryResult, error) {
+	resp, err := p.resolveQuery(ctx, QueryRequest{Key: key, TTL: p.cfg.QueryTTL})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if !resp.Found {
+		return QueryResult{}, errNotResponsible
+	}
+	p.Metrics.Queries.Add(1)
+	p.Metrics.QueryHops.Add(float64(resp.Hops))
+	return QueryResult{Items: resp.Items, Hops: resp.Hops, Responsible: resp.Responsible}, nil
+}
+
+// handleQuery serves a query received from another peer.
+func (p *Peer) handleQuery(ctx context.Context, req QueryRequest) QueryResponse {
+	resp, err := p.resolveQuery(ctx, req)
+	if err != nil {
+		return QueryResponse{Found: false, Hops: req.Hops}
+	}
+	return resp
+}
+
+// resolveQuery answers the query locally if this peer is responsible for
+// the key, and otherwise forwards it to a routing reference at the level
+// where the key diverges from the local path. Stale references (offline
+// peers) are removed and alternative references tried, which is what keeps
+// the success rate high under churn.
+func (p *Peer) resolveQuery(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	if p.table.Responsible(req.Key) {
+		return QueryResponse{
+			Found:           true,
+			Items:           p.store.Lookup(req.Key),
+			Hops:            req.Hops,
+			Responsible:     p.Addr(),
+			ResponsiblePath: p.Path(),
+		}, nil
+	}
+	if req.TTL <= 0 {
+		return QueryResponse{}, errNotResponsible
+	}
+	_, level, _ := p.table.NextHop(req.Key)
+	refs := p.table.Refs(level)
+	// Shuffle the candidate references so alternative access paths share
+	// the load.
+	p.mu.Lock()
+	p.rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+	p.mu.Unlock()
+	forward := QueryRequest{Key: req.Key, Hops: req.Hops + 1, TTL: req.TTL - 1}
+	for _, ref := range refs {
+		p.Metrics.QueryBytes.Add(float64(forward.WireSize()))
+		raw, err := p.transport.Call(ctx, ref.Addr, forward)
+		if err != nil {
+			// Remove the stale reference and try an alternative.
+			p.table.Remove(ref.Addr)
+			continue
+		}
+		resp, ok := raw.(QueryResponse)
+		if !ok {
+			continue
+		}
+		p.Metrics.QueryBytes.Add(float64(resp.WireSize()))
+		if resp.Found {
+			return resp, nil
+		}
+	}
+	return QueryResponse{}, errNotResponsible
+}
+
+// RangeResult is the outcome of a range query.
+type RangeResult struct {
+	// Items are all items found with keys in the range, in key order.
+	Items []replication.Item
+	// Hops is the maximal hop count over the branches of the query.
+	Hops int
+	// Partitions is the number of distinct partitions that contributed.
+	Partitions int
+	// Incomplete reports that some sub-tree of the range could not be
+	// reached.
+	Incomplete bool
+}
+
+// RangeQuery returns all items with keys in [lo, hi), fanning the query out
+// to every partition overlapping the range (a "shower" query in P-Grid
+// terms: the local peer answers for its own partition and forwards a
+// restricted sub-range to one reference per overlapping complementary
+// sub-tree).
+func (p *Peer) RangeQuery(ctx context.Context, r keyspace.Range) (RangeResult, error) {
+	req := RangeRequest{Lo: r.Lo, Hi: r.Hi, HiUnbounded: r.HiUnbounded, TTL: p.cfg.QueryTTL}
+	resp := p.handleRange(ctx, req)
+	items := dedupeItems(resp.Items)
+	p.Metrics.Queries.Add(1)
+	p.Metrics.QueryHops.Add(float64(resp.Hops))
+	return RangeResult{Items: items, Hops: resp.Hops, Partitions: resp.Partitions, Incomplete: resp.Incomplete}, nil
+}
+
+// handleRange serves a range query: collect local items in the range and
+// recursively forward the parts of the range that belong to complementary
+// sub-trees of the local path.
+func (p *Peer) handleRange(ctx context.Context, req RangeRequest) RangeResponse {
+	r := keyspace.Range{Lo: req.Lo, Hi: req.Hi, HiUnbounded: req.HiUnbounded}
+	out := RangeResponse{Hops: req.Hops, Partitions: 1}
+	out.Items = append(out.Items, p.store.ItemsInRange(r)...)
+	p.Metrics.QueryBytes.Add(float64(out.WireSize()))
+	if req.TTL <= 0 {
+		out.Incomplete = true
+		return out
+	}
+	path := p.Path()
+	for level := 0; level < path.Depth(); level++ {
+		sub := path.FlipAt(level)
+		if !r.OverlapsPath(sub) {
+			continue
+		}
+		// Restrict the forwarded range to the complementary sub-tree so
+		// every partition is queried exactly once.
+		iv := sub.Interval()
+		lo, hi := r.Lo, r.Hi
+		unbounded := r.HiUnbounded
+		subLo := keyspace.MustFromFloat(iv.Lo, keyspace.DefaultDepth)
+		subHi := keyspace.MustFromFloat(iv.Hi, keyspace.DefaultDepth)
+		if subLo.Compare(lo) > 0 {
+			lo = subLo
+		}
+		if iv.Hi < 1 && (unbounded || subHi.Compare(hi) < 0) {
+			hi = subHi
+			unbounded = false
+		}
+		forward := RangeRequest{Lo: lo, Hi: hi, HiUnbounded: unbounded, Hops: req.Hops + 1, TTL: req.TTL - 1}
+		refs := p.table.Refs(level)
+		answered := false
+		for _, ref := range refs {
+			p.Metrics.QueryBytes.Add(float64(forward.WireSize()))
+			raw, err := p.transport.Call(ctx, ref.Addr, forward)
+			if err != nil {
+				p.table.Remove(ref.Addr)
+				continue
+			}
+			resp, ok := raw.(RangeResponse)
+			if !ok {
+				continue
+			}
+			out.Items = append(out.Items, resp.Items...)
+			out.Partitions += resp.Partitions
+			if resp.Hops > out.Hops {
+				out.Hops = resp.Hops
+			}
+			if resp.Incomplete {
+				out.Incomplete = true
+			}
+			answered = true
+			break
+		}
+		if !answered {
+			out.Incomplete = true
+		}
+	}
+	return out
+}
+
+// dedupeItems removes duplicate (key, value) pairs (replicas can return the
+// same item via different branches) and sorts by key.
+func dedupeItems(items []replication.Item) []replication.Item {
+	seen := make(map[string]bool, len(items))
+	out := items[:0]
+	for _, it := range items {
+		k := it.Key.String() + "\x00" + it.Value
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		c := out[i].Key.Compare(out[j].Key)
+		if c != 0 {
+			return c < 0
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

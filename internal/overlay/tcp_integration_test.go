@@ -1,0 +1,168 @@
+package overlay
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/replication"
+)
+
+// TestOverlayOverTCP runs the construction protocol and queries over the
+// real TCP transport, exercising the same code path as cmd/pgridnode.
+func TestOverlayOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration test")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cfg := Config{MaxKeys: 4, MinReplicas: 1, Seed: 1}
+	var peers []*Peer
+	var endpoints []*network.TCPEndpoint
+	for i := 0; i < 3; i++ {
+		ep, err := network.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		pcfg := cfg
+		pcfg.Seed = int64(i + 1)
+		peers = append(peers, New(pcfg, ep))
+		endpoints = append(endpoints, ep)
+	}
+	// Load distinct uniform items on every peer, remembering each peer's
+	// own original items for the replication phase.
+	own := make([][]replication.Item, len(peers))
+	for i, p := range peers {
+		for k := 0; k < 8; k++ {
+			own[i] = append(own[i], replication.Item{
+				Key:   keyspace.MustFromFloat(float64(i*8+k)/24.0, 32),
+				Value: fmt.Sprintf("tcp-item-%d-%d", i, k),
+			})
+		}
+		p.AddItems(own[i])
+	}
+	// Pre-construction replication phase: each peer replicates its own
+	// items to its ring successor (MinReplicas = 1).
+	for i, p := range peers {
+		target := peers[(i+1)%len(peers)].Addr()
+		if err := p.ReplicateItems(ctx, own[i], []network.Addr{target}); err != nil {
+			t.Fatalf("replicate over tcp: %v", err)
+		}
+	}
+	// Peers 1 and 2 interact with peer 0 over TCP until the partitions form.
+	for round := 0; round < 12; round++ {
+		for i := 1; i < 3; i++ {
+			if _, err := peers[i].Interact(ctx, peers[0].Addr()); err != nil {
+				t.Fatalf("interact over tcp: %v", err)
+			}
+		}
+		if peers[0].Path().Depth() > 0 && peers[1].Path().Depth() > 0 && peers[2].Path().Depth() > 0 {
+			break
+		}
+	}
+	split := false
+	for _, p := range peers {
+		if p.Path().Depth() > 0 {
+			split = true
+		}
+	}
+	if !split {
+		t.Error("no peer extended its path over the TCP transport")
+	}
+	// Query every original key from peer 2: routing over TCP should locate
+	// most of them (items can only be missed when they were orphaned at a
+	// peer whose partition no longer covers them).
+	found := 0
+	for i := 0; i < 24; i++ {
+		key := keyspace.MustFromFloat(float64(i)/24.0, 32)
+		res, err := peers[2].Query(ctx, key)
+		if err == nil && len(res.Items) > 0 {
+			found++
+		}
+	}
+	if found < 10 {
+		t.Errorf("only %d of 24 items located over the TCP transport", found)
+	}
+}
+
+// TestExchangeResponderBehind exercises the branch where the contacted peer
+// is still at a shallower path than the initiator and must extend itself.
+func TestExchangeResponderBehind(t *testing.T) {
+	sim := network.NewSim(network.SimConfig{Seed: 20})
+	cfg := Config{MaxKeys: 4, MinReplicas: 1, Seed: 20}
+	deep := New(cfg, sim.Endpoint("deep"))
+	shallow := New(cfg, sim.Endpoint("shallow"))
+	other := New(cfg, sim.Endpoint("other"))
+
+	// The deep peer has already split to "0", the shallow one is at the
+	// root with data, the other peer serves as the deep peer's reference.
+	deep.Table().SetPath("0")
+	deep.Table().Add(0, refFor(other))
+	other.Table().SetPath("1")
+	for i := 0; i < 6; i++ {
+		shallow.AddItems([]replication.Item{{Key: keyspace.MustFromFloat(float64(i)/6, 32), Value: fmt.Sprintf("s%d", i)}})
+		deep.AddItems([]replication.Item{{Key: keyspace.MustFromFloat(float64(i)/12, 32), Value: fmt.Sprintf("d%d", i)}})
+	}
+	// The deep peer initiates: from its perspective the responder (shallow)
+	// is behind and must extend its own path by the AEP rules.
+	if _, err := deep.Interact(context.Background(), "shallow"); err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Path().Depth() != 1 {
+		t.Errorf("shallow peer should have extended its path, got %q", shallow.Path())
+	}
+	// Referential integrity: the shallow peer must know a peer of the
+	// complementary partition at level 0.
+	if len(shallow.Table().Refs(0)) == 0 {
+		t.Error("extended peer has no level-0 reference")
+	}
+}
+
+// TestExchangeInitiatorBehindFollowsMajority exercises rule 4's indirect
+// reference hand-over (the initiator follows the responder into the
+// majority and receives a reference from the responder's routing table).
+func TestExchangeInitiatorBehindFollowsMajority(t *testing.T) {
+	sim := network.NewSim(network.SimConfig{Seed: 21})
+	cfg := Config{MaxKeys: 1000, MinReplicas: 1, Seed: 21}
+	undecided := New(cfg, sim.Endpoint("undecided"))
+	decided := New(cfg, sim.Endpoint("decided"))
+	other := New(cfg, sim.Endpoint("other"))
+	other.Table().SetPath("1")
+
+	// The decided peer sits on the majority side "0" (all data is below
+	// 0.5) and owns a reference into "1".
+	decided.Table().SetPath("0")
+	decided.Table().Add(0, refFor(other))
+	for i := 0; i < 10; i++ {
+		k := keyspace.MustFromFloat(float64(i)/25, 32) // all in [0, 0.4)
+		undecided.AddItems([]replication.Item{{Key: k, Value: fmt.Sprintf("u%d", i)}})
+		decided.AddItems([]replication.Item{{Key: k, Value: fmt.Sprintf("d%d", i)}})
+	}
+	// With the whole load in sub-partition 0, the minority is 1 and beta is
+	// (close to) zero, so the initiator must follow the responder into "0"
+	// and obtain the reference to "other".
+	if _, err := undecided.Interact(context.Background(), "decided"); err != nil {
+		t.Fatal(err)
+	}
+	if undecided.Path() != "0" {
+		t.Fatalf("initiator path = %q, want 0", undecided.Path())
+	}
+	refs := undecided.Table().Refs(0)
+	if len(refs) == 0 {
+		t.Fatal("initiator received no reference into the complementary partition")
+	}
+	foundOther := false
+	for _, r := range refs {
+		if r.Addr == "other" {
+			foundOther = true
+		}
+	}
+	if !foundOther {
+		t.Errorf("initiator should have been handed the responder's reference, got %v", refs)
+	}
+}

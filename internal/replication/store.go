@@ -1,0 +1,266 @@
+// Package replication provides the data-replication substrate of the
+// overlay: per-peer data stores, anti-entropy reconciliation between
+// replicas of the same partition, and the maximum-likelihood estimator of
+// the number of replicas in a partition that the construction protocol uses
+// in place of global knowledge (Section 4.2).
+package replication
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"pgrid/internal/keyspace"
+)
+
+// Item is one stored data item: an indexed key plus an opaque value (for the
+// information-retrieval application the value is a document identifier, for
+// the data-management application a tuple reference).
+type Item struct {
+	Key   keyspace.Key
+	Value string
+}
+
+// Store is a peer's local data store. It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	items map[string][]Item // indexed by key bit string
+	count int
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{items: make(map[string][]Item)}
+}
+
+// Add inserts an item. Duplicate (key, value) pairs are ignored so that
+// replica reconciliation is idempotent.
+func (s *Store) Add(it Item) bool {
+	ks := it.Key.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.items[ks] {
+		if existing.Value == it.Value {
+			return false
+		}
+	}
+	s.items[ks] = append(s.items[ks], it)
+	s.count++
+	return true
+}
+
+// AddAll inserts a batch of items and returns how many were new.
+func (s *Store) AddAll(items []Item) int {
+	n := 0
+	for _, it := range items {
+		if s.Add(it) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of stored items.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Keys returns the distinct keys present in the store.
+func (s *Store) Keys() keyspace.Keys {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(keyspace.Keys, 0, len(s.items))
+	for ks := range s.items {
+		out = append(out, keyspace.MustFromString(ks))
+	}
+	out.Sort()
+	return out
+}
+
+// Items returns all items ordered by key.
+func (s *Store) Items() []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Item, 0, s.count)
+	for _, its := range s.items {
+		out = append(out, its...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		c := out[i].Key.Compare(out[j].Key)
+		if c != 0 {
+			return c < 0
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Lookup returns the items stored under the exact key.
+func (s *Store) Lookup(k keyspace.Key) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Item(nil), s.items[k.String()]...)
+}
+
+// ItemsWithPrefix returns the items whose keys start with the given path.
+func (s *Store) ItemsWithPrefix(p keyspace.Path) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Item
+	for ks, its := range s.items {
+		if keyspace.MustFromString(ks).HasPrefix(p) {
+			out = append(out, its...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
+	return out
+}
+
+// ItemsInRange returns the items whose keys fall into the range.
+func (s *Store) ItemsInRange(r keyspace.Range) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Item
+	for ks, its := range s.items {
+		if r.ContainsKey(keyspace.MustFromString(ks)) {
+			out = append(out, its...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
+	return out
+}
+
+// CountWithPrefix returns the number of items under the given path.
+func (s *Store) CountWithPrefix(p keyspace.Path) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for ks, its := range s.items {
+		if keyspace.MustFromString(ks).HasPrefix(p) {
+			n += len(its)
+		}
+	}
+	return n
+}
+
+// RemovePrefix removes and returns every item whose key starts with the
+// path (used to hand a sub-partition's content over to its new owner during
+// a split).
+func (s *Store) RemovePrefix(p keyspace.Path) []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var removed []Item
+	for ks, its := range s.items {
+		if keyspace.MustFromString(ks).HasPrefix(p) {
+			removed = append(removed, its...)
+			s.count -= len(its)
+			delete(s.items, ks)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i].Key.Compare(removed[j].Key) < 0 })
+	return removed
+}
+
+// RetainPrefix drops every item whose key does not start with the path,
+// returning the removed items (handed over to the counterpart in a split).
+func (s *Store) RetainPrefix(p keyspace.Path) []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var removed []Item
+	for ks, its := range s.items {
+		if !keyspace.MustFromString(ks).HasPrefix(p) {
+			removed = append(removed, its...)
+			s.count -= len(its)
+			delete(s.items, ks)
+		}
+	}
+	return removed
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	c.AddAll(s.Items())
+	return c
+}
+
+// Diff returns the items present in the store but missing from the other
+// store (by key and value).
+func (s *Store) Diff(other *Store) []Item {
+	otherItems := make(map[string]map[string]bool)
+	for _, it := range other.Items() {
+		ks := it.Key.String()
+		if otherItems[ks] == nil {
+			otherItems[ks] = make(map[string]bool)
+		}
+		otherItems[ks][it.Value] = true
+	}
+	var out []Item
+	for _, it := range s.Items() {
+		if !otherItems[it.Key.String()][it.Value] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Reconcile performs anti-entropy between two replica stores: both end up
+// with the union of their items. It returns the number of items transferred
+// in each direction (for bandwidth accounting).
+func Reconcile(a, b *Store) (toA, toB int) {
+	missingInB := a.Diff(b)
+	missingInA := b.Diff(a)
+	toB = b.AddAll(missingInB)
+	toA = a.AddAll(missingInA)
+	return toA, toB
+}
+
+// OverlapCount returns the number of distinct keys two key sets share.
+func OverlapCount(a, b keyspace.Keys) int {
+	set := make(map[uint64]map[int]bool, len(a))
+	for _, k := range a {
+		if set[k.Bits] == nil {
+			set[k.Bits] = make(map[int]bool)
+		}
+		set[k.Bits][k.Len] = true
+	}
+	n := 0
+	seen := make(map[uint64]map[int]bool)
+	for _, k := range b {
+		if set[k.Bits][k.Len] && !seen[k.Bits][k.Len] {
+			if seen[k.Bits] == nil {
+				seen[k.Bits] = make(map[int]bool)
+			}
+			seen[k.Bits][k.Len] = true
+			n++
+		}
+	}
+	return n
+}
+
+// EstimateReplicas is the maximum-likelihood estimate of the number of
+// replica peers in the current partition, derived from the key-set overlap
+// of two peers that meet in a balanced split (Section 4.2). Before the
+// indexing process starts every data key is replicated nmin times; if two
+// peers hold n1 and n2 keys of the partition and share `overlap` of them,
+// the capture-recapture estimate of the number of distinct keys is
+// n1*n2/overlap, each replicated nmin times, spread over peers holding
+// about sqrt(n1*n2) keys each:
+//
+//	replicas ≈ nmin * sqrt(n1*n2) / overlap
+//
+// In particular, identical key sets of any size yield nmin, matching the
+// paper's example. A zero overlap (disjoint samples) indicates many more
+// replicas than nmin; we return 2*nmin*sqrt(n1*n2) as a conservative cap.
+func EstimateReplicas(n1, n2, overlap, nmin int) float64 {
+	if n1 <= 0 || n2 <= 0 || nmin <= 0 {
+		return float64(nmin)
+	}
+	g := math.Sqrt(float64(n1) * float64(n2))
+	if overlap <= 0 {
+		return 2 * float64(nmin) * g
+	}
+	return float64(nmin) * g / float64(overlap)
+}

@@ -1,0 +1,246 @@
+package replication
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pgrid/internal/keyspace"
+)
+
+func item(key string, val string) Item {
+	return Item{Key: keyspace.MustFromString(key), Value: val}
+}
+
+func TestStoreAddAndLookup(t *testing.T) {
+	s := NewStore()
+	if !s.Add(item("0101", "doc1")) {
+		t.Error("first add should succeed")
+	}
+	if s.Add(item("0101", "doc1")) {
+		t.Error("duplicate add should be ignored")
+	}
+	if !s.Add(item("0101", "doc2")) {
+		t.Error("same key different value should be stored")
+	}
+	if s.Len() != 2 {
+		t.Errorf("len = %d", s.Len())
+	}
+	got := s.Lookup(keyspace.MustFromString("0101"))
+	if len(got) != 2 {
+		t.Errorf("lookup = %v", got)
+	}
+	if len(s.Lookup(keyspace.MustFromString("1111"))) != 0 {
+		t.Error("missing key should return nothing")
+	}
+}
+
+func TestStoreKeysSortedAndDistinct(t *testing.T) {
+	s := NewStore()
+	s.AddAll([]Item{item("11", "a"), item("00", "b"), item("11", "c"), item("01", "d")})
+	keys := s.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("distinct keys = %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1].Compare(keys[i]) >= 0 {
+			t.Error("keys not sorted")
+		}
+	}
+}
+
+func TestStorePrefixAndRangeQueries(t *testing.T) {
+	s := NewStore()
+	s.AddAll([]Item{item("000", "a"), item("001", "b"), item("010", "c"), item("100", "d"), item("111", "e")})
+	if got := s.ItemsWithPrefix("0"); len(got) != 3 {
+		t.Errorf("prefix 0 items = %d", len(got))
+	}
+	if got := s.CountWithPrefix("1"); got != 2 {
+		t.Errorf("prefix 1 count = %d", got)
+	}
+	r := keyspace.NewRange(keyspace.MustFromString("001"), keyspace.MustFromString("101"))
+	got := s.ItemsInRange(r)
+	if len(got) != 3 { // 001, 010, 100
+		t.Errorf("range items = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key.Compare(got[i].Key) > 0 {
+			t.Error("range result not sorted")
+		}
+	}
+}
+
+func TestRetainPrefix(t *testing.T) {
+	s := NewStore()
+	s.AddAll([]Item{item("00", "a"), item("01", "b"), item("10", "c"), item("11", "d")})
+	removed := s.RetainPrefix("0")
+	if len(removed) != 2 {
+		t.Errorf("removed = %v", removed)
+	}
+	if s.Len() != 2 {
+		t.Errorf("remaining = %d", s.Len())
+	}
+	for _, it := range s.Items() {
+		if !it.Key.HasPrefix("0") {
+			t.Error("retained item outside prefix")
+		}
+	}
+}
+
+func TestRemovePrefix(t *testing.T) {
+	s := NewStore()
+	s.AddAll([]Item{item("00", "a"), item("01", "b"), item("10", "c")})
+	removed := s.RemovePrefix("0")
+	if len(removed) != 2 {
+		t.Errorf("removed = %v", removed)
+	}
+	if s.Len() != 1 || len(s.ItemsWithPrefix("0")) != 0 {
+		t.Error("items under prefix should be gone")
+	}
+	if len(s.RemovePrefix("0")) != 0 {
+		t.Error("second removal should return nothing")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewStore()
+	s.Add(item("01", "a"))
+	c := s.Clone()
+	c.Add(item("10", "b"))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("clone not independent")
+	}
+}
+
+func TestDiffAndReconcile(t *testing.T) {
+	a := NewStore()
+	b := NewStore()
+	a.AddAll([]Item{item("00", "x"), item("01", "y")})
+	b.AddAll([]Item{item("01", "y"), item("11", "z")})
+	if d := a.Diff(b); len(d) != 1 || d[0].Value != "x" {
+		t.Errorf("diff = %v", d)
+	}
+	toA, toB := Reconcile(a, b)
+	if toA != 1 || toB != 1 {
+		t.Errorf("transferred = %d,%d", toA, toB)
+	}
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Errorf("after reconcile: %d,%d", a.Len(), b.Len())
+	}
+	// Idempotent.
+	toA, toB = Reconcile(a, b)
+	if toA != 0 || toB != 0 {
+		t.Error("second reconcile should transfer nothing")
+	}
+}
+
+func TestReconcilePropertyUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := NewStore(), NewStore()
+		union := map[string]bool{}
+		for i := 0; i < 30; i++ {
+			it := Item{Key: keyspace.MustFromFloat(r.Float64(), 8), Value: fmt.Sprintf("v%d", r.Intn(5))}
+			union[it.Key.String()+"/"+it.Value] = true
+			switch r.Intn(3) {
+			case 0:
+				a.Add(it)
+			case 1:
+				b.Add(it)
+			default:
+				a.Add(it)
+				b.Add(it)
+			}
+		}
+		Reconcile(a, b)
+		return a.Len() == len(union) && b.Len() == len(union)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Add(Item{Key: keyspace.MustFromFloat(float64(i)/200, 16), Value: fmt.Sprintf("g%d", g)})
+				s.Keys()
+				s.CountWithPrefix("0")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestOverlapCount(t *testing.T) {
+	a := keyspace.Keys{keyspace.MustFromString("00"), keyspace.MustFromString("01"), keyspace.MustFromString("10")}
+	b := keyspace.Keys{keyspace.MustFromString("01"), keyspace.MustFromString("10"), keyspace.MustFromString("11"), keyspace.MustFromString("01")}
+	if got := OverlapCount(a, b); got != 2 {
+		t.Errorf("overlap = %d", got)
+	}
+	if OverlapCount(nil, b) != 0 {
+		t.Error("empty overlap should be 0")
+	}
+	// Keys with same bits but different lengths must not be conflated.
+	c := keyspace.Keys{keyspace.MustFromString("0")}
+	d := keyspace.Keys{keyspace.MustFromString("00")}
+	if OverlapCount(c, d) != 0 {
+		t.Error("prefix keys are distinct keys")
+	}
+}
+
+func TestEstimateReplicas(t *testing.T) {
+	// Identical key sets of size dmax: exactly nmin replicas (paper's
+	// example).
+	if got := EstimateReplicas(50, 50, 50, 5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("identical sets: %v, want 5", got)
+	}
+	// Half overlap means about twice as many replicas.
+	if got := EstimateReplicas(50, 50, 25, 5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("half overlap: %v, want 10", got)
+	}
+	// Disjoint samples: conservative large estimate, larger than nmin.
+	if got := EstimateReplicas(50, 50, 0, 5); got <= 5 {
+		t.Errorf("disjoint sets should imply many replicas: %v", got)
+	}
+	// Degenerate inputs fall back to nmin.
+	if got := EstimateReplicas(0, 10, 3, 5); got != 5 {
+		t.Errorf("degenerate: %v", got)
+	}
+}
+
+func TestEstimateReplicasMonotoneProperty(t *testing.T) {
+	// More overlap always means fewer estimated replicas.
+	f := func(rawN uint8, rawO1, rawO2 uint8) bool {
+		n := int(rawN%50) + 10
+		o1 := int(rawO1%uint8(n)) + 1
+		o2 := int(rawO2%uint8(n)) + 1
+		if o1 > o2 {
+			o1, o2 = o2, o1
+		}
+		return EstimateReplicas(n, n, o2, 5) <= EstimateReplicas(n, n, o1, 5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemsOrdering(t *testing.T) {
+	s := NewStore()
+	s.AddAll([]Item{item("10", "b"), item("10", "a"), item("01", "z")})
+	items := s.Items()
+	if items[0].Key.String() != "01" || items[1].Value != "a" || items[2].Value != "b" {
+		t.Errorf("items ordering wrong: %v", items)
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"pgrid/internal/overlay"
+	"pgrid/internal/stats"
+	"pgrid/internal/workload"
+)
+
+// This file provides the parameter sweeps behind Figure 6 of the paper:
+// load-balancing deviation and communication cost of the decentralized
+// construction across key distributions, peer populations, replication
+// factors, sample sizes and probability functions (theory vs. heuristics).
+
+// SweepPoint is one measured cell of a Figure 6 sweep.
+type SweepPoint struct {
+	// Distribution is the workload label (U, P0.5, P1.0, P1.5, N, A).
+	Distribution string
+	// Variant identifies the swept parameter value (population size,
+	// n_min, d_max factor, or "theory"/"heuristic").
+	Variant string
+	// Deviation is the mean load-balancing deviation over the repetitions.
+	Deviation float64
+	// DeviationStd is its standard deviation.
+	DeviationStd float64
+	// InteractionsPerPeer and KeysMovedPerPeer are the communication-cost
+	// metrics (Figures 6(e) and 6(f)).
+	InteractionsPerPeer float64
+	KeysMovedPerPeer    float64
+}
+
+// SweepConfig parameterises a Figure 6 sweep.
+type SweepConfig struct {
+	// Repetitions is the number of runs averaged per cell (paper: 10).
+	Repetitions int
+	// Peers is the base peer population.
+	Peers int
+	// KeysPerPeer is the number of items per peer (paper: 10).
+	KeysPerPeer int
+	// MinReplicas is n_min (paper: 5 unless swept).
+	MinReplicas int
+	// MaxKeysFactor sets d_max = MaxKeysFactor * n_min (paper: 10 unless
+	// swept).
+	MaxKeysFactor int
+	// Seed drives the sweep.
+	Seed int64
+}
+
+// DefaultSweepConfig returns a sweep configuration matching the paper's
+// simulation setup but with a repetition count that keeps runtimes modest.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Repetitions:   3,
+		Peers:         256,
+		KeysPerPeer:   10,
+		MinReplicas:   5,
+		MaxKeysFactor: 10,
+		Seed:          1,
+	}
+}
+
+// runCell runs Repetitions experiments for one configuration and aggregates
+// them into a SweepPoint.
+func runCell(cfg Config, reps int, dist workload.Distribution, variant string) (SweepPoint, error) {
+	var devs, inters, keys []float64
+	for rep := 0; rep < reps; rep++ {
+		runCfg := cfg
+		runCfg.Distribution = dist
+		runCfg.Seed = cfg.Seed + int64(rep)*7001
+		runCfg.Queries = 0
+		res, err := Run(runCfg)
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("sim: %s/%s rep %d: %w", dist.Name(), variant, rep, err)
+		}
+		devs = append(devs, res.Deviation)
+		inters = append(inters, res.InteractionsPerPeer)
+		keys = append(keys, res.KeysMovedPerPeer)
+	}
+	return SweepPoint{
+		Distribution:        dist.Name(),
+		Variant:             variant,
+		Deviation:           stats.Mean(devs),
+		DeviationStd:        stats.Std(devs),
+		InteractionsPerPeer: stats.Mean(inters),
+		KeysMovedPerPeer:    stats.Mean(keys),
+	}, nil
+}
+
+// baseConfig builds the experiment configuration for a sweep cell.
+func (sc SweepConfig) baseConfig(peers, nmin, maxKeysFactor int, heuristic bool) Config {
+	return Config{
+		Peers:       peers,
+		KeysPerPeer: sc.KeysPerPeer,
+		Overlay: overlay.Config{
+			MaxKeys:      maxKeysFactor * nmin,
+			MinReplicas:  nmin,
+			UseHeuristic: heuristic,
+			MaxRefs:      3,
+		},
+		MaxRounds: 100,
+		Degree:    6,
+		Seed:      sc.Seed,
+	}
+}
+
+// SweepPopulations reproduces Figure 6(a), 6(e) and 6(f): for every
+// distribution and every population size, measure deviation, interactions
+// per peer and keys moved per peer.
+func SweepPopulations(sc SweepConfig, populations []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, dist := range workload.PaperSet() {
+		for _, n := range populations {
+			cfg := sc.baseConfig(n, sc.MinReplicas, sc.MaxKeysFactor, false)
+			pt, err := runCell(cfg, sc.Repetitions, dist, fmt.Sprintf("n=%d", n))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// SweepReplication reproduces Figure 6(b): deviation for different required
+// replication factors n_min.
+func SweepReplication(sc SweepConfig, nmins []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, dist := range workload.PaperSet() {
+		for _, nmin := range nmins {
+			cfg := sc.baseConfig(sc.Peers, nmin, sc.MaxKeysFactor, false)
+			pt, err := runCell(cfg, sc.Repetitions, dist, fmt.Sprintf("nmin=%d", nmin))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// SweepSampleSize reproduces Figure 6(c): deviation for different d_max
+// factors (which control how many samples a partition holds before it is
+// split, i.e. the sample size available to the estimators).
+func SweepSampleSize(sc SweepConfig, factors []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, dist := range workload.PaperSet() {
+		for _, f := range factors {
+			cfg := sc.baseConfig(sc.Peers, sc.MinReplicas, f, false)
+			pt, err := runCell(cfg, sc.Repetitions, dist, fmt.Sprintf("dmax=%dxnmin", f))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// SweepTheoryVsHeuristics reproduces Figure 6(d): deviation with the
+// analytically derived probabilities versus the naive heuristic ones, for
+// n_min = 5 and 10.
+func SweepTheoryVsHeuristics(sc SweepConfig, nmins []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, dist := range workload.PaperSet() {
+		for _, nmin := range nmins {
+			for _, heuristic := range []bool{false, true} {
+				label := "theory"
+				if heuristic {
+					label = "heuristic"
+				}
+				cfg := sc.baseConfig(sc.Peers, nmin, sc.MaxKeysFactor, heuristic)
+				pt, err := runCell(cfg, sc.Repetitions, dist, fmt.Sprintf("nmin=%d/%s", nmin, label))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatSweep renders sweep points as an aligned table with the given value
+// extractor, mirroring the bar charts of Figure 6.
+func FormatSweep(points []SweepPoint, metric string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-16s %12s\n", "dist", "variant", metric)
+	for _, p := range points {
+		v := p.Deviation
+		switch metric {
+		case "interactions":
+			v = p.InteractionsPerPeer
+		case "keysmoved":
+			v = p.KeysMovedPerPeer
+		}
+		fmt.Fprintf(&b, "%-6s %-16s %12.3f\n", p.Distribution, p.Variant, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"pgrid/internal/churn"
+	"pgrid/internal/overlay"
+	"pgrid/internal/workload"
+)
+
+// smallConfig returns a configuration small enough for unit tests but large
+// enough to exercise the full pipeline.
+func smallConfig(seed int64) Config {
+	return Config{
+		Peers:        64,
+		KeysPerPeer:  10,
+		Distribution: workload.Uniform{},
+		Overlay: overlay.Config{
+			MaxKeys:     20,
+			MinReplicas: 2,
+			MaxRefs:     3,
+		},
+		MaxRounds: 60,
+		Queries:   60,
+		Degree:    5,
+		Seed:      seed,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Peers: 1, KeysPerPeer: 1, Distribution: workload.Uniform{}}); err == nil {
+		t.Error("expected error for too few peers")
+	}
+	if _, err := New(Config{Peers: 10, KeysPerPeer: 0, Distribution: workload.Uniform{}}); err == nil {
+		t.Error("expected error for zero keys per peer")
+	}
+	if _, err := New(Config{Peers: 10, KeysPerPeer: 5}); err == nil {
+		t.Error("expected error for missing distribution")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deviation <= 0 || math.IsNaN(res.Deviation) {
+		t.Errorf("deviation = %v", res.Deviation)
+	}
+	if res.Deviation > 3 {
+		t.Errorf("deviation %v unreasonably high for a uniform workload", res.Deviation)
+	}
+	if res.InteractionsPerPeer <= 0 || res.KeysMovedPerPeer <= 0 {
+		t.Errorf("communication metrics missing: %+v", res)
+	}
+	if res.MeanPathLength <= 0 {
+		t.Error("construction did not deepen any path")
+	}
+	if res.QuerySuccessRate < 0.85 {
+		t.Errorf("query success rate %v too low", res.QuerySuccessRate)
+	}
+	if res.MeanQueryHops <= 0 || res.MeanQueryHops > res.MeanPathLength+1 {
+		t.Errorf("hops %v implausible for path length %v", res.MeanQueryHops, res.MeanPathLength)
+	}
+	if res.DistinctPaths < 2 {
+		t.Errorf("expected multiple partitions, got %d", res.DistinctPaths)
+	}
+	if res.String() == "" {
+		t.Error("result rendering empty")
+	}
+}
+
+func TestRunWithChurn(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Overlay.MinReplicas = 3
+	cfg.OfflineFraction = 0.25
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuerySuccessRate < 0.6 {
+		t.Errorf("query success under churn %v too low", res.QuerySuccessRate)
+	}
+}
+
+func TestSkewedDeviationLargerThanUniform(t *testing.T) {
+	// Figure 6(a): skewed distributions are harder to balance than the
+	// uniform one.
+	uniCfg := smallConfig(3)
+	uniCfg.Queries = 0
+	uni, err := Run(uniCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewCfg := smallConfig(3)
+	skewCfg.Queries = 0
+	skewCfg.Distribution = workload.NewNormal()
+	skew, err := Run(skewCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew.Deviation < uni.Deviation*0.8 {
+		t.Errorf("expected skewed deviation (%v) to be at least comparable to uniform (%v)", skew.Deviation, uni.Deviation)
+	}
+}
+
+func TestHopsAboutHalfPathLength(t *testing.T) {
+	// Section 5.2: the number of query hops is about half the mean path
+	// length.
+	cfg := smallConfig(4)
+	cfg.Peers = 96
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanQueryHops > res.MeanPathLength {
+		t.Errorf("hops %v should not exceed path length %v", res.MeanQueryHops, res.MeanPathLength)
+	}
+	ratio := res.MeanQueryHops / res.MeanPathLength
+	if ratio < 0.2 || ratio > 0.95 {
+		t.Errorf("hops/path-length ratio %v outside plausible band", ratio)
+	}
+}
+
+func TestExperimentPhasesIndividually(t *testing.T) {
+	ctx := context.Background()
+	e, err := New(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Graph.Connected() {
+		t.Error("bootstrap overlay should be connected")
+	}
+	if err := e.Replicate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rounds := e.Construct(ctx)
+	if rounds == 0 {
+		t.Error("construction should need at least one round")
+	}
+	ref, err := e.ReferenceTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Leaves()) < 2 {
+		t.Error("reference trie should split the key space")
+	}
+	res, err := e.Measure(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != rounds {
+		t.Error("rounds not propagated")
+	}
+	offline := e.TakeOffline(0.5)
+	if len(offline) != len(e.Peers)/2 {
+		t.Errorf("offline peers = %d", len(offline))
+	}
+	if got := len(e.onlinePeers()); got != len(e.Peers)-len(offline) {
+		t.Errorf("online peers = %d", got)
+	}
+	if sr, _ := e.RunQueries(ctx, 0); sr != 0 {
+		t.Error("zero queries should yield zero success rate")
+	}
+}
+
+func TestSweepPopulationsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	sc := SweepConfig{Repetitions: 1, Peers: 48, KeysPerPeer: 8, MinReplicas: 2, MaxKeysFactor: 8, Seed: 7}
+	pts, err := SweepPopulations(sc, []int{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(workload.PaperSet()) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Deviation <= 0 || math.IsNaN(p.Deviation) {
+			t.Errorf("%s/%s: deviation %v", p.Distribution, p.Variant, p.Deviation)
+		}
+		if p.InteractionsPerPeer <= 0 {
+			t.Errorf("%s/%s: no interactions", p.Distribution, p.Variant)
+		}
+	}
+	if FormatSweep(pts, "deviation") == "" || FormatSweep(pts, "interactions") == "" || FormatSweep(pts, "keysmoved") == "" {
+		t.Error("sweep formatting empty")
+	}
+}
+
+func TestSweepTheoryVsHeuristicsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	sc := SweepConfig{Repetitions: 1, Peers: 48, KeysPerPeer: 8, MinReplicas: 2, MaxKeysFactor: 8, Seed: 8}
+	pts, err := SweepTheoryVsHeuristics(sc, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*len(workload.PaperSet()) {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestTimelineSmall(t *testing.T) {
+	cfg := TimelineConfig{
+		Experiment:    smallConfig(9),
+		JoinEnd:       20 * time.Minute,
+		ConstructEnd:  60 * time.Minute,
+		QueryEnd:      80 * time.Minute,
+		ChurnEnd:      100 * time.Minute,
+		QueryInterval: 2 * time.Minute,
+		Churn:         churn.PaperModel(),
+		HopLatency:    2 * time.Second,
+		Step:          time.Minute,
+	}
+	res, err := RunTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerBuckets := res.Peers.Buckets()
+	if len(peerBuckets) < 90 {
+		t.Fatalf("peer series too short: %d buckets", len(peerBuckets))
+	}
+	// Figure 7 shape: the peer count ramps up during the join phase, stays
+	// near the maximum during construction, and drops during churn.
+	early := peerBuckets[2].Mean
+	mid := peerBuckets[40].Mean
+	late := peerBuckets[len(peerBuckets)-2].Mean
+	if !(early < mid) {
+		t.Errorf("peer count should ramp up: early %v vs mid %v", early, mid)
+	}
+	if !(late < mid) {
+		t.Errorf("peer count should drop under churn: late %v vs mid %v", late, mid)
+	}
+	// Figure 8 shape: maintenance bandwidth peaks during construction and
+	// falls off afterwards.
+	mb := res.MaintenanceBandwidth.Buckets()
+	var constructionPeak, tail float64
+	for _, b := range mb {
+		if b.Start < cfg.ConstructEnd && b.Sum > constructionPeak {
+			constructionPeak = b.Sum
+		}
+		if b.Start >= cfg.QueryEnd && b.Sum > tail {
+			tail = b.Sum
+		}
+	}
+	if constructionPeak <= 0 {
+		t.Error("no maintenance bandwidth recorded during construction")
+	}
+	if tail > constructionPeak {
+		t.Errorf("maintenance bandwidth should decay after construction: peak %v tail %v", constructionPeak, tail)
+	}
+	// Figure 9: latency samples exist and are positive.
+	latBuckets := res.QueryLatency.Buckets()
+	if len(latBuckets) == 0 {
+		t.Fatal("no latency samples")
+	}
+	for _, b := range latBuckets {
+		if b.Mean < 0 {
+			t.Errorf("negative latency at %v", b.Start)
+		}
+	}
+	if res.Construction == nil {
+		t.Fatal("construction metrics missing")
+	}
+	if res.SuccessBeforeChurn < 0.7 {
+		t.Errorf("success before churn %v too low", res.SuccessBeforeChurn)
+	}
+	if res.Summary() == "" {
+		t.Error("summary empty")
+	}
+}
+
+func TestDefaultConfigsAreSane(t *testing.T) {
+	c := DefaultConfig()
+	if c.Peers != 256 || c.KeysPerPeer != 10 || c.Overlay.MinReplicas != 5 || c.Overlay.MaxKeys != 50 {
+		t.Errorf("default config drifted from the paper's parameters: %+v", c)
+	}
+	tc := DefaultTimelineConfig()
+	if tc.Experiment.Peers != 296 || tc.ChurnEnd != 530*time.Minute {
+		t.Errorf("default timeline drifted from the paper's setup: %+v", tc)
+	}
+	sc := DefaultSweepConfig()
+	if sc.Peers != 256 || sc.MinReplicas != 5 || sc.MaxKeysFactor != 10 {
+		t.Errorf("default sweep drifted: %+v", sc)
+	}
+}

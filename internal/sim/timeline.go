@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"pgrid/internal/churn"
+	"pgrid/internal/overlay"
+	"pgrid/internal/stats"
+	"pgrid/internal/workload"
+)
+
+// This file replays the PlanetLab experiment timeline of Section 5.1 with a
+// virtual clock, producing the three time-series figures:
+//
+//	Figure 7 — number of participating peers over time,
+//	Figure 8 — aggregate bandwidth (maintenance vs. queries),
+//	Figure 9 — query latency mean and standard deviation.
+//
+// The phases follow the paper: peers join and form the unstructured overlay,
+// replicate their data, construct the structured overlay, answer queries,
+// and finally experience churn.
+
+// TimelineConfig parameterises a timeline run.
+type TimelineConfig struct {
+	// Experiment is the underlying deployment configuration.
+	Experiment Config
+	// JoinEnd, ReplicateEnd, ConstructEnd, QueryEnd and ChurnEnd are the
+	// phase boundaries (offsets from the experiment start). The paper uses
+	// 100, 100, 300, 430 and 530 minutes; replication happens inside the
+	// join phase (75–100 min).
+	JoinEnd      time.Duration
+	ConstructEnd time.Duration
+	QueryEnd     time.Duration
+	ChurnEnd     time.Duration
+	// QueryInterval is the mean time between queries per peer (paper: a
+	// query every 1–2 minutes per peer).
+	QueryInterval time.Duration
+	// Churn is the churn model applied during the final phase.
+	Churn churn.Model
+	// HopLatency is the mean one-way latency per routing hop used to model
+	// query response times (PlanetLab's shared nodes made this several
+	// seconds).
+	HopLatency time.Duration
+	// Step is the virtual-clock resolution.
+	Step time.Duration
+}
+
+// DefaultTimelineConfig returns the paper's timeline.
+func DefaultTimelineConfig() TimelineConfig {
+	cfg := DefaultConfig()
+	cfg.Peers = 296 // the PlanetLab experiment ran with 296 peers
+	cfg.Distribution = workload.NewTextCorpus(workload.DefaultCorpusConfig())
+	return TimelineConfig{
+		Experiment:    cfg,
+		JoinEnd:       100 * time.Minute,
+		ConstructEnd:  300 * time.Minute,
+		QueryEnd:      430 * time.Minute,
+		ChurnEnd:      530 * time.Minute,
+		QueryInterval: 90 * time.Second,
+		Churn:         churn.PaperModel(),
+		HopLatency:    4 * time.Second,
+		Step:          time.Minute,
+	}
+}
+
+// TimelineResult holds the three time series plus the summary metrics the
+// paper reports in the text of Section 5.2.
+type TimelineResult struct {
+	// Peers is the number of online peers per minute (Figure 7).
+	Peers *stats.TimeSeries
+	// MaintenanceBandwidth and QueryBandwidth are aggregate bytes/second
+	// per minute (Figure 8).
+	MaintenanceBandwidth *stats.TimeSeries
+	QueryBandwidth       *stats.TimeSeries
+	// QueryLatency collects per-query latencies in seconds (Figure 9).
+	QueryLatency *stats.TimeSeries
+	// Construction holds the quality metrics measured right after the
+	// construction phase.
+	Construction *Result
+	// SuccessBeforeChurn and SuccessDuringChurn are query success rates in
+	// the two operational phases.
+	SuccessBeforeChurn, SuccessDuringChurn float64
+}
+
+// RunTimeline replays the full experiment timeline.
+func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
+	ctx := context.Background()
+	if cfg.Step <= 0 {
+		cfg.Step = time.Minute
+	}
+	e, err := New(cfg.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Experiment.Seed + 99))
+	res := &TimelineResult{
+		Peers:                stats.NewTimeSeries("peers", cfg.Step),
+		MaintenanceBandwidth: stats.NewTimeSeries("maintenance Bps", cfg.Step),
+		QueryBandwidth:       stats.NewTimeSeries("query Bps", cfg.Step),
+		QueryLatency:         stats.NewTimeSeries("query latency s", cfg.Step),
+	}
+
+	// Peers join uniformly during the join phase; data is replicated in its
+	// final quarter.
+	joinAt := make([]time.Duration, len(e.Peers))
+	for i := range e.Peers {
+		joinAt[i] = time.Duration(float64(cfg.JoinEnd) * 0.7 * rng.Float64())
+	}
+	replicateAt := cfg.JoinEnd * 3 / 4
+
+	// Churn schedules for the final phase.
+	schedules := make([]churn.Schedule, len(e.Peers))
+	for i := range schedules {
+		schedules[i] = cfg.Churn.Generate(cfg.QueryEnd, cfg.ChurnEnd, rng)
+	}
+
+	// Construction work is spread over the construction phase: each round
+	// of the round-based construction driver is executed at evenly spaced
+	// virtual times.
+	constructTicks := int((cfg.ConstructEnd - cfg.JoinEnd) / cfg.Step)
+	if constructTicks <= 0 {
+		constructTicks = 1
+	}
+	maxRounds := cfg.Experiment.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 80
+	}
+	roundsPerTick := float64(maxRounds) / float64(constructTicks)
+	roundsDone := 0
+	roundBudget := 0.0
+	constructionFinished := false
+	replicated := false
+
+	var lastMaintenance, lastQuery float64
+	queriesPerTick := 0.0
+	if cfg.QueryInterval > 0 {
+		queriesPerTick = float64(cfg.Step) / float64(cfg.QueryInterval)
+	}
+
+	var successBefore, attemptsBefore, successDuring, attemptsDuring float64
+
+	for now := time.Duration(0); now < cfg.ChurnEnd; now += cfg.Step {
+		// Figure 7: online peers. Before their join time peers are not part
+		// of the network; during the churn phase their schedule decides.
+		online := 0
+		for i, p := range e.Peers {
+			isOnline := now >= joinAt[i]
+			if isOnline && now >= cfg.QueryEnd && cfg.Churn.Enabled() {
+				isOnline = schedules[i].OnlineAt(now)
+			}
+			e.Sim.SetOnline(p.Addr(), isOnline)
+			if isOnline {
+				online++
+			}
+		}
+		res.Peers.Add(now, float64(online))
+
+		// Replication kicks in towards the end of the join phase.
+		if !replicated && now >= replicateAt {
+			if err := e.Replicate(ctx); err != nil {
+				return nil, err
+			}
+			replicated = true
+		}
+
+		// Construction phase.
+		if replicated && now < cfg.ConstructEnd && !constructionFinished {
+			roundBudget += roundsPerTick
+			for roundBudget >= 1 && !constructionFinished {
+				roundBudget--
+				if e.ConstructRound(ctx) == 0 {
+					constructionFinished = true
+				}
+				roundsDone++
+			}
+		}
+		if now >= cfg.ConstructEnd && res.Construction == nil {
+			m, err := e.Measure(roundsDone)
+			if err != nil {
+				return nil, err
+			}
+			res.Construction = m
+		}
+
+		// Query phase (continues through the churn phase).
+		if now >= cfg.ConstructEnd {
+			nQueries := int(queriesPerTick * float64(online))
+			for q := 0; q < nQueries; q++ {
+				origin := e.randomOnlinePeer()
+				if origin == nil {
+					break
+				}
+				ownerIdx := rng.Intn(len(e.OriginalItems))
+				it := e.OriginalItems[ownerIdx][rng.Intn(len(e.OriginalItems[ownerIdx]))]
+				qres, err := origin.Query(ctx, it.Key)
+				inChurn := now >= cfg.QueryEnd
+				if inChurn {
+					attemptsDuring++
+				} else {
+					attemptsBefore++
+				}
+				if err == nil && len(qres.Items) > 0 {
+					if inChurn {
+						successDuring++
+					} else {
+						successBefore++
+					}
+					// Model the response time: one round trip per hop plus
+					// the local processing, with PlanetLab-style jitter.
+					// Failed reference attempts under churn add timeouts.
+					latency := float64(qres.Hops+1) * cfg.HopLatency.Seconds() * (0.5 + rng.ExpFloat64())
+					if inChurn {
+						latency += rng.Float64() * 2 * cfg.HopLatency.Seconds()
+					}
+					res.QueryLatency.Add(now, latency)
+				}
+			}
+		}
+
+		// Figure 8: bandwidth per second, split by purpose, from the peers'
+		// byte counters.
+		var maintenance, query float64
+		for _, p := range e.Peers {
+			maintenance += p.Metrics.MaintenanceBytes.Value()
+			query += p.Metrics.QueryBytes.Value()
+		}
+		res.MaintenanceBandwidth.Add(now, (maintenance-lastMaintenance)/cfg.Step.Seconds())
+		res.QueryBandwidth.Add(now, (query-lastQuery)/cfg.Step.Seconds())
+		lastMaintenance, lastQuery = maintenance, query
+	}
+
+	if res.Construction == nil {
+		m, err := e.Measure(roundsDone)
+		if err != nil {
+			return nil, err
+		}
+		res.Construction = m
+	}
+	if attemptsBefore > 0 {
+		res.SuccessBeforeChurn = successBefore / attemptsBefore
+	}
+	if attemptsDuring > 0 {
+		res.SuccessDuringChurn = successDuring / attemptsDuring
+	}
+	return res, nil
+}
+
+// randomOnlinePeer returns a random online peer or nil.
+func (e *Experiment) randomOnlinePeer() *overlay.Peer {
+	online := e.onlinePeers()
+	if len(online) == 0 {
+		return nil
+	}
+	return online[e.rng.Intn(len(online))]
+}
+
+// Summary renders the headline numbers of a timeline run.
+func (r *TimelineResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "construction: %s\n", r.Construction)
+	fmt.Fprintf(&b, "query success before churn: %.2f during churn: %.2f\n", r.SuccessBeforeChurn, r.SuccessDuringChurn)
+	lat := r.QueryLatency.Buckets()
+	if len(lat) > 0 {
+		var means []float64
+		for _, bs := range lat {
+			means = append(means, bs.Mean)
+		}
+		fmt.Fprintf(&b, "mean query latency: %.1fs\n", stats.Mean(means))
+	}
+	return b.String()
+}

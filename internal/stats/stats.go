@@ -1,0 +1,164 @@
+// Package stats provides the small statistical toolbox used by the
+// simulator and the benchmark harness: summary statistics, histograms and
+// time series of the kind plotted in Figures 7–9 of the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual summary statistics of a sample.
+type Summary struct {
+	Count          int
+	Mean, Std      float64
+	Min, Max       float64
+	Median, P95    float64
+	Sum            float64
+	sorted         []float64
+	valuesAreSaved bool
+}
+
+// Summarize computes summary statistics of the sample.
+func Summarize(xs []float64) Summary {
+	s := Summary{Count: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.sorted = sorted
+	s.valuesAreSaved = true
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	for _, x := range sorted {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(len(sorted))
+	var sq float64
+	for _, x := range sorted {
+		sq += (x - s.Mean) * (x - s.Mean)
+	}
+	if len(sorted) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(sorted)-1))
+	}
+	s.Median = Quantile(sorted, 0.5)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already sorted sample
+// using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f median=%.3f p95=%.3f max=%.3f",
+		s.Count, s.Mean, s.Std, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Mean returns the arithmetic mean of the sample (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than two values).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Histogram is a fixed-width histogram over a closed interval.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	Total  int
+}
+
+// NewHistogram creates a histogram with the given number of equal-width
+// bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if idx >= len(h.Counts) {
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Bin returns the [lo, hi) bounds of bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// String renders the histogram as a simple ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo, hi := h.Bin(i)
+		bar := strings.Repeat("#", c*40/max)
+		fmt.Fprintf(&b, "[%8.3f,%8.3f) %6d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package trie
+
+import (
+	"math"
+
+	"pgrid/internal/keyspace"
+)
+
+// This file implements the load-balancing quality metric of Section 4.4: the
+// distributed construction produces an assignment of peers to partitions
+// (q_i', n_i'); the reference partitioner produces the optimal assignment
+// (q_i, n_i). The deviation is the root-mean-square difference of the peer
+// counts over the partitions of the reference trie, normalized by the mean
+// peer count:
+//
+//	dev = sqrt( (1/K) * sum_i (n_i - n_i')^2 ) / ( (1/K) * sum_i n_i' )
+//
+// A deviation of 0 means the decentralized process reproduced the optimal
+// allocation exactly; the paper reports values around 0.1-0.5 for n=256-1024
+// and ≈0.38 on PlanetLab.
+
+// Assignment maps partition paths (as produced by the decentralized
+// construction) to the number of peers responsible for them.
+type Assignment map[keyspace.Path]float64
+
+// AssignmentFromPaths builds an Assignment by counting how many peers ended
+// up on each path.
+func AssignmentFromPaths(paths []keyspace.Path) Assignment {
+	a := make(Assignment, len(paths))
+	for _, p := range paths {
+		a[p]++
+	}
+	return a
+}
+
+// PeersUnder sums the peers of the assignment whose paths are prefixed by
+// the given reference partition (peers that stopped splitting early, at a
+// shorter path that contains the reference partition, contribute the
+// fraction of their sub-tree that overlaps it).
+func (a Assignment) PeersUnder(ref keyspace.Path) float64 {
+	total := 0.0
+	for p, n := range a {
+		switch {
+		case ref.IsPrefixOf(p):
+			// Peer is at or below the reference partition: fully counted.
+			total += n
+		case p.IsPrefixOf(ref):
+			// Peer stopped above the reference partition: it serves 2^(depth
+			// difference) reference partitions, so it contributes its
+			// corresponding share to each.
+			total += n / float64(uint64(1)<<uint(ref.Depth()-p.Depth()))
+		}
+	}
+	return total
+}
+
+// Deviation computes the load-balancing deviation of the decentralized
+// assignment relative to the reference trie.
+func Deviation(ref *Tree, actual Assignment) float64 {
+	leaves := ref.Leaves()
+	if len(leaves) == 0 {
+		return 0
+	}
+	var sqSum, actSum float64
+	for _, l := range leaves {
+		got := actual.PeersUnder(l.Path)
+		diff := l.Peers - got
+		sqSum += diff * diff
+		actSum += got
+	}
+	k := float64(len(leaves))
+	meanActual := actSum / k
+	if meanActual == 0 {
+		return math.Sqrt(sqSum / k)
+	}
+	return math.Sqrt(sqSum/k) / meanActual
+}
+
+// StorageImbalance reports max/mean number of keys per partition of an
+// actual assignment of keys to paths — a secondary quality metric for the
+// storage-load goal.
+func StorageImbalance(keysPerPath map[keyspace.Path]int) float64 {
+	if len(keysPerPath) == 0 {
+		return 0
+	}
+	max, sum := 0, 0
+	for _, k := range keysPerPath {
+		if k > max {
+			max = k
+		}
+		sum += k
+	}
+	mean := float64(sum) / float64(len(keysPerPath))
+	if mean == 0 {
+		return 0
+	}
+	return float64(max) / mean
+}
+
+// ReplicationStats summarises the replica counts of an assignment: the mean
+// and coefficient of variation of the number of peers per reference
+// partition, plus the fraction of partitions below the minimum replication
+// target.
+type ReplicationStats struct {
+	MeanReplicas     float64
+	CoefVariation    float64
+	FractionBelowMin float64
+}
+
+// Replication computes ReplicationStats for the assignment against the
+// reference trie and the n_min parameter of the trie.
+func Replication(ref *Tree, actual Assignment) ReplicationStats {
+	leaves := ref.Leaves()
+	if len(leaves) == 0 {
+		return ReplicationStats{}
+	}
+	var sum, sqSum float64
+	below := 0
+	for _, l := range leaves {
+		got := actual.PeersUnder(l.Path)
+		sum += got
+		sqSum += got * got
+		if got < float64(ref.Params.MinReplicas) {
+			below++
+		}
+	}
+	k := float64(len(leaves))
+	mean := sum / k
+	variance := sqSum/k - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	cv := 0.0
+	if mean > 0 {
+		cv = math.Sqrt(variance) / mean
+	}
+	return ReplicationStats{
+		MeanReplicas:     mean,
+		CoefVariation:    cv,
+		FractionBelowMin: float64(below) / k,
+	}
+}

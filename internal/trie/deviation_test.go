@@ -1,0 +1,148 @@
+package trie
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/workload"
+)
+
+func TestAssignmentFromPaths(t *testing.T) {
+	a := AssignmentFromPaths([]keyspace.Path{"0", "0", "1", "10"})
+	if a["0"] != 2 || a["1"] != 1 || a["10"] != 1 {
+		t.Errorf("assignment = %v", a)
+	}
+}
+
+func TestPeersUnder(t *testing.T) {
+	a := Assignment{"00": 3, "01": 2, "1": 4, "": 8}
+	// Reference partition "0": peers at 00 and 01 count fully; the root
+	// peers contribute half of their count.
+	if got := a.PeersUnder("0"); got != 3+2+4 {
+		t.Errorf("PeersUnder(0) = %v, want 9", got)
+	}
+	// Reference partition "000": only a share of the shallower peers.
+	want := 3.0/2 + 8.0/8
+	if got := a.PeersUnder("000"); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PeersUnder(000) = %v, want %v", got, want)
+	}
+	// Disjoint partition.
+	if got := a.PeersUnder("11"); got != 4.0/2+8.0/4 {
+		t.Errorf("PeersUnder(11) = %v", got)
+	}
+}
+
+func TestDeviationZeroForPerfectMatch(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	keys := workload.Keys(workload.Uniform{}, 2560, 32, r)
+	tree, err := Build(keys, 256, Params{MaxKeys: 50, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the "actual" assignment exactly from the reference allocation.
+	actual := make(Assignment)
+	for _, l := range tree.Leaves() {
+		actual[l.Path] = l.Peers
+	}
+	if dev := Deviation(tree, actual); dev > 1e-9 {
+		t.Errorf("deviation for perfect match = %v, want 0", dev)
+	}
+}
+
+func TestDeviationGrowsWithMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	keys := workload.Keys(workload.Uniform{}, 2560, 32, r)
+	tree, err := Build(keys, 256, Params{MaxKeys: 50, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := make(Assignment)
+	for _, l := range tree.Leaves() {
+		perfect[l.Path] = l.Peers
+	}
+	// Mildly perturbed assignment.
+	mild := make(Assignment)
+	for p, n := range perfect {
+		mild[p] = n + 1
+	}
+	// Severely skewed assignment: everybody on one leaf.
+	severe := Assignment{tree.Leaves()[0].Path: 256}
+	dPerfect := Deviation(tree, perfect)
+	dMild := Deviation(tree, mild)
+	dSevere := Deviation(tree, severe)
+	if !(dPerfect < dMild && dMild < dSevere) {
+		t.Errorf("deviation ordering violated: %v %v %v", dPerfect, dMild, dSevere)
+	}
+}
+
+func TestDeviationHandlesShallowPaths(t *testing.T) {
+	// Peers that did not finish splitting sit on prefixes of the reference
+	// partitions; the metric must still account for them (fractionally).
+	r := rand.New(rand.NewSource(3))
+	keys := workload.Keys(workload.Uniform{}, 2560, 32, r)
+	tree, err := Build(keys, 256, Params{MaxKeys: 50, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Assignment{keyspace.Root: 256}
+	dev := Deviation(tree, all)
+	if math.IsNaN(dev) || dev <= 0 {
+		t.Errorf("deviation for un-split network = %v", dev)
+	}
+}
+
+func TestDeviationEmptyTree(t *testing.T) {
+	tree := &Tree{Root: nil}
+	if Deviation(tree, Assignment{}) != 0 {
+		t.Error("empty tree deviation should be 0")
+	}
+}
+
+func TestStorageImbalance(t *testing.T) {
+	if StorageImbalance(nil) != 0 {
+		t.Error("empty imbalance should be 0")
+	}
+	m := map[keyspace.Path]int{"0": 10, "1": 10}
+	if got := StorageImbalance(m); got != 1 {
+		t.Errorf("balanced imbalance = %v", got)
+	}
+	m = map[keyspace.Path]int{"0": 30, "1": 10}
+	if got := StorageImbalance(m); got != 1.5 {
+		t.Errorf("imbalance = %v", got)
+	}
+	if StorageImbalance(map[keyspace.Path]int{"0": 0}) != 0 {
+		t.Error("zero-key imbalance should be 0")
+	}
+}
+
+func TestReplicationStats(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	keys := workload.Keys(workload.Uniform{}, 2560, 32, r)
+	tree, err := Build(keys, 256, Params{MaxKeys: 50, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := make(Assignment)
+	for _, l := range tree.Leaves() {
+		perfect[l.Path] = l.Peers
+	}
+	st := Replication(tree, perfect)
+	if st.MeanReplicas < 5 {
+		t.Errorf("mean replicas %v below n_min", st.MeanReplicas)
+	}
+	if st.FractionBelowMin > 0 {
+		t.Errorf("perfect allocation should have nothing below min: %v", st.FractionBelowMin)
+	}
+	// Starving assignment.
+	starve := Assignment{tree.Leaves()[0].Path: 1}
+	st = Replication(tree, starve)
+	if st.FractionBelowMin < 0.9 {
+		t.Errorf("starved assignment should be mostly below min: %v", st.FractionBelowMin)
+	}
+	empty := Replication(&Tree{}, perfect)
+	if empty.MeanReplicas != 0 {
+		t.Error("empty tree replication should be zero")
+	}
+}

@@ -1,0 +1,261 @@
+// Package trie implements the paper's global reference partitioner
+// (Algorithm 1, "Partition(p, n, d)"): given complete knowledge of the data
+// keys and the peer population, it recursively bisects the key space so that
+// every resulting partition holds at most dmax keys and is served by at
+// least nmin replica peers. The distributed construction protocol never has
+// this global knowledge; the trie produced here defines the *optimal*
+// partitioning against which the quality of the decentralized outcome is
+// measured (Section 4.4).
+package trie
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pgrid/internal/keyspace"
+)
+
+// Params are the load-balancing targets of Algorithm 1.
+type Params struct {
+	// MaxKeys is d_max, the maximal storage load (number of keys) a
+	// partition may hold before it must be split further.
+	MaxKeys int
+	// MinReplicas is n_min, the minimal number of replica peers that must
+	// remain associated with every partition.
+	MinReplicas int
+	// MaxDepth bounds the recursion (0 means 64, the maximal key depth).
+	MaxDepth int
+}
+
+// Validate checks the parameters for consistency.
+func (p Params) Validate() error {
+	if p.MaxKeys <= 0 {
+		return errors.New("trie: MaxKeys must be positive")
+	}
+	if p.MinReplicas <= 0 {
+		return errors.New("trie: MinReplicas must be positive")
+	}
+	if p.MaxDepth < 0 || p.MaxDepth > 64 {
+		return errors.New("trie: MaxDepth must be in [0,64]")
+	}
+	return nil
+}
+
+// maxDepth returns the effective recursion bound.
+func (p Params) maxDepth() int {
+	if p.MaxDepth == 0 {
+		return 64
+	}
+	return p.MaxDepth
+}
+
+// Node is one node of the reference partition trie. Leaves carry the peer
+// allocation; inner nodes only structure the key space.
+type Node struct {
+	// Path identifies the partition.
+	Path keyspace.Path
+	// Keys is the number of data keys falling into the partition.
+	Keys int
+	// Peers is the (possibly fractional) number of peers Algorithm 1
+	// assigns to the partition; meaningful at leaves.
+	Peers float64
+	// Left and Right are the sub-partitions (nil at leaves).
+	Left, Right *Node
+}
+
+// IsLeaf reports whether the node is a leaf of the partition trie.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is the result of running the global partitioner.
+type Tree struct {
+	Root   *Node
+	Params Params
+	// TotalKeys and TotalPeers echo the inputs.
+	TotalKeys  int
+	TotalPeers float64
+}
+
+// Leaves returns the leaf nodes in key order (left to right).
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	return out
+}
+
+// Allocation is the peer allocation of one partition, the unit of the
+// deviation metric.
+type Allocation struct {
+	Path  keyspace.Path
+	Keys  int
+	Peers float64
+}
+
+// Allocations returns the per-partition peer allocation in key order.
+func (t *Tree) Allocations() []Allocation {
+	leaves := t.Leaves()
+	out := make([]Allocation, len(leaves))
+	for i, l := range leaves {
+		out[i] = Allocation{Path: l.Path, Keys: l.Keys, Peers: l.Peers}
+	}
+	return out
+}
+
+// Paths returns the leaf paths in key order.
+func (t *Tree) Paths() []keyspace.Path {
+	leaves := t.Leaves()
+	out := make([]keyspace.Path, len(leaves))
+	for i, l := range leaves {
+		out[i] = l.Path
+	}
+	return out
+}
+
+// Depths returns the minimum, mean and maximum leaf depth of the trie.
+func (t *Tree) Depths() (min int, mean float64, max int) {
+	leaves := t.Leaves()
+	if len(leaves) == 0 {
+		return 0, 0, 0
+	}
+	min = leaves[0].Path.Depth()
+	for _, l := range leaves {
+		d := l.Path.Depth()
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		mean += float64(d)
+	}
+	return min, mean / float64(len(leaves)), max
+}
+
+// String renders the trie compactly for diagnostics.
+func (t *Tree) String() string {
+	var b strings.Builder
+	for _, a := range t.Allocations() {
+		fmt.Fprintf(&b, "%s: keys=%d peers=%.2f\n", a.Path, a.Keys, a.Peers)
+	}
+	return b.String()
+}
+
+// Build runs Algorithm 1 on the global key multiset with n peers. The keys
+// may contain duplicates (several data items can share a key). Build never
+// fails for valid parameters; if the idealizing assumption
+// keys/peers <= MaxKeys/(2*MinReplicas) does not hold it produces the
+// best-effort partitioning of the paper.
+func Build(keys keyspace.Keys, peers float64, params Params) (*Tree, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if peers <= 0 {
+		return nil, errors.New("trie: need a positive number of peers")
+	}
+	sorted := make(keyspace.Keys, len(keys))
+	copy(sorted, keys)
+	sorted.Sort()
+	root := build(sorted, keyspace.Root, peers, params)
+	return &Tree{Root: root, Params: params, TotalKeys: len(keys), TotalPeers: peers}, nil
+}
+
+// build is the recursive bisection of Algorithm 1. keys are sorted and all
+// share the prefix path.
+func build(keys keyspace.Keys, path keyspace.Path, peers float64, params Params) *Node {
+	node := &Node{Path: path, Keys: len(keys), Peers: peers}
+	// Line 1: only split while the partition is overloaded and enough peers
+	// remain to give both halves the minimal replication.
+	if len(keys) <= params.MaxKeys || peers < 2*float64(params.MinReplicas) || path.Depth() >= params.maxDepth() {
+		return node
+	}
+	left, right := splitKeys(keys, path)
+	dl, dr := len(left), len(right)
+	if dl == 0 && dr == 0 {
+		return node
+	}
+	nmin := float64(params.MinReplicas)
+	total := float64(dl + dr)
+	nl := peers * float64(dl) / total
+	nr := peers - nl
+	// Lines 2-11: if proportional assignment would leave either side below
+	// the minimal replication, pin the lighter side to n_min.
+	if nl < nmin || nr < nmin {
+		if dl <= dr {
+			nl = nmin
+			nr = peers - nl
+		} else {
+			nr = nmin
+			nl = peers - nr
+		}
+	}
+	node.Left = build(left, path.Child(0), nl, params)
+	node.Right = build(right, path.Child(1), nr, params)
+	node.Peers = 0 // peers live at the leaves once split
+	return node
+}
+
+// splitKeys partitions sorted keys sharing prefix path into those falling
+// into the left (bit 0) and right (bit 1) sub-partition.
+func splitKeys(keys keyspace.Keys, path keyspace.Path) (left, right keyspace.Keys) {
+	bit := path.Depth()
+	idx := sort.Search(len(keys), func(i int) bool {
+		if keys[i].Len <= bit {
+			return false // treat short keys (== path) as belonging to the left half
+		}
+		return keys[i].Bit(bit) == 1
+	})
+	return keys[:idx], keys[idx:]
+}
+
+// PartitionFor returns the leaf path responsible for the given key.
+func (t *Tree) PartitionFor(k keyspace.Key) keyspace.Path {
+	n := t.Root
+	for !n.IsLeaf() {
+		bit := n.Path.Depth()
+		if k.Len > bit && k.Bit(bit) == 1 {
+			n = n.Right
+		} else {
+			n = n.Left
+		}
+	}
+	return n.Path
+}
+
+// MaxLeafKeys returns the largest number of keys held by any leaf.
+func (t *Tree) MaxLeafKeys() int {
+	max := 0
+	for _, l := range t.Leaves() {
+		if l.Keys > max {
+			max = l.Keys
+		}
+	}
+	return max
+}
+
+// MinLeafPeers returns the smallest peer allocation of any leaf.
+func (t *Tree) MinLeafPeers() float64 {
+	leaves := t.Leaves()
+	if len(leaves) == 0 {
+		return 0
+	}
+	min := leaves[0].Peers
+	for _, l := range leaves {
+		if l.Peers < min {
+			min = l.Peers
+		}
+	}
+	return min
+}

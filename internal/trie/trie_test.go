@@ -1,0 +1,221 @@
+package trie
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/workload"
+)
+
+func uniformKeys(n int, seed int64) keyspace.Keys {
+	r := rand.New(rand.NewSource(seed))
+	return workload.Keys(workload.Uniform{}, n, 32, r)
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{MaxKeys: 10, MinReplicas: 5}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{MaxKeys: 0, MinReplicas: 5},
+		{MaxKeys: 10, MinReplicas: 0},
+		{MaxKeys: 10, MinReplicas: 5, MaxDepth: 70},
+		{MaxKeys: 10, MinReplicas: 5, MaxDepth: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v should be rejected", p)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	keys := uniformKeys(100, 1)
+	if _, err := Build(keys, 0, Params{MaxKeys: 10, MinReplicas: 5}); err == nil {
+		t.Error("expected error for zero peers")
+	}
+	if _, err := Build(keys, 10, Params{}); err == nil {
+		t.Error("expected error for invalid params")
+	}
+}
+
+func TestBuildNoSplitWhenUnderloaded(t *testing.T) {
+	keys := uniformKeys(10, 2)
+	tree, err := Build(keys, 100, Params{MaxKeys: 50, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Error("partition below MaxKeys should not be split")
+	}
+	if tree.Root.Peers != 100 || tree.Root.Keys != 10 {
+		t.Errorf("root allocation wrong: %+v", tree.Root)
+	}
+}
+
+func TestBuildNoSplitWhenTooFewPeers(t *testing.T) {
+	keys := uniformKeys(1000, 3)
+	tree, err := Build(keys, 9, Params{MaxKeys: 10, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Error("splitting with fewer than 2*n_min peers must not happen")
+	}
+}
+
+func TestBuildLeavesCoverKeySpace(t *testing.T) {
+	for _, d := range workload.PaperSet() {
+		r := rand.New(rand.NewSource(4))
+		keys := workload.Keys(d, 2560, 32, r)
+		tree, err := Build(keys, 256, Params{MaxKeys: 50, MinReplicas: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if !keyspace.CoversKeySpace(tree.Paths()) {
+			t.Errorf("%s: leaves do not cover the key space: %v", d.Name(), tree.Paths())
+		}
+	}
+}
+
+func TestBuildPeersConserved(t *testing.T) {
+	for _, d := range workload.PaperSet() {
+		r := rand.New(rand.NewSource(5))
+		keys := workload.Keys(d, 2560, 32, r)
+		tree, err := Build(keys, 256, Params{MaxKeys: 50, MinReplicas: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, l := range tree.Leaves() {
+			sum += l.Peers
+		}
+		if math.Abs(sum-256) > 1e-6 {
+			t.Errorf("%s: peers not conserved: %v", d.Name(), sum)
+		}
+	}
+}
+
+func TestBuildKeysConserved(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	keys := workload.Keys(workload.NewPareto(1.0), 5000, 32, r)
+	tree, err := Build(keys, 512, Params{MaxKeys: 50, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, l := range tree.Leaves() {
+		sum += l.Keys
+	}
+	if sum != len(keys) {
+		t.Errorf("keys not conserved: %d != %d", sum, len(keys))
+	}
+}
+
+func TestBuildProportionalAllocation(t *testing.T) {
+	// With a uniform distribution and generous parameters, peer allocations
+	// should be roughly proportional to key counts at every leaf.
+	r := rand.New(rand.NewSource(7))
+	keys := workload.Keys(workload.Uniform{}, 10000, 32, r)
+	tree, err := Build(keys, 1000, Params{MaxKeys: 700, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range tree.Leaves() {
+		wantPeers := 1000 * float64(l.Keys) / 10000
+		if l.Peers < wantPeers*0.5 || l.Peers > wantPeers*2 {
+			t.Errorf("leaf %s: peers %.2f vs proportional %.2f", l.Path, l.Peers, wantPeers)
+		}
+	}
+}
+
+func TestBuildRespectsMinReplicasProperty(t *testing.T) {
+	// Property: no leaf ever receives fewer than MinReplicas peers (the
+	// whole point of the n_min criterion), for arbitrary workloads/sizes.
+	f := func(seed int64, which uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := workload.PaperSet()[int(which)%6]
+		keys := workload.Keys(d, 1000, 32, r)
+		tree, err := Build(keys, 128, Params{MaxKeys: 20, MinReplicas: 5})
+		if err != nil {
+			return false
+		}
+		return tree.MinLeafPeers() >= 5-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewedDistributionsProduceDeeperTries(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	params := Params{MaxKeys: 50, MinReplicas: 5}
+	uni, _ := Build(workload.Keys(workload.Uniform{}, 2560, 32, r), 256, params)
+	par, _ := Build(workload.Keys(workload.NewPareto(0.5), 2560, 32, r), 256, params)
+	_, _, maxU := uni.Depths()
+	_, _, maxP := par.Depths()
+	if maxP <= maxU {
+		t.Errorf("skewed trie should be deeper: pareto max depth %d vs uniform %d", maxP, maxU)
+	}
+}
+
+func TestPartitionFor(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	keys := workload.Keys(workload.Uniform{}, 2000, 32, r)
+	tree, err := Build(keys, 256, Params{MaxKeys: 40, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		k := keyspace.MustFromFloat(r.Float64(), 32)
+		p := tree.PartitionFor(k)
+		if !k.HasPrefix(p) {
+			t.Fatalf("PartitionFor(%v) = %v, key does not have that prefix", k, p)
+		}
+	}
+}
+
+func TestMaxDepthBound(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	keys := workload.Keys(workload.NewNormal(), 5000, 32, r)
+	tree, err := Build(keys, 1024, Params{MaxKeys: 5, MinReplicas: 2, MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, max := tree.Depths()
+	if max > 4 {
+		t.Errorf("max depth %d exceeds bound", max)
+	}
+}
+
+func TestTreeStringAndAllocations(t *testing.T) {
+	keys := uniformKeys(200, 11)
+	tree, _ := Build(keys, 64, Params{MaxKeys: 30, MinReplicas: 5})
+	if tree.String() == "" {
+		t.Error("String should render allocations")
+	}
+	allocs := tree.Allocations()
+	if len(allocs) != len(tree.Leaves()) {
+		t.Error("allocations/leaves mismatch")
+	}
+	if tree.MaxLeafKeys() <= 0 {
+		t.Error("MaxLeafKeys should be positive")
+	}
+}
+
+func TestEmptyKeys(t *testing.T) {
+	tree, err := Build(nil, 10, Params{MaxKeys: 10, MinReplicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() || tree.Root.Keys != 0 {
+		t.Error("empty key set should yield a single empty leaf")
+	}
+	min, mean, max := tree.Depths()
+	if min != 0 || mean != 0 || max != 0 {
+		t.Error("depths of trivial trie should be zero")
+	}
+}

@@ -1,0 +1,202 @@
+// Package unstructured implements the pre-existing unstructured overlay
+// network the construction protocol bootstraps from (Sections 2.2 and 4.1):
+// a random-neighbour graph over which peers perform random walks to select
+// interaction partners approximately uniformly at random, and a flooding
+// vote protocol by which a peer proposes building (or rebuilding) an index
+// and gathers the aggregate information (number of data items, available
+// storage) needed to choose the construction parameters.
+package unstructured
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"pgrid/internal/network"
+)
+
+// DefaultDegree is the default number of neighbours per peer.
+const DefaultDegree = 6
+
+// DefaultWalkLength is the default random-walk length used for uniform peer
+// sampling; a handful of steps on a well-connected random graph is enough
+// for the walk position to be close to uniformly distributed.
+const DefaultWalkLength = 10
+
+// Graph is the unstructured overlay: a directed neighbour relation that is
+// kept (approximately) symmetric. It is safe for concurrent use.
+type Graph struct {
+	mu        sync.RWMutex
+	neighbors map[network.Addr][]network.Addr
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+}
+
+// NewGraph builds a random graph over the given peers where every peer gets
+// `degree` neighbours chosen uniformly at random (plus the reverse edges).
+func NewGraph(peers []network.Addr, degree int, seed int64) *Graph {
+	if degree <= 0 {
+		degree = DefaultDegree
+	}
+	g := &Graph{
+		neighbors: make(map[network.Addr][]network.Addr, len(peers)),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+	for _, p := range peers {
+		g.neighbors[p] = nil
+	}
+	for _, p := range peers {
+		for i := 0; i < degree && len(peers) > 1; i++ {
+			q := peers[g.rng.Intn(len(peers))]
+			if q == p {
+				continue
+			}
+			g.addEdge(p, q)
+			g.addEdge(q, p)
+		}
+	}
+	return g
+}
+
+// addEdge adds q to p's neighbour list if not already present.
+func (g *Graph) addEdge(p, q network.Addr) {
+	for _, n := range g.neighbors[p] {
+		if n == q {
+			return
+		}
+	}
+	g.neighbors[p] = append(g.neighbors[p], q)
+}
+
+// AddPeer inserts a new peer and connects it to `degree` random existing
+// peers, which is how joining peers enter the unstructured overlay through
+// a bootstrap peer.
+func (g *Graph) AddPeer(p network.Addr, degree int) {
+	if degree <= 0 {
+		degree = DefaultDegree
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.neighbors[p]; ok {
+		return
+	}
+	existing := make([]network.Addr, 0, len(g.neighbors))
+	for q := range g.neighbors {
+		existing = append(existing, q)
+	}
+	g.neighbors[p] = nil
+	g.rngMu.Lock()
+	defer g.rngMu.Unlock()
+	for i := 0; i < degree && len(existing) > 0; i++ {
+		q := existing[g.rng.Intn(len(existing))]
+		g.addEdge(p, q)
+		g.addEdge(q, p)
+	}
+}
+
+// Peers returns all peers of the graph.
+func (g *Graph) Peers() []network.Addr {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]network.Addr, 0, len(g.neighbors))
+	for p := range g.neighbors {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Neighbors returns a copy of a peer's neighbour list.
+func (g *Graph) Neighbors(p network.Addr) []network.Addr {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]network.Addr(nil), g.neighbors[p]...)
+}
+
+// Size returns the number of peers.
+func (g *Graph) Size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.neighbors)
+}
+
+// RandomWalk performs a random walk of the given length starting at `from`
+// and returns the final peer, which serves as an approximately uniform
+// random sample of the peer population. Walks that hit a peer without
+// neighbours stop there. The filter, when non-nil, restricts the walk to
+// peers for which it returns true (used to avoid offline peers); if the
+// start itself is the only eligible peer the start is returned.
+func (g *Graph) RandomWalk(from network.Addr, length int, filter func(network.Addr) bool) (network.Addr, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.neighbors[from]; !ok {
+		return "", errors.New("unstructured: unknown start peer")
+	}
+	if length <= 0 {
+		length = DefaultWalkLength
+	}
+	cur := from
+	g.rngMu.Lock()
+	defer g.rngMu.Unlock()
+	for i := 0; i < length; i++ {
+		ns := g.neighbors[cur]
+		if len(ns) == 0 {
+			break
+		}
+		// Try a few times to honour the filter, otherwise stay put.
+		moved := false
+		for attempt := 0; attempt < 4; attempt++ {
+			next := ns[g.rng.Intn(len(ns))]
+			if filter == nil || filter(next) {
+				cur = next
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			continue
+		}
+	}
+	return cur, nil
+}
+
+// UniformSample draws n approximately uniform peers by independent random
+// walks from the given start peer.
+func (g *Graph) UniformSample(from network.Addr, n int, filter func(network.Addr) bool) ([]network.Addr, error) {
+	out := make([]network.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := g.RandomWalk(from, DefaultWalkLength, filter)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Connected reports whether the graph is connected (ignoring direction),
+// which the flooding vote and the random walks rely on.
+func (g *Graph) Connected() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.neighbors) == 0 {
+		return false
+	}
+	var start network.Addr
+	for p := range g.neighbors {
+		start = p
+		break
+	}
+	seen := map[network.Addr]bool{start: true}
+	queue := []network.Addr{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range g.neighbors[cur] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return len(seen) == len(g.neighbors)
+}

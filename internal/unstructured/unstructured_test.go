@@ -1,0 +1,231 @@
+package unstructured
+
+import (
+	"fmt"
+	"testing"
+
+	"pgrid/internal/network"
+)
+
+func addrs(n int) []network.Addr {
+	out := make([]network.Addr, n)
+	for i := range out {
+		out[i] = network.Addr(fmt.Sprintf("peer-%03d", i))
+	}
+	return out
+}
+
+func TestNewGraphBasics(t *testing.T) {
+	peers := addrs(50)
+	g := NewGraph(peers, 4, 1)
+	if g.Size() != 50 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if len(g.Peers()) != 50 {
+		t.Error("Peers() size wrong")
+	}
+	for _, p := range peers {
+		ns := g.Neighbors(p)
+		if len(ns) == 0 {
+			t.Fatalf("peer %s has no neighbours", p)
+		}
+		seen := map[network.Addr]bool{}
+		for _, n := range ns {
+			if n == p {
+				t.Fatalf("self loop at %s", p)
+			}
+			if seen[n] {
+				t.Fatalf("duplicate neighbour %s at %s", n, p)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestGraphSymmetry(t *testing.T) {
+	g := NewGraph(addrs(30), 4, 2)
+	for _, p := range g.Peers() {
+		for _, q := range g.Neighbors(p) {
+			found := false
+			for _, back := range g.Neighbors(q) {
+				if back == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %s->%s not symmetric", p, q)
+			}
+		}
+	}
+}
+
+func TestGraphConnected(t *testing.T) {
+	g := NewGraph(addrs(100), 6, 3)
+	if !g.Connected() {
+		t.Error("random graph with degree 6 should be connected")
+	}
+	empty := NewGraph(nil, 4, 4)
+	if empty.Connected() {
+		t.Error("empty graph should not be connected")
+	}
+	single := NewGraph(addrs(1), 4, 5)
+	if !single.Connected() {
+		t.Error("single-peer graph is trivially connected")
+	}
+}
+
+func TestAddPeer(t *testing.T) {
+	g := NewGraph(addrs(20), 4, 6)
+	newPeer := network.Addr("late-joiner")
+	g.AddPeer(newPeer, 4)
+	if g.Size() != 21 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if len(g.Neighbors(newPeer)) == 0 {
+		t.Error("late joiner should have neighbours")
+	}
+	// Adding again is a no-op.
+	before := len(g.Neighbors(newPeer))
+	g.AddPeer(newPeer, 4)
+	if len(g.Neighbors(newPeer)) != before {
+		t.Error("re-adding a peer should not change its neighbours")
+	}
+	// Default degree applies when degree <= 0.
+	g.AddPeer("another", 0)
+	if len(g.Neighbors("another")) == 0 {
+		t.Error("default degree should connect the peer")
+	}
+}
+
+func TestRandomWalkReachesManyPeers(t *testing.T) {
+	peers := addrs(60)
+	g := NewGraph(peers, 6, 7)
+	counts := map[network.Addr]int{}
+	for i := 0; i < 3000; i++ {
+		p, err := g.RandomWalk(peers[0], 12, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p]++
+	}
+	if len(counts) < 50 {
+		t.Errorf("random walks reached only %d of 60 peers", len(counts))
+	}
+	// No single peer should dominate massively (rough uniformity check).
+	for p, c := range counts {
+		if c > 3000/60*6 {
+			t.Errorf("peer %s sampled %d times, far above uniform share", p, c)
+		}
+	}
+}
+
+func TestRandomWalkErrorsAndFilter(t *testing.T) {
+	g := NewGraph(addrs(10), 3, 8)
+	if _, err := g.RandomWalk("unknown", 5, nil); err == nil {
+		t.Error("unknown start should error")
+	}
+	// Filter that excludes everybody keeps the walk at the start.
+	p, err := g.RandomWalk("peer-000", 5, func(network.Addr) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != "peer-000" {
+		t.Errorf("filtered walk should stay at start, got %s", p)
+	}
+	// Zero length uses the default.
+	if _, err := g.RandomWalk("peer-000", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformSample(t *testing.T) {
+	g := NewGraph(addrs(40), 5, 9)
+	sample, err := g.UniformSample("peer-000", 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 25 {
+		t.Errorf("sample size = %d", len(sample))
+	}
+	if _, err := g.UniformSample("nope", 5, nil); err == nil {
+		t.Error("unknown start should error")
+	}
+}
+
+func TestVoteAggregation(t *testing.T) {
+	peers := addrs(30)
+	g := NewGraph(peers, 5, 10)
+	res, err := Vote(g, peers[0], 0, func(p network.Addr) Ballot {
+		// Two thirds vote in favour; everyone holds 10 items.
+		favour := p[len(p)-1] != '0'
+		return Ballot{InFavour: favour, LocalItems: 10, StorageBudget: 100}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 30 {
+		t.Errorf("reached = %d", res.Reached)
+	}
+	if res.InFavour+res.Against != 30 {
+		t.Error("votes do not add up")
+	}
+	if res.TotalItems != 300 || res.TotalStorage != 3000 {
+		t.Errorf("aggregates wrong: %+v", res)
+	}
+	if res.AverageItems() != 10 {
+		t.Errorf("average items = %v", res.AverageItems())
+	}
+	if !res.Passed() {
+		t.Error("two-thirds majority should pass")
+	}
+	if res.Messages == 0 {
+		t.Error("flooding should cost messages")
+	}
+}
+
+func TestVoteTTLLimitsReach(t *testing.T) {
+	peers := addrs(200)
+	g := NewGraph(peers, 3, 11)
+	limited, err := Vote(g, peers[0], 1, func(network.Addr) Ballot { return Ballot{InFavour: true} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Vote(g, peers[0], 0, func(network.Addr) Ballot { return Ballot{InFavour: true} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Reached >= full.Reached {
+		t.Errorf("TTL should limit reach: %d vs %d", limited.Reached, full.Reached)
+	}
+}
+
+func TestVoteErrors(t *testing.T) {
+	g := NewGraph(addrs(5), 2, 12)
+	if _, err := Vote(g, "peer-000", 0, nil); err == nil {
+		t.Error("nil voter should error")
+	}
+	empty := NewGraph(nil, 2, 13)
+	if _, err := Vote(empty, "x", 0, func(network.Addr) Ballot { return Ballot{} }); err == nil {
+		t.Error("empty graph should error")
+	}
+}
+
+func TestVoteParameters(t *testing.T) {
+	v := VoteResult{Reached: 10, TotalItems: 100}
+	// davg = 10, nmin = 5 -> dmax = 100.
+	if got := v.Parameters(5); got != 100 {
+		t.Errorf("dmax = %d, want 100", got)
+	}
+	// Degenerate nmin.
+	if got := v.Parameters(0); got < 1 {
+		t.Errorf("dmax with degenerate nmin = %d", got)
+	}
+	emptyVote := VoteResult{}
+	if emptyVote.AverageItems() != 0 {
+		t.Error("empty vote average should be 0")
+	}
+	if emptyVote.Parameters(5) < 5 {
+		t.Error("dmax should never fall below nmin")
+	}
+}

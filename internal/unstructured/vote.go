@@ -1,0 +1,119 @@
+package unstructured
+
+import (
+	"errors"
+
+	"pgrid/internal/network"
+)
+
+// This file implements the decentralized index-initiation protocol of
+// Section 4.1: a peer that locally decides a (re-)index is needed floods a
+// voting request over the unstructured overlay; peers reply with their vote
+// and piggy-back local statistics (number of data items to index, storage
+// they are willing to contribute); votes are aggregated along the flooding
+// tree; if the vote passes, the initiator floods back the construction
+// parameters derived from the aggregate.
+
+// Ballot is one peer's reply to a voting request.
+type Ballot struct {
+	// InFavour is the peer's vote.
+	InFavour bool
+	// LocalItems is the number of data items the peer would contribute to
+	// the new index.
+	LocalItems int
+	// StorageBudget is the number of index entries the peer is willing to
+	// store.
+	StorageBudget int
+}
+
+// Voter supplies a peer's ballot when the flood reaches it.
+type Voter func(peer network.Addr) Ballot
+
+// VoteResult is the aggregate the initiator sees after the flood returns.
+type VoteResult struct {
+	// Reached is the number of peers the flood reached (including the
+	// initiator).
+	Reached int
+	// InFavour and Against count the votes.
+	InFavour, Against int
+	// TotalItems is the total number of data items to be indexed.
+	TotalItems int
+	// TotalStorage is the total contributed storage budget.
+	TotalStorage int
+	// Messages is the number of protocol messages exchanged (request plus
+	// aggregated reply per edge of the flooding tree).
+	Messages int
+}
+
+// Passed reports whether a majority of the reached peers voted in favour.
+func (v VoteResult) Passed() bool { return v.InFavour > v.Reached/2 }
+
+// AverageItems returns the mean number of data items per reached peer
+// (d_avg in Section 4.2), from which the construction parameters are
+// derived.
+func (v VoteResult) AverageItems() float64 {
+	if v.Reached == 0 {
+		return 0
+	}
+	return float64(v.TotalItems) / float64(v.Reached)
+}
+
+// Parameters derives the construction parameters from the vote aggregate:
+// the paper sets dmax = davg * nmin * 2 so that, with every key replicated
+// nmin times before construction starts, partitions stop splitting at about
+// twice the average per-peer load.
+func (v VoteResult) Parameters(nmin int) (dmax int) {
+	if nmin <= 0 {
+		nmin = 1
+	}
+	dmax = int(v.AverageItems()*float64(nmin)*2 + 0.5)
+	if dmax < nmin {
+		dmax = nmin
+	}
+	return dmax
+}
+
+// Vote floods a voting request from the initiator over the graph and
+// aggregates the ballots. TTL bounds the flooding depth (0 means unbounded,
+// i.e. the whole connected component is reached).
+func Vote(g *Graph, initiator network.Addr, ttl int, voter Voter) (VoteResult, error) {
+	if voter == nil {
+		return VoteResult{}, errors.New("unstructured: nil voter")
+	}
+	neighbors := g.Neighbors(initiator)
+	if neighbors == nil && g.Size() == 0 {
+		return VoteResult{}, errors.New("unstructured: empty graph")
+	}
+	seen := map[network.Addr]bool{initiator: true}
+	type frontierEntry struct {
+		addr  network.Addr
+		depth int
+	}
+	queue := []frontierEntry{{initiator, 0}}
+	var res VoteResult
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		b := voter(cur.addr)
+		res.Reached++
+		if b.InFavour {
+			res.InFavour++
+		} else {
+			res.Against++
+		}
+		res.TotalItems += b.LocalItems
+		res.TotalStorage += b.StorageBudget
+		if ttl > 0 && cur.depth >= ttl {
+			continue
+		}
+		for _, n := range g.Neighbors(cur.addr) {
+			if !seen[n] {
+				seen[n] = true
+				// One request down the edge and one aggregated reply back.
+				res.Messages += 2
+				queue = append(queue, frontierEntry{n, cur.depth + 1})
+			}
+		}
+	}
+	return res, nil
+}

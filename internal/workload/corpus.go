@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pgrid/internal/keyspace"
+)
+
+// This file provides the synthetic text-retrieval workload standing in for
+// the Alvis corpus used in the paper (label "A" in Figure 6 and the key set
+// of the PlanetLab experiments). The paper's corpus is not available, so we
+// generate documents whose term occurrences follow a Zipf law over a
+// synthetic vocabulary; index keys are order-preserving encodings of the
+// terms, which produces the clustered, highly skewed key distribution the
+// construction algorithm has to cope with. See DESIGN.md ("Substitutions").
+
+// CorpusConfig parameterises the synthetic corpus.
+type CorpusConfig struct {
+	// VocabularySize is the number of distinct terms.
+	VocabularySize int
+	// ZipfExponent controls the term-frequency skew (≈1 for natural text).
+	ZipfExponent float64
+	// TermsPerDocument is the average number of indexed terms per document.
+	TermsPerDocument int
+	// KeyDepth is the bit depth of generated keys.
+	KeyDepth int
+	// Seed makes vocabulary generation deterministic.
+	Seed int64
+}
+
+// DefaultCorpusConfig returns a corpus comparable in skew to natural text:
+// 10k terms, Zipf exponent 1.05, 20 terms per document.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		VocabularySize:   10000,
+		ZipfExponent:     1.05,
+		TermsPerDocument: 20,
+		KeyDepth:         keyspace.DefaultDepth,
+		Seed:             20050831, // VLDB 2005 conference date
+	}
+}
+
+// Document is a synthetic document: an identifier plus its indexed terms.
+type Document struct {
+	ID    string
+	Terms []string
+}
+
+// Posting associates an index term (and its key) with a document.
+type Posting struct {
+	Term string
+	Key  keyspace.Key
+	Doc  string
+}
+
+// TextCorpus generates documents and index postings with a Zipf term
+// distribution. It implements Distribution so it can be used wherever the
+// paper uses the Alvis key set.
+type TextCorpus struct {
+	cfg   CorpusConfig
+	vocab []string
+	zipf  *Zipf
+}
+
+// NewTextCorpus builds a synthetic corpus from the configuration.
+func NewTextCorpus(cfg CorpusConfig) *TextCorpus {
+	if cfg.VocabularySize <= 0 {
+		cfg.VocabularySize = 1000
+	}
+	if cfg.TermsPerDocument <= 0 {
+		cfg.TermsPerDocument = 10
+	}
+	if cfg.KeyDepth <= 0 {
+		cfg.KeyDepth = keyspace.DefaultDepth
+	}
+	if cfg.ZipfExponent <= 0 {
+		cfg.ZipfExponent = 1.05
+	}
+	c := &TextCorpus{
+		cfg:  cfg,
+		zipf: NewZipf(cfg.VocabularySize, cfg.ZipfExponent),
+	}
+	c.vocab = makeVocabulary(cfg.VocabularySize, cfg.Seed)
+	return c
+}
+
+// Name implements Distribution (the paper's label for the text workload).
+func (c *TextCorpus) Name() string { return "A" }
+
+// Sample implements Distribution: it draws a term according to the Zipf law
+// and returns the float value of its order-preserving key.
+func (c *TextCorpus) Sample(r *rand.Rand) float64 {
+	term := c.vocab[c.zipf.Rank(r)]
+	return keyspace.MustEncodeString(term, c.cfg.KeyDepth).Float()
+}
+
+// Vocabulary returns the generated term list (rank order: most frequent
+// first).
+func (c *TextCorpus) Vocabulary() []string { return c.vocab }
+
+// Term returns the term at the given frequency rank.
+func (c *TextCorpus) Term(rank int) string { return c.vocab[rank%len(c.vocab)] }
+
+// TermKey returns the order-preserving key of a term.
+func (c *TextCorpus) TermKey(term string) keyspace.Key {
+	return keyspace.MustEncodeString(term, c.cfg.KeyDepth)
+}
+
+// Documents generates n synthetic documents using the supplied random
+// source.
+func (c *TextCorpus) Documents(n int, r *rand.Rand) []Document {
+	docs := make([]Document, n)
+	for i := range docs {
+		nt := c.cfg.TermsPerDocument/2 + r.Intn(c.cfg.TermsPerDocument+1)
+		seen := make(map[string]bool, nt)
+		terms := make([]string, 0, nt)
+		for len(terms) < nt {
+			term := c.vocab[c.zipf.Rank(r)]
+			if !seen[term] {
+				seen[term] = true
+				terms = append(terms, term)
+			}
+		}
+		docs[i] = Document{ID: fmt.Sprintf("doc-%06d", i), Terms: terms}
+	}
+	return docs
+}
+
+// Postings converts documents to index postings (one per term occurrence,
+// deduplicated per document), i.e. the distributed inverted file entries the
+// overlay will index.
+func (c *TextCorpus) Postings(docs []Document) []Posting {
+	var out []Posting
+	for _, d := range docs {
+		for _, t := range d.Terms {
+			out = append(out, Posting{Term: t, Key: c.TermKey(t), Doc: d.ID})
+		}
+	}
+	return out
+}
+
+// makeVocabulary builds a deterministic vocabulary of pronounceable
+// lower-case terms. Terms are generated as consonant-vowel syllable chains
+// so their encodings spread over the key space while remaining clustered by
+// shared prefixes, like a natural-language vocabulary.
+func makeVocabulary(n int, seed int64) []string {
+	consonants := "bcdfghjklmnpqrstvwz"
+	vowels := "aeiou"
+	r := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		var b strings.Builder
+		syllables := 2 + r.Intn(3)
+		for s := 0; s < syllables; s++ {
+			b.WriteByte(consonants[r.Intn(len(consonants))])
+			b.WriteByte(vowels[r.Intn(len(vowels))])
+		}
+		w := b.String()
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCorpusVocabulary(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.VocabularySize = 500
+	c := NewTextCorpus(cfg)
+	v := c.Vocabulary()
+	if len(v) != 500 {
+		t.Fatalf("vocabulary size = %d", len(v))
+	}
+	seen := make(map[string]bool)
+	for _, w := range v {
+		if w == "" || seen[w] {
+			t.Fatalf("empty or duplicate term %q", w)
+		}
+		seen[w] = true
+		if strings.ToLower(w) != w {
+			t.Fatalf("term %q not lower case", w)
+		}
+	}
+}
+
+func TestCorpusDeterministicVocabulary(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.VocabularySize = 200
+	a := NewTextCorpus(cfg).Vocabulary()
+	b := NewTextCorpus(cfg).Vocabulary()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vocabulary not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCorpusDocumentsAndPostings(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.VocabularySize = 300
+	cfg.TermsPerDocument = 10
+	c := NewTextCorpus(cfg)
+	r := rand.New(rand.NewSource(11))
+	docs := c.Documents(50, r)
+	if len(docs) != 50 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	for _, d := range docs {
+		if len(d.Terms) == 0 {
+			t.Fatalf("document %s has no terms", d.ID)
+		}
+		dup := make(map[string]bool)
+		for _, term := range d.Terms {
+			if dup[term] {
+				t.Fatalf("document %s has duplicate term %q", d.ID, term)
+			}
+			dup[term] = true
+		}
+	}
+	posts := c.Postings(docs)
+	if len(posts) == 0 {
+		t.Fatal("no postings")
+	}
+	for _, p := range posts {
+		if !p.Key.Equal(c.TermKey(p.Term)) {
+			t.Fatalf("posting key mismatch for %q", p.Term)
+		}
+		if p.Doc == "" {
+			t.Fatal("posting without document id")
+		}
+	}
+}
+
+func TestCorpusSampleSkewed(t *testing.T) {
+	// The text workload must be clustered: many samples map to the same key
+	// value (frequent terms), unlike the uniform distribution.
+	c := NewTextCorpus(DefaultCorpusConfig())
+	r := rand.New(rand.NewSource(3))
+	seen := make(map[float64]int)
+	n := 5000
+	for i := 0; i < n; i++ {
+		seen[c.Sample(r)]++
+	}
+	if len(seen) >= n {
+		t.Errorf("text workload produced %d distinct values out of %d samples; expected clustering", len(seen), n)
+	}
+	max := 0
+	for _, cnt := range seen {
+		if cnt > max {
+			max = cnt
+		}
+	}
+	if max < 20 {
+		t.Errorf("most frequent key only appears %d times; expected heavy head", max)
+	}
+}
+
+func TestCorpusConfigDefaultsApplied(t *testing.T) {
+	c := NewTextCorpus(CorpusConfig{})
+	if len(c.Vocabulary()) == 0 {
+		t.Fatal("defaults not applied")
+	}
+	if c.Name() != "A" {
+		t.Error("text corpus label should be A")
+	}
+	if c.Term(0) == "" || c.Term(len(c.Vocabulary())+3) == "" {
+		t.Error("Term should wrap around")
+	}
+}

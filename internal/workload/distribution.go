@@ -1,0 +1,211 @@
+// Package workload generates the data-key workloads used throughout the
+// paper's evaluation: a uniform distribution, Pareto distributions with
+// shape k = 0.5, 1.0 and 1.5, a Normal distribution with mean 0.5 and
+// standard deviation 0.051, and a synthetic text-retrieval workload standing
+// in for the Alvis corpus (denoted U, P0.5, P1.0, P1.5, N and A in
+// Figure 6). All generators are deterministic given a seed, so experiments
+// are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pgrid/internal/keyspace"
+)
+
+// Distribution produces application values in [0,1) whose order-preserving
+// keys exhibit the skew of the named workload.
+type Distribution interface {
+	// Name returns the short label used in the paper's figures (U, P0.5, …).
+	Name() string
+	// Sample draws one value in [0,1) using the supplied random source.
+	Sample(r *rand.Rand) float64
+}
+
+// Uniform is the uniform distribution on [0,1) (label "U").
+type Uniform struct{}
+
+// Name implements Distribution.
+func (Uniform) Name() string { return "U" }
+
+// Sample implements Distribution.
+func (Uniform) Sample(r *rand.Rand) float64 { return r.Float64() }
+
+// Pareto is the paper's Pareto distribution with PDF k*xm^k / x^(k+1),
+// shape K in {0.5, 1, 1.5} and scale xm = 0.19029, truncated to the unit
+// interval [xm, 1) so the samples are valid keys (Figure 6 labels P0.5,
+// P1.0, P1.5). The mass concentrates just above xm and thins out towards 1,
+// more sharply for larger K — an extremely skewed key distribution.
+type Pareto struct {
+	// K is the shape parameter.
+	K float64
+	// Xm is the scale (minimum) parameter.
+	Xm float64
+}
+
+// NewPareto returns a Pareto distribution with the paper's scale parameter.
+func NewPareto(k float64) Pareto { return Pareto{K: k, Xm: 0.19029} }
+
+// Name implements Distribution.
+func (p Pareto) Name() string { return fmt.Sprintf("P%.1f", p.K) }
+
+// Sample implements Distribution using exact inverse-CDF sampling of the
+// truncated Pareto: F(x) = (1 - (xm/x)^k) / (1 - xm^k) for x in [xm, 1).
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	norm := 1 - math.Pow(p.Xm, p.K)
+	x := p.Xm / math.Pow(1-u*norm, 1/p.K)
+	if x < 0 {
+		x = 0
+	}
+	if x >= 1 {
+		x = math.Nextafter(1, 0)
+	}
+	return x
+}
+
+// Normal is a truncated Normal distribution on [0,1) (label "N"). The paper
+// uses mean 0.5 and standard deviation 0.051, an extremely concentrated —
+// hence extremely skewed in key-space terms — distribution.
+type Normal struct {
+	Mean, StdDev float64
+}
+
+// NewNormal returns the paper's Normal(0.5, 0.051) distribution.
+func NewNormal() Normal { return Normal{Mean: 0.5, StdDev: 0.051} }
+
+// Name implements Distribution.
+func (Normal) Name() string { return "N" }
+
+// Sample implements Distribution.
+func (n Normal) Sample(r *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		v := r.NormFloat64()*n.StdDev + n.Mean
+		if v >= 0 && v < 1 {
+			return v
+		}
+	}
+	return n.Mean
+}
+
+// Zipf produces values clustered according to a Zipf law over a finite
+// vocabulary, modelling term frequencies in text retrieval. Rank i (0-based)
+// is mapped to the value (i+0.5)/V so that frequent terms concentrate mass
+// on few distinct keys.
+type Zipf struct {
+	// V is the vocabulary size.
+	V int
+	// S is the Zipf exponent (typically near 1).
+	S   float64
+	cdf []float64
+}
+
+// NewZipf builds a Zipf distribution over v ranks with exponent s.
+func NewZipf(v int, s float64) *Zipf {
+	if v < 1 {
+		v = 1
+	}
+	z := &Zipf{V: v, S: s, cdf: make([]float64, v)}
+	sum := 0.0
+	for i := 0; i < v; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Name implements Distribution.
+func (z *Zipf) Name() string { return fmt.Sprintf("Z%d", z.V) }
+
+// Sample implements Distribution.
+func (z *Zipf) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return (float64(lo) + 0.5) / float64(z.V)
+}
+
+// Rank draws a Zipf-distributed rank in [0, V).
+func (z *Zipf) Rank(r *rand.Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ByName returns the distribution with the given figure label. Recognised
+// names are U, P0.5, P1.0, P1.5, N and A (the synthetic Alvis text
+// workload).
+func ByName(name string) (Distribution, error) {
+	switch name {
+	case "U":
+		return Uniform{}, nil
+	case "P0.5":
+		return NewPareto(0.5), nil
+	case "P1.0", "P1":
+		return NewPareto(1.0), nil
+	case "P1.5":
+		return NewPareto(1.5), nil
+	case "N":
+		return NewNormal(), nil
+	case "A":
+		return NewTextCorpus(DefaultCorpusConfig()), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q", name)
+	}
+}
+
+// PaperSet returns the six distributions of Figure 6 in presentation order.
+func PaperSet() []Distribution {
+	return []Distribution{
+		Uniform{},
+		NewPareto(0.5),
+		NewPareto(1.0),
+		NewPareto(1.5),
+		NewNormal(),
+		NewTextCorpus(DefaultCorpusConfig()),
+	}
+}
+
+// Keys draws n keys of the given depth from a distribution.
+func Keys(d Distribution, n, depth int, r *rand.Rand) keyspace.Keys {
+	out := make(keyspace.Keys, n)
+	for i := range out {
+		out[i] = keyspace.MustFromFloat(d.Sample(r), depth)
+	}
+	return out
+}
+
+// AssignKeys assigns keysPerPeer keys from the distribution to each of n
+// peers, returning one key set per peer. This mirrors the experimental setup
+// of Section 4.4 and 5.1 where every peer initially holds a small sample of
+// the global key set.
+func AssignKeys(d Distribution, n, keysPerPeer, depth int, r *rand.Rand) []keyspace.Keys {
+	out := make([]keyspace.Keys, n)
+	for i := range out {
+		out[i] = Keys(d, keysPerPeer, depth, r)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgrid/internal/keyspace"
+)
+
+func sampleMany(d Distribution, n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+func TestAllDistributionsInUnitInterval(t *testing.T) {
+	for _, d := range PaperSet() {
+		xs := sampleMany(d, 5000, 1)
+		for _, x := range xs {
+			if x < 0 || x >= 1 || math.IsNaN(x) {
+				t.Fatalf("%s produced out-of-range sample %v", d.Name(), x)
+			}
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	xs := sampleMany(Uniform{}, 50000, 2)
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+}
+
+func TestNormalConcentration(t *testing.T) {
+	n := NewNormal()
+	xs := sampleMany(n, 50000, 3)
+	within := 0
+	for _, x := range xs {
+		if math.Abs(x-0.5) < 3*0.051 {
+			within++
+		}
+	}
+	frac := float64(within) / float64(len(xs))
+	if frac < 0.98 {
+		t.Errorf("normal not concentrated: only %v within 3 sigma", frac)
+	}
+}
+
+func TestParetoSkewOrdering(t *testing.T) {
+	// Smaller shape k means a heavier tail: the fraction of mass in the top
+	// decile of the unit interval should decrease with k after folding.
+	skew := func(k float64) float64 {
+		xs := sampleMany(NewPareto(k), 30000, 4)
+		top := 0
+		for _, x := range xs {
+			if x > 0.9 {
+				top++
+			}
+		}
+		return float64(top) / float64(len(xs))
+	}
+	s05, s10, s15 := skew(0.5), skew(1.0), skew(1.5)
+	if !(s05 > s10 && s10 > s15) {
+		t.Errorf("tail mass not ordered by shape: %v %v %v", s05, s10, s15)
+	}
+}
+
+func TestParetoNames(t *testing.T) {
+	if NewPareto(0.5).Name() != "P0.5" || NewPareto(1.0).Name() != "P1.0" || NewPareto(1.5).Name() != "P1.5" {
+		t.Error("pareto names wrong")
+	}
+}
+
+func TestZipfRankDistribution(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := rand.New(rand.NewSource(5))
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Rank(r)]++
+	}
+	// Rank 0 must dominate rank 9 by roughly 10x for exponent 1.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("zipf ratio rank0/rank9 = %v, want ≈10", ratio)
+	}
+	// Monotone non-increasing on average across deciles.
+	prev := math.MaxFloat64
+	for d := 0; d < 10; d++ {
+		sum := 0
+		for i := d * 10; i < (d+1)*10; i++ {
+			sum += counts[i]
+		}
+		if float64(sum) > prev*1.1 {
+			t.Errorf("zipf decile %d not decreasing: %d > %v", d, sum, prev)
+		}
+		prev = float64(sum)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(0, 1.0) // clamps to 1
+	r := rand.New(rand.NewSource(1))
+	if z.Rank(r) != 0 {
+		t.Error("single-rank zipf should always return 0")
+	}
+	if z.Sample(r) != 0.5 {
+		t.Error("single-rank zipf sample should be 0.5")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"U", "P0.5", "P1.0", "P1", "P1.5", "N", "A"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d == nil {
+			t.Fatalf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+}
+
+func TestPaperSetLabels(t *testing.T) {
+	want := []string{"U", "P0.5", "P1.0", "P1.5", "N", "A"}
+	set := PaperSet()
+	if len(set) != len(want) {
+		t.Fatalf("PaperSet size = %d", len(set))
+	}
+	for i, d := range set {
+		if d.Name() != want[i] {
+			t.Errorf("PaperSet[%d] = %s, want %s", i, d.Name(), want[i])
+		}
+	}
+}
+
+func TestKeysAndAssignKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ks := Keys(Uniform{}, 100, 16, r)
+	if len(ks) != 100 {
+		t.Fatalf("Keys len = %d", len(ks))
+	}
+	for _, k := range ks {
+		if k.Len != 16 {
+			t.Fatalf("key depth = %d", k.Len)
+		}
+	}
+	sets := AssignKeys(NewNormal(), 10, 7, 16, r)
+	if len(sets) != 10 {
+		t.Fatalf("AssignKeys peers = %d", len(sets))
+	}
+	for _, s := range sets {
+		if len(s) != 7 {
+			t.Fatalf("AssignKeys keys per peer = %d", len(s))
+		}
+	}
+}
+
+func TestDistributionDeterminism(t *testing.T) {
+	for _, d := range PaperSet() {
+		a := sampleMany(d, 100, 77)
+		b := sampleMany(d, 100, 77)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s not deterministic at %d", d.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSampleAlwaysValidKeyProperty(t *testing.T) {
+	d := NewPareto(0.5)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := d.Sample(r)
+		k := keyspace.MustFromFloat(x, 32)
+		return k.Len == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

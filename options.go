@@ -1,0 +1,91 @@
+package pgrid
+
+import (
+	"time"
+
+	"pgrid/internal/network"
+	"pgrid/internal/overlay"
+	"pgrid/internal/unstructured"
+)
+
+// options holds the tunable parameters of a Cluster.
+type options struct {
+	peers     int
+	overlay   overlay.Config
+	degree    int
+	maxRounds int
+	seed      int64
+	latency   network.LatencyModel
+	loss      float64
+}
+
+// defaultOptions returns the paper's parameters: n_min = 5,
+// d_max = 10*n_min, 32 peers.
+func defaultOptions() options {
+	return options{
+		peers: 32,
+		overlay: overlay.Config{
+			MaxKeys:     50,
+			MinReplicas: 5,
+			MaxRefs:     3,
+		},
+		degree:    unstructured.DefaultDegree,
+		maxRounds: 100,
+		seed:      1,
+	}
+}
+
+// Option customises a Cluster.
+type Option func(*options)
+
+// WithPeers sets the number of peers in the cluster.
+func WithPeers(n int) Option { return func(o *options) { o.peers = n } }
+
+// WithSeed makes the cluster's randomness reproducible.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithMaxKeys sets d_max, the storage-load threshold above which a
+// partition is split.
+func WithMaxKeys(d int) Option { return func(o *options) { o.overlay.MaxKeys = d } }
+
+// WithMinReplicas sets n_min, the minimal number of replica peers per
+// partition.
+func WithMinReplicas(n int) Option { return func(o *options) { o.overlay.MinReplicas = n } }
+
+// WithSampleSize sets the number of locally stored keys sampled when peers
+// estimate load fractions (0 = use all local keys).
+func WithSampleSize(s int) Option { return func(o *options) { o.overlay.Samples = s } }
+
+// WithCorrectedProbabilities enables the bias-corrected decision
+// probabilities (the paper's COR variant).
+func WithCorrectedProbabilities() Option {
+	return func(o *options) { o.overlay.UseCorrection = true }
+}
+
+// WithHeuristicProbabilities replaces the analytical decision probabilities
+// by the naive heuristic ones (the Figure 6(d) ablation).
+func WithHeuristicProbabilities() Option {
+	return func(o *options) { o.overlay.UseHeuristic = true }
+}
+
+// WithRoutingRedundancy sets the number of routing references kept per
+// trie level.
+func WithRoutingRedundancy(refs int) Option { return func(o *options) { o.overlay.MaxRefs = refs } }
+
+// WithBootstrapDegree sets the degree of the unstructured bootstrap
+// overlay.
+func WithBootstrapDegree(d int) Option { return func(o *options) { o.degree = d } }
+
+// WithMaxConstructionRounds bounds the number of construction rounds Build
+// will run.
+func WithMaxConstructionRounds(r int) Option { return func(o *options) { o.maxRounds = r } }
+
+// WithNetworkLatency applies a constant one-way message latency to the
+// cluster's simulated network.
+func WithNetworkLatency(d time.Duration) Option {
+	return func(o *options) { o.latency = network.ConstantLatency(d) }
+}
+
+// WithMessageLoss drops each message independently with the given
+// probability.
+func WithMessageLoss(p float64) Option { return func(o *options) { o.loss = p } }

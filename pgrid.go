@@ -1,0 +1,358 @@
+// Package pgrid is a Go implementation of the P-Grid data-oriented overlay
+// network and of the decentralized, parallel construction algorithm
+// described in "Indexing data-oriented overlay networks" (Aberer, Datta,
+// Hauswirth, Schmidt — VLDB 2005).
+//
+// Unlike a classical DHT, a P-Grid overlay preserves the order of
+// application keys: the key space [0,1) is recursively bisected into a trie
+// whose shape follows the data distribution, so prefix and range queries
+// stay efficient even for heavily skewed key sets (inverted-file terms,
+// range-partitioned tuples, ...). The price is that the overlay must be
+// constructed — and, when the indexing function changes, re-constructed —
+// from scratch; the library's centerpiece is the fully parallel,
+// self-organizing construction protocol of the paper (adaptive eager
+// partitioning plus the split/replicate/refer encounter rules), together
+// with the storage- and replication-load balancing it provides.
+//
+// The top-level API revolves around Cluster, an in-process deployment of
+// many peers (each backed by the simulated message-passing network) that
+// applications use to index data and run keyword, exact-match and range
+// queries:
+//
+//	cluster, _ := pgrid.NewCluster(pgrid.WithPeers(64))
+//	cluster.IndexString("database", "doc-17")
+//	cluster.IndexString("datalog", "doc-3")
+//	report, _ := cluster.Build(ctx)
+//	hits, _ := cluster.SearchString(ctx, "database")
+//
+// The internal packages expose the full substrate (decision probabilities,
+// reference partitioner, routing tables, simulated and TCP transports,
+// workload generators, experiment harnesses) used to reproduce every table
+// and figure of the paper; see DESIGN.md and EXPERIMENTS.md.
+package pgrid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/overlay"
+	"pgrid/internal/replication"
+	"pgrid/internal/sim"
+	"pgrid/internal/unstructured"
+)
+
+// Key is an order-preserving binary key in [0,1).
+type Key = keyspace.Key
+
+// Path identifies a key-space partition of the overlay trie.
+type Path = keyspace.Path
+
+// Item is one indexed data item: a key plus an opaque value (document id,
+// tuple reference, ...).
+type Item = replication.Item
+
+// KeyDepth is the bit depth used for keys produced by the convenience
+// encoders.
+const KeyDepth = keyspace.DefaultDepth
+
+// StringKey encodes a string (for example an inverted-file term) as an
+// order-preserving key.
+func StringKey(s string) Key { return keyspace.MustEncodeString(s, KeyDepth) }
+
+// FloatKey encodes a value from [0,1) as an order-preserving key; values
+// outside the interval are clamped.
+func FloatKey(x float64) Key { return keyspace.MustFromFloat(x, KeyDepth) }
+
+// Uint64Key encodes an unsigned integer (interpreted as the fraction
+// v/2^64) as an order-preserving key.
+func Uint64Key(v uint64) Key {
+	k, _ := keyspace.EncodeUint64(v, KeyDepth)
+	return k
+}
+
+// Cluster is an in-process P-Grid deployment: a set of peers connected by
+// the simulated message-passing network, an unstructured bootstrap overlay,
+// and the machinery to construct the structured overlay from the data that
+// has been indexed.
+type Cluster struct {
+	cfg     options
+	net     *network.Sim
+	graph   *unstructured.Graph
+	peers   []*overlay.Peer
+	pending [][]Item
+	rng     *rand.Rand
+	built   bool
+}
+
+// BuildReport summarises the outcome of constructing the overlay.
+type BuildReport struct {
+	// Rounds is the number of construction rounds executed.
+	Rounds int
+	// MeanPathLength and MaxPathLength describe the resulting trie depth.
+	MeanPathLength float64
+	MaxPathLength  int
+	// DistinctPartitions is the number of distinct peer paths.
+	DistinctPartitions int
+	// MeanReplicasPerPartition is the average number of peers per path.
+	MeanReplicasPerPartition float64
+	// InteractionsPerPeer and KeysMovedPerPeer measure the construction
+	// cost.
+	InteractionsPerPeer float64
+	KeysMovedPerPeer    float64
+}
+
+// String renders the report.
+func (r BuildReport) String() string {
+	return fmt.Sprintf("rounds=%d partitions=%d path-len=%.2f (max %d) replicas/partition=%.2f interactions/peer=%.2f keys-moved/peer=%.1f",
+		r.Rounds, r.DistinctPartitions, r.MeanPathLength, r.MaxPathLength, r.MeanReplicasPerPartition, r.InteractionsPerPeer, r.KeysMovedPerPeer)
+}
+
+// SearchHit is one result of a search.
+type SearchHit struct {
+	// Key is the matched key.
+	Key Key
+	// Value is the stored value (document identifier, tuple, ...).
+	Value string
+	// Hops is the number of routing hops the query used.
+	Hops int
+}
+
+// NewCluster creates a cluster of peers. By default the cluster has 32
+// peers with the paper's load-balancing parameters (n_min = 5,
+// d_max = 10*n_min).
+func NewCluster(opts ...Option) (*Cluster, error) {
+	cfg := defaultOptions()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.peers < 2 {
+		return nil, errors.New("pgrid: a cluster needs at least two peers")
+	}
+	c := &Cluster{
+		cfg: cfg,
+		net: network.NewSim(network.SimConfig{Seed: cfg.seed, Latency: cfg.latency, LossProbability: cfg.loss}),
+		rng: rand.New(rand.NewSource(cfg.seed)),
+	}
+	addrs := make([]network.Addr, cfg.peers)
+	for i := 0; i < cfg.peers; i++ {
+		addr := network.Addr(fmt.Sprintf("peer-%05d", i))
+		addrs[i] = addr
+		pcfg := cfg.overlay
+		pcfg.Seed = cfg.seed + int64(i)*31337
+		c.peers = append(c.peers, overlay.New(pcfg, c.net.Endpoint(addr)))
+	}
+	c.pending = make([][]Item, cfg.peers)
+	c.graph = unstructured.NewGraph(addrs, cfg.degree, cfg.seed+1)
+	return c, nil
+}
+
+// Peers returns the number of peers in the cluster.
+func (c *Cluster) Peers() int { return len(c.peers) }
+
+// Peer returns the i-th peer (for advanced use and inspection).
+func (c *Cluster) Peer(i int) *overlay.Peer { return c.peers[i%len(c.peers)] }
+
+// Paths returns the current path of every peer.
+func (c *Cluster) Paths() []Path {
+	out := make([]Path, len(c.peers))
+	for i, p := range c.peers {
+		out[i] = p.Path()
+	}
+	return out
+}
+
+// Index adds an item to the cluster, assigning it to a peer chosen uniformly
+// at random (mirroring data that is born distributed). Items indexed before
+// Build become part of the constructed overlay; items indexed afterwards are
+// stored at the responsible partition directly.
+func (c *Cluster) Index(key Key, value string) error {
+	it := Item{Key: key, Value: value}
+	owner := c.rng.Intn(len(c.peers))
+	if !c.built {
+		c.pending[owner] = append(c.pending[owner], it)
+		c.peers[owner].AddItems([]Item{it})
+		return nil
+	}
+	// After construction, store the item at every peer whose partition
+	// covers the key (the responsible peer and its replicas). In a real
+	// deployment the item would be routed to one responsible peer and
+	// spread by anti-entropy; writing to all replicas here keeps the
+	// in-process cluster immediately consistent.
+	stored := false
+	for i, p := range c.peers {
+		if p.Table().Responsible(key) {
+			c.peers[i].AddItems([]Item{it})
+			stored = true
+		}
+	}
+	if !stored {
+		c.peers[owner].AddItems([]Item{it})
+	}
+	return nil
+}
+
+// IndexString indexes a string key (for example a term of an inverted
+// file).
+func (c *Cluster) IndexString(term, value string) error {
+	return c.Index(StringKey(term), value)
+}
+
+// IndexFloat indexes a numeric key from [0,1).
+func (c *Cluster) IndexFloat(x float64, value string) error {
+	return c.Index(FloatKey(x), value)
+}
+
+// Build constructs the structured overlay from the indexed data: the
+// pre-construction replication phase followed by rounds of random
+// encounters until every peer converges (Sections 2.2 and 4 of the paper).
+func (c *Cluster) Build(ctx context.Context) (BuildReport, error) {
+	if c.built {
+		return BuildReport{}, errors.New("pgrid: cluster already built; create a new cluster to re-index")
+	}
+	// Replication phase: push each peer's own items to MinReplicas peers.
+	nmin := c.cfg.overlay.MinReplicas
+	if nmin <= 0 {
+		nmin = 5
+	}
+	for i, p := range c.peers {
+		if len(c.pending[i]) == 0 {
+			continue
+		}
+		targets := make([]network.Addr, 0, nmin)
+		for attempts := 0; len(targets) < nmin && attempts < 10*nmin; attempts++ {
+			cand, err := c.graph.RandomWalk(p.Addr(), 0, nil)
+			if err == nil && cand != p.Addr() {
+				targets = append(targets, cand)
+			}
+		}
+		if err := p.ReplicateItems(ctx, c.pending[i], targets); err != nil {
+			return BuildReport{}, err
+		}
+	}
+	// Construction phase.
+	rounds := 0
+	maxRounds := c.cfg.maxRounds
+	for ; rounds < maxRounds; rounds++ {
+		active := 0
+		for _, idx := range c.rng.Perm(len(c.peers)) {
+			p := c.peers[idx]
+			if p.Done() {
+				continue
+			}
+			partner, err := c.graph.RandomWalk(p.Addr(), 0, nil)
+			if err != nil || partner == p.Addr() {
+				continue
+			}
+			active++
+			_, _ = p.Interact(ctx, partner)
+		}
+		if active == 0 {
+			break
+		}
+	}
+	c.built = true
+	return c.report(rounds), nil
+}
+
+// report assembles a BuildReport from the peers' state.
+func (c *Cluster) report(rounds int) BuildReport {
+	rep := BuildReport{Rounds: rounds}
+	counts := map[Path]int{}
+	var pathLen, interactions, keysMoved float64
+	for _, p := range c.peers {
+		d := p.Path().Depth()
+		pathLen += float64(d)
+		if d > rep.MaxPathLength {
+			rep.MaxPathLength = d
+		}
+		counts[p.Path()]++
+		interactions += p.Metrics.Interactions.Value()
+		keysMoved += p.Metrics.KeysMoved.Value()
+	}
+	n := float64(len(c.peers))
+	rep.MeanPathLength = pathLen / n
+	rep.DistinctPartitions = len(counts)
+	if len(counts) > 0 {
+		rep.MeanReplicasPerPartition = n / float64(len(counts))
+	}
+	rep.InteractionsPerPeer = interactions / n
+	rep.KeysMovedPerPeer = keysMoved / n
+	return rep
+}
+
+// Built reports whether the overlay has been constructed.
+func (c *Cluster) Built() bool { return c.built }
+
+// Search resolves an exact-match query for the key, starting from a random
+// peer.
+func (c *Cluster) Search(ctx context.Context, key Key) ([]SearchHit, error) {
+	origin := c.peers[c.rng.Intn(len(c.peers))]
+	res, err := origin.Query(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]SearchHit, 0, len(res.Items))
+	for _, it := range res.Items {
+		hits = append(hits, SearchHit{Key: it.Key, Value: it.Value, Hops: res.Hops})
+	}
+	return hits, nil
+}
+
+// SearchString resolves an exact-match query for a string key.
+func (c *Cluster) SearchString(ctx context.Context, term string) ([]SearchHit, error) {
+	return c.Search(ctx, StringKey(term))
+}
+
+// SearchRange returns every item whose key falls into [lo, hi), in key
+// order.
+func (c *Cluster) SearchRange(ctx context.Context, lo, hi Key) ([]SearchHit, error) {
+	origin := c.peers[c.rng.Intn(len(c.peers))]
+	res, err := origin.RangeQuery(ctx, keyspace.NewRange(lo, hi))
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]SearchHit, 0, len(res.Items))
+	for _, it := range res.Items {
+		hits = append(hits, SearchHit{Key: it.Key, Value: it.Value, Hops: res.Hops})
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Key.Compare(hits[j].Key) < 0 })
+	return hits, nil
+}
+
+// SearchStringRange returns every item whose string key is >= loTerm and
+// < hiTerm in lexicographic order (e.g. all terms with a given prefix when
+// hiTerm is the prefix's upper bound).
+func (c *Cluster) SearchStringRange(ctx context.Context, loTerm, hiTerm string) ([]SearchHit, error) {
+	return c.SearchRange(ctx, StringKey(loTerm), StringKey(hiTerm))
+}
+
+// SetOnline switches a peer on- or offline, simulating churn.
+func (c *Cluster) SetOnline(i int, online bool) {
+	c.net.SetOnline(c.peers[i%len(c.peers)].Addr(), online)
+}
+
+// OnlinePeers returns the number of peers currently online.
+func (c *Cluster) OnlinePeers() int { return c.net.OnlineCount() }
+
+// Experiment exposes the research-grade experiment harness used to
+// reproduce the paper's evaluation; see the sim package for details.
+type Experiment = sim.Experiment
+
+// ExperimentConfig is the configuration of a reproduction experiment.
+type ExperimentConfig = sim.Config
+
+// ExperimentResult is the measured outcome of a reproduction experiment.
+type ExperimentResult = sim.Result
+
+// RunExperiment runs one complete construction experiment (replication,
+// construction, optional churn, queries, measurement against the optimal
+// partitioning of Algorithm 1).
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return sim.Run(cfg) }
+
+// DefaultExperimentConfig returns the paper's main simulation parameters.
+func DefaultExperimentConfig() ExperimentConfig { return sim.DefaultConfig() }

@@ -1,0 +1,252 @@
+package pgrid
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildTestCluster(t *testing.T, opts ...Option) *Cluster {
+	t.Helper()
+	base := []Option{WithPeers(32), WithSeed(7), WithMaxKeys(12), WithMinReplicas(2), WithMaxConstructionRounds(60)}
+	c, err := NewCluster(append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(WithPeers(1)); err == nil {
+		t.Error("expected error for a single-peer cluster")
+	}
+	c, err := NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Peers() != 32 {
+		t.Errorf("default peers = %d", c.Peers())
+	}
+}
+
+func TestKeyEncoders(t *testing.T) {
+	if StringKey("abc").Compare(StringKey("abd")) >= 0 {
+		t.Error("StringKey not order preserving")
+	}
+	if FloatKey(0.2).Compare(FloatKey(0.8)) >= 0 {
+		t.Error("FloatKey not order preserving")
+	}
+	if Uint64Key(10).Compare(Uint64Key(1<<60)) >= 0 {
+		t.Error("Uint64Key not order preserving")
+	}
+}
+
+func TestClusterBuildAndSearch(t *testing.T) {
+	c := buildTestCluster(t)
+	ctx := context.Background()
+	terms := []string{"database", "datalog", "overlay", "network", "index", "peer", "query", "trie", "range", "replica"}
+	for i, term := range terms {
+		for d := 0; d < 8; d++ {
+			if err := c.IndexString(term, fmt.Sprintf("doc-%d-%d", i, d)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	report, err := c.Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Built() {
+		t.Error("cluster should report built")
+	}
+	if report.DistinctPartitions < 2 {
+		t.Errorf("expected the key space to be partitioned: %+v", report)
+	}
+	if report.String() == "" {
+		t.Error("report rendering empty")
+	}
+	// Every term must be findable.
+	for i, term := range terms {
+		hits, err := c.SearchString(ctx, term)
+		if err != nil {
+			t.Fatalf("search %q: %v", term, err)
+		}
+		if len(hits) == 0 {
+			t.Errorf("no hits for %q", term)
+			continue
+		}
+		found := false
+		for _, h := range hits {
+			if strings.HasPrefix(h.Value, fmt.Sprintf("doc-%d-", i)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("hits for %q do not contain its documents: %v", term, hits)
+		}
+	}
+	// Build twice is rejected.
+	if _, err := c.Build(ctx); err == nil {
+		t.Error("second build should be rejected")
+	}
+}
+
+func TestClusterRangeSearch(t *testing.T) {
+	c := buildTestCluster(t, WithSeed(9))
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		x := float64(i) / 200
+		if err := c.IndexFloat(x, fmt.Sprintf("v%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Build(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.SearchRange(ctx, FloatKey(0.25), FloatKey(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < 35 || len(hits) > 55 {
+		t.Errorf("range hits = %d, want ≈50", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].Key.Compare(hits[i].Key) > 0 {
+			t.Error("range hits not sorted")
+		}
+	}
+}
+
+func TestClusterStringRangeSearch(t *testing.T) {
+	c := buildTestCluster(t, WithSeed(11))
+	ctx := context.Background()
+	words := []string{"apple", "apricot", "banana", "blueberry", "cherry", "damson", "elderberry", "fig", "grape"}
+	for _, w := range words {
+		for d := 0; d < 5; d++ {
+			_ = c.IndexString(w, fmt.Sprintf("%s-%d", w, d))
+		}
+	}
+	if _, err := c.Build(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.SearchStringRange(ctx, "b", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		w := strings.SplitN(h.Value, "-", 2)[0]
+		if w[0] != 'b' && w[0] != 'c' {
+			t.Errorf("unexpected hit %q for range [b,d)", h.Value)
+		}
+	}
+	if len(hits) < 10 {
+		t.Errorf("expected the b/c words, got %d hits", len(hits))
+	}
+}
+
+func TestIndexAfterBuild(t *testing.T) {
+	c := buildTestCluster(t, WithSeed(13))
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		_ = c.IndexFloat(float64(i)/100, fmt.Sprintf("pre-%d", i))
+	}
+	if _, err := c.Build(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IndexString("lateinsert", "doc-late"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.SearchString(ctx, "lateinsert")
+	if err != nil {
+		t.Fatalf("search for late insert: %v", err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.Value == "doc-late" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("late-inserted item not found")
+	}
+}
+
+func TestClusterChurnControls(t *testing.T) {
+	c := buildTestCluster(t, WithSeed(15), WithMinReplicas(3), WithRoutingRedundancy(4))
+	ctx := context.Background()
+	for i := 0; i < 150; i++ {
+		_ = c.IndexFloat(float64(i)/150, fmt.Sprintf("item-%d", i))
+	}
+	if _, err := c.Build(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before := c.OnlinePeers()
+	for i := 0; i < c.Peers()/4; i++ {
+		c.SetOnline(i, false)
+	}
+	if c.OnlinePeers() >= before {
+		t.Error("offline peers not reflected")
+	}
+	// Queries should still mostly succeed thanks to replication.
+	success := 0
+	for i := 0; i < 40; i++ {
+		hits, err := c.Search(ctx, FloatKey(float64(i*3)/150))
+		if err == nil && len(hits) > 0 {
+			success++
+		}
+	}
+	if success < 25 {
+		t.Errorf("only %d/40 queries succeeded under churn", success)
+	}
+}
+
+func TestClusterOptionCoverage(t *testing.T) {
+	c, err := NewCluster(
+		WithPeers(8),
+		WithSeed(3),
+		WithMaxKeys(20),
+		WithMinReplicas(2),
+		WithSampleSize(5),
+		WithCorrectedProbabilities(),
+		WithBootstrapDegree(3),
+		WithMaxConstructionRounds(10),
+		WithRoutingRedundancy(2),
+		WithNetworkLatency(time.Microsecond),
+		WithMessageLoss(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Peer(0).Config().Samples != 5 || !c.Peer(0).Config().UseCorrection {
+		t.Error("options not propagated to peers")
+	}
+	h, err := NewCluster(WithPeers(4), WithHeuristicProbabilities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Peer(0).Config().UseHeuristic {
+		t.Error("heuristic option not propagated")
+	}
+	if len(c.Paths()) != 8 {
+		t.Error("Paths should list every peer")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Peers = 48
+	cfg.KeysPerPeer = 8
+	cfg.Overlay.MaxKeys = 16
+	cfg.Overlay.MinReplicas = 2
+	cfg.Queries = 40
+	cfg.MaxRounds = 50
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deviation <= 0 || res.QuerySuccessRate <= 0 {
+		t.Errorf("experiment facade returned implausible result: %+v", res)
+	}
+}

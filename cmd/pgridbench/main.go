@@ -10,6 +10,7 @@
 //	pgridbench -fig 7|8|9      # PlanetLab-style timeline figures
 //	pgridbench -fig t1         # Section 5.2 in-text system metrics
 //	pgridbench -fig t2         # eager vs autonomous analytic cost
+//	pgridbench -fig q          # concurrent query engine: α / fan-out sweep
 //	pgridbench -fig all        # everything
 //
 // The -quick flag shrinks populations and repetition counts so a full run
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -25,8 +27,10 @@ import (
 	"strings"
 	"time"
 
+	"pgrid"
 	"pgrid/internal/churn"
 	"pgrid/internal/core"
+	"pgrid/internal/routing"
 	"pgrid/internal/sim"
 	"pgrid/internal/stats"
 	"pgrid/internal/workload"
@@ -40,7 +44,7 @@ func main() {
 
 	targets := strings.Split(*fig, ",")
 	if *fig == "all" {
-		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2"}
+		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2", "q"}
 	}
 	for _, t := range targets {
 		if err := run(strings.TrimSpace(t), *quick, *seed); err != nil {
@@ -72,6 +76,8 @@ func run(fig string, quick bool, seed int64) error {
 		return table1(quick, seed)
 	case "t2":
 		return table2()
+	case "q":
+		return queryEngine(quick, seed)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -292,6 +298,147 @@ func table1(quick bool, seed int64) error {
 	fmt.Printf("%-36s %12s %12.2f\n", "mean query hops", "≈3", last.MeanQueryHops)
 	fmt.Printf("%-36s %12s %12.2f\n", "replicas per partition", "≈5", last.MeanReplicasPerPartition)
 	fmt.Printf("%-36s %12s %12.0f%%\n", "query success rate", "95-100%", last.QuerySuccessRate*100)
+	return nil
+}
+
+// queryEngine measures the concurrent query engine: exact-match lookup
+// latency for α ∈ {1,2,3,5} with a fifth of the peers offline (stale
+// routing references), shower-query latency for serial versus concurrent
+// sub-tree fan-out, and 32-key batches versus independent lookups. α=1 and
+// fanout=1 are the sequential baselines of the original engine.
+func queryEngine(quick bool, seed int64) error {
+	header("Query engine: hedged α-parallel lookups and concurrent shower fan-out")
+	ctx := context.Background()
+	peers, queries := 128, 300
+	if quick {
+		peers, queries = 64, 120
+	}
+	latency := 500 * time.Microsecond
+	build := func(offline bool) (*pgrid.Cluster, []pgrid.Key, error) {
+		c, err := pgrid.NewCluster(
+			pgrid.WithPeers(peers),
+			pgrid.WithMaxKeys(20),
+			pgrid.WithMinReplicas(2),
+			pgrid.WithRoutingRedundancy(4),
+			pgrid.WithSeed(seed),
+			pgrid.WithNetworkLatency(latency),
+		)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := 6 * peers
+		keys := make([]pgrid.Key, n)
+		for j := range keys {
+			keys[j] = pgrid.FloatKey(float64(j) / float64(n))
+			if err := c.Index(keys[j], fmt.Sprintf("v%d", j)); err != nil {
+				return nil, nil, err
+			}
+		}
+		if _, err := c.Build(ctx); err != nil {
+			return nil, nil, err
+		}
+		if offline {
+			for i := 0; i < peers; i += 5 {
+				c.SetOnline(i, false)
+			}
+		}
+		return c, keys, nil
+	}
+
+	// The engine prunes stale references as it hits them; restore them
+	// before every query so each sample measures the same 20%-stale regime.
+	snapshotRefs := func(c *pgrid.Cluster) [][][]routing.Ref {
+		out := make([][][]routing.Ref, c.Peers())
+		for i := range out {
+			_, levels := c.Peer(i).Table().Snapshot()
+			out[i] = levels
+		}
+		return out
+	}
+	restoreRefs := func(c *pgrid.Cluster, snaps [][][]routing.Ref) {
+		for i := range snaps {
+			t := c.Peer(i).Table()
+			for level, refs := range snaps[i] {
+				for _, ref := range refs {
+					t.Add(level, ref)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("%d peers, %v one-way latency, 20%% offline during lookups\n", peers, latency)
+	fmt.Println("(the concurrent engine is the repo-wide default; alpha=1/fanout=1 is the sequential baseline)")
+	fmt.Println()
+	fmt.Printf("%-24s %10s %10s %10s %10s\n", "exact-match lookup", "p50 (ms)", "p95 (ms)", "mean (ms)", "success")
+	for _, alpha := range []int{1, 2, 3, 5} {
+		c, keys, err := build(true)
+		if err != nil {
+			return err
+		}
+		snaps := snapshotRefs(c)
+		c.SetQueryConcurrency(alpha, 0, -1)
+		origin := c.Peer(1)
+		var lat []float64
+		ok := 0
+		for i := 0; i < queries; i++ {
+			restoreRefs(c, snaps)
+			start := time.Now()
+			_, err := origin.Query(ctx, keys[(i*37)%len(keys)])
+			lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+			if err == nil {
+				ok++
+			}
+		}
+		s := stats.Summarize(lat)
+		fmt.Printf("%-24s %10.2f %10.2f %10.2f %9.0f%%\n",
+			fmt.Sprintf("alpha=%d", alpha), s.Median, s.P95, s.Mean, 100*float64(ok)/float64(queries))
+	}
+
+	fmt.Printf("\n%-24s %10s %10s %10s\n", "shower range [.05,.95)", "p50 (ms)", "p95 (ms)", "mean (ms)")
+	rangeReps := queries / 10
+	for _, fanout := range []int{1, 4, 8} {
+		c, _, err := build(false)
+		if err != nil {
+			return err
+		}
+		c.SetQueryConcurrency(0, fanout, -1)
+		lo, hi := pgrid.FloatKey(0.05), pgrid.FloatKey(0.95)
+		var lat []float64
+		for i := 0; i < rangeReps; i++ {
+			start := time.Now()
+			if _, err := c.SearchRange(ctx, lo, hi); err != nil {
+				return err
+			}
+			lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+		}
+		s := stats.Summarize(lat)
+		fmt.Printf("%-24s %10.2f %10.2f %10.2f\n", fmt.Sprintf("fanout=%d", fanout), s.Median, s.P95, s.Mean)
+	}
+
+	fmt.Printf("\n%-24s %10s\n", "32-key batch", "mean (ms)")
+	for _, mode := range []string{"single lookups", "QueryBatch"} {
+		c, keys, err := build(false)
+		if err != nil {
+			return err
+		}
+		origin := c.Peer(1)
+		reps := queries / 10
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			batch := make([]pgrid.Key, 32)
+			for j := range batch {
+				batch[j] = keys[(i*32+j*13)%len(keys)]
+			}
+			if mode == "QueryBatch" {
+				origin.QueryBatch(ctx, batch)
+			} else {
+				for _, k := range batch {
+					_, _ = origin.Query(ctx, k)
+				}
+			}
+		}
+		fmt.Printf("%-24s %10.2f\n", mode, float64(time.Since(start).Microseconds())/1000/float64(reps))
+	}
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module pgrid
+
+go 1.22

@@ -124,6 +124,9 @@ func TestReferentialIntegrityAllStrategies(t *testing.T) {
 }
 
 func TestCORReducesSamplingBias(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy probability-table comparison (~9s); CI runs the full suite without -short")
+	}
 	// Figure 4: with sampled estimates, plain AEP shows a systematic
 	// positive deviation while COR removes most of it. We check that |bias|
 	// of COR is at most that of AEP plus a small tolerance, aggregated over

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Addr identifies a peer endpoint. For the simulated network it is an
@@ -75,8 +76,41 @@ type RemoteError struct {
 // Error implements the error interface.
 func (e *RemoteError) Error() string { return fmt.Sprintf("remote error: %s", e.Msg) }
 
-// messageSize returns the accounted size of a request or response value.
-func messageSize(v any) int {
+// InFlightGauge tracks the number of outstanding calls and their high-water
+// mark. With hedged parallel lookups, call concurrency is a first-class
+// quantity: benchmarks and tests use the gauge to verify that the query
+// engine actually overlaps its requests, and the accounting must stay
+// race-free under that concurrency — both counters are lock-free atomics.
+type InFlightGauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// enter records the start of a call and updates the high-water mark.
+func (g *InFlightGauge) enter() {
+	cur := g.cur.Add(1)
+	for {
+		peak := g.peak.Load()
+		if cur <= peak || g.peak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// exit records the end of a call.
+func (g *InFlightGauge) exit() { g.cur.Add(-1) }
+
+// Current returns the number of calls in flight right now.
+func (g *InFlightGauge) Current() int64 { return g.cur.Load() }
+
+// Peak returns the maximal number of calls that were ever in flight
+// simultaneously.
+func (g *InFlightGauge) Peak() int64 { return g.peak.Load() }
+
+// MessageSize returns the accounted size of a request or response value:
+// its WireSize when the type implements WireSizer, DefaultMessageSize
+// otherwise.
+func MessageSize(v any) int {
 	if ws, ok := v.(WireSizer); ok {
 		return ws.WireSize()
 	}

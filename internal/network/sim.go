@@ -56,6 +56,16 @@ type Sim struct {
 	// Bytes and Messages account total traffic (requests and responses).
 	Bytes    stats.Counter
 	Messages stats.Counter
+	// Calls tracks the calls currently in flight across the whole network
+	// and their high-water mark (how much the concurrent query engine
+	// actually overlaps).
+	Calls InFlightGauge
+
+	// loss is the message-loss probability; unlike the rest of the config
+	// it may be changed while the network is running (tests flip loss on
+	// after constructing an overlay), so it is guarded separately.
+	lossMu sync.RWMutex
+	loss   float64
 }
 
 // NewSim creates a simulated network.
@@ -67,7 +77,16 @@ func NewSim(cfg SimConfig) *Sim {
 		cfg:       cfg,
 		endpoints: make(map[Addr]*SimEndpoint),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		loss:      cfg.LossProbability,
 	}
+}
+
+// SetLoss changes the message-loss probability of the running network
+// (each direction is still dropped independently).
+func (s *Sim) SetLoss(p float64) {
+	s.lossMu.Lock()
+	s.loss = p
+	s.lossMu.Unlock()
 }
 
 // SimEndpoint is one peer's endpoint on a simulated network.
@@ -162,11 +181,14 @@ func (s *Sim) delay(from, to Addr) time.Duration {
 
 // lost reports whether a message is dropped.
 func (s *Sim) lost() bool {
-	if s.cfg.LossProbability <= 0 {
+	s.lossMu.RLock()
+	p := s.loss
+	s.lossMu.RUnlock()
+	if p <= 0 {
 		return false
 	}
 	var l bool
-	s.random(func(r *rand.Rand) { l = r.Float64() < s.cfg.LossProbability })
+	s.random(func(r *rand.Rand) { l = r.Float64() < p })
 	return l
 }
 
@@ -202,12 +224,14 @@ func (e *SimEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
 	if !e.Online() {
 		return nil, ErrClosed
 	}
+	e.net.Calls.enter()
+	defer e.net.Calls.exit()
 	dst := e.net.Lookup(to)
 	if dst == nil {
 		return nil, ErrUnreachable
 	}
 	// Account request traffic.
-	sz := float64(messageSize(req))
+	sz := float64(MessageSize(req))
 	e.net.Bytes.Add(sz)
 	e.net.Messages.Add(1)
 	e.BytesSent.Add(sz)
@@ -233,7 +257,7 @@ func (e *SimEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
 		return nil, &RemoteError{Msg: err.Error()}
 	}
 	// Account response traffic, attributed to the responder.
-	rsz := float64(messageSize(resp))
+	rsz := float64(MessageSize(resp))
 	e.net.Bytes.Add(rsz)
 	e.net.Messages.Add(1)
 	dst.BytesSent.Add(rsz)

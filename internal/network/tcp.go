@@ -153,6 +153,10 @@ type TCPEndpoint struct {
 	wg sync.WaitGroup
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+
+	// Calls tracks this endpoint's outgoing calls in flight and their
+	// high-water mark, mirroring the simulated network's accounting.
+	Calls InFlightGauge
 }
 
 // ListenTCP creates a TCP endpoint bound to the given address ("host:port";
@@ -259,6 +263,8 @@ func (e *TCPEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
 	if closed {
 		return nil, ErrClosed
 	}
+	e.Calls.enter()
+	defer e.Calls.exit()
 	env, err := encodePayload(e.addr, req)
 	if err != nil {
 		return nil, err

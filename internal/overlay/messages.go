@@ -18,6 +18,8 @@ const (
 	msgExchangeResponse = "pgrid.exchange.response"
 	msgQueryRequest     = "pgrid.query.request"
 	msgQueryResponse    = "pgrid.query.response"
+	msgBatchRequest     = "pgrid.batchquery.request"
+	msgBatchResponse    = "pgrid.batchquery.response"
 	msgRangeRequest     = "pgrid.range.request"
 	msgRangeResponse    = "pgrid.range.response"
 	msgReplicateRequest = "pgrid.replicate.request"
@@ -31,6 +33,8 @@ func init() {
 	network.RegisterType(msgExchangeResponse, ExchangeResponse{})
 	network.RegisterType(msgQueryRequest, QueryRequest{})
 	network.RegisterType(msgQueryResponse, QueryResponse{})
+	network.RegisterType(msgBatchRequest, BatchQueryRequest{})
+	network.RegisterType(msgBatchResponse, BatchQueryResponse{})
 	network.RegisterType(msgRangeRequest, RangeRequest{})
 	network.RegisterType(msgRangeResponse, RangeResponse{})
 	network.RegisterType(msgReplicateRequest, ReplicateRequest{})
@@ -157,6 +161,36 @@ type QueryResponse struct {
 
 // WireSize implements network.WireSizer.
 func (r QueryResponse) WireSize() int { return messageBytes(len(r.Items), 0) }
+
+// BatchQueryRequest asks the receiving peer to resolve many exact-match
+// queries at once. Keys that route through the same next hop travel together
+// in a single message instead of as independent lookups, which is what lets
+// a batch share in-flight routing work.
+type BatchQueryRequest struct {
+	Keys []keyspace.Key
+	// Hops counts the routing hops taken so far.
+	Hops int
+	// TTL bounds the remaining hops.
+	TTL int
+}
+
+// WireSize implements network.WireSizer.
+func (r BatchQueryRequest) WireSize() int { return 64 + 40*len(r.Keys) }
+
+// BatchQueryResponse carries one QueryResponse per requested key, aligned
+// with the request's Keys by index.
+type BatchQueryResponse struct {
+	Results []QueryResponse
+}
+
+// WireSize implements network.WireSizer.
+func (r BatchQueryResponse) WireSize() int {
+	n := 32
+	for _, q := range r.Results {
+		n += q.WireSize()
+	}
+	return n
+}
 
 // RangeRequest asks for all items with keys in [Lo, Hi).
 type RangeRequest struct {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"pgrid/internal/core"
 	"pgrid/internal/keyspace"
@@ -42,6 +43,21 @@ type Config struct {
 	DoneAfterIdle int
 	// QueryTTL bounds the number of routing hops per query (0 means 64).
 	QueryTTL int
+	// Alpha is the number of routing references raced concurrently per
+	// forwarding step of an exact-match (or batch) query. The first
+	// responsible answer wins and stale references encountered along the
+	// way are pruned. 1 reproduces the sequential try-one-at-a-time
+	// behaviour; 0 means the default of 3.
+	Alpha int
+	// HedgeDelay staggers the launch of the additional Alpha candidates:
+	// candidate i starts i*HedgeDelay after the first. Zero launches all
+	// candidates at once.
+	HedgeDelay time.Duration
+	// Fanout bounds the number of sub-trees a range ("shower") query — or
+	// next-hop groups of a batch query — forwards to concurrently. 1
+	// reproduces the serial branch-after-branch behaviour; 0 means the
+	// default of 4.
+	Fanout int
 	// Seed drives the peer's local randomness.
 	Seed int64
 }
@@ -77,8 +93,27 @@ func (c Config) normalize() Config {
 	if c.QueryTTL <= 0 {
 		c.QueryTTL = 64
 	}
+	if c.Alpha <= 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.HedgeDelay < 0 {
+		c.HedgeDelay = 0
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = DefaultFanout
+	}
 	return c
 }
+
+// Default concurrency parameters of the query engine.
+const (
+	// DefaultAlpha is the default number of references raced per
+	// forwarding step (the α of Kademlia-style parallel lookups).
+	DefaultAlpha = 3
+	// DefaultFanout is the default bound on concurrently forwarded range
+	// sub-trees and batch groups.
+	DefaultFanout = 4
+)
 
 // Metrics aggregates a peer's protocol activity for the evaluation figures.
 type Metrics struct {
@@ -149,7 +184,49 @@ func (p *Peer) Store() *replication.Store { return p.store }
 func (p *Peer) Table() *routing.Table { return p.table }
 
 // Config returns the peer's configuration.
-func (p *Peer) Config() Config { return p.cfg }
+func (p *Peer) Config() Config {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg
+}
+
+// SetQueryConcurrency adjusts the query engine's concurrency knobs at run
+// time (useful for sweeping α and fan-out over one constructed overlay).
+// Non-positive alpha or fanout and negative hedge keep the current value.
+func (p *Peer) SetQueryConcurrency(alpha, fanout int, hedge time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if alpha > 0 {
+		p.cfg.Alpha = alpha
+	}
+	if fanout > 0 {
+		p.cfg.Fanout = fanout
+	}
+	if hedge >= 0 {
+		p.cfg.HedgeDelay = hedge
+	}
+}
+
+// queryAlpha returns the current per-hop lookup parallelism.
+func (p *Peer) queryAlpha() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.Alpha
+}
+
+// queryFanout returns the current sub-tree fan-out bound.
+func (p *Peer) queryFanout() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.Fanout
+}
+
+// hedgeDelay returns the current hedged-request stagger.
+func (p *Peer) hedgeDelay() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.HedgeDelay
+}
 
 // Replicas returns the addresses of the peers currently known to replicate
 // this peer's partition.
@@ -184,6 +261,8 @@ func (p *Peer) handle(ctx context.Context, from network.Addr, req any) (any, err
 		return p.handleExchange(m), nil
 	case QueryRequest:
 		return p.handleQuery(ctx, m), nil
+	case BatchQueryRequest:
+		return p.handleQueryBatch(ctx, m), nil
 	case RangeRequest:
 		return p.handleRange(ctx, m), nil
 	case ReplicateRequest:

@@ -2,11 +2,15 @@ package overlay
 
 import (
 	"context"
+	"errors"
 	"sort"
+	"sync"
+	"time"
 
 	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
 	"pgrid/internal/replication"
+	"pgrid/internal/routing"
 )
 
 // This file implements query processing on the constructed overlay: exact
@@ -14,6 +18,13 @@ import (
 // routing reference as soon as the key diverges from the local path) and
 // range queries by recursive fan-out into every sub-tree overlapping the
 // range.
+//
+// Both paths are concurrent. Exact-match forwarding races up to Alpha
+// references at the divergence level (staggered by HedgeDelay) and takes the
+// first responsible answer, so a single stale reference costs a hedge delay
+// rather than a full timeout. Range ("shower") queries fan every overlapping
+// complementary sub-tree out through a bounded worker pool and merge branch
+// results as they arrive.
 
 // QueryResult is the outcome of an exact-match query.
 type QueryResult struct {
@@ -52,10 +63,10 @@ func (p *Peer) handleQuery(ctx context.Context, req QueryRequest) QueryResponse 
 }
 
 // resolveQuery answers the query locally if this peer is responsible for
-// the key, and otherwise forwards it to a routing reference at the level
-// where the key diverges from the local path. Stale references (offline
-// peers) are removed and alternative references tried, which is what keeps
-// the success rate high under churn.
+// the key, and otherwise forwards it to routing references at the level
+// where the key diverges from the local path, racing up to Alpha of them.
+// Stale references (offline peers) are removed and alternative references
+// tried, which is what keeps the success rate high under churn.
 func (p *Peer) resolveQuery(ctx context.Context, req QueryRequest) (QueryResponse, error) {
 	if p.table.Responsible(req.Key) {
 		return QueryResponse{
@@ -70,31 +81,134 @@ func (p *Peer) resolveQuery(ctx context.Context, req QueryRequest) (QueryRespons
 		return QueryResponse{}, errNotResponsible
 	}
 	_, level, _ := p.table.NextHop(req.Key)
+	refs := p.shuffledRefs(level)
+	forward := QueryRequest{Key: req.Key, Hops: req.Hops + 1, TTL: req.TTL - 1}
+	raw, ok := p.raceCall(ctx, refs, forward, func(raw any) bool {
+		resp, ok := raw.(QueryResponse)
+		return ok && resp.Found
+	})
+	if !ok {
+		return QueryResponse{}, errNotResponsible
+	}
+	return raw.(QueryResponse), nil
+}
+
+// shuffledRefs returns the references at the given level in random order so
+// alternative access paths share the load.
+func (p *Peer) shuffledRefs(level int) []routing.Ref {
 	refs := p.table.Refs(level)
-	// Shuffle the candidate references so alternative access paths share
-	// the load.
 	p.mu.Lock()
 	p.rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
 	p.mu.Unlock()
-	forward := QueryRequest{Key: req.Key, Hops: req.Hops + 1, TTL: req.TTL - 1}
+	return refs
+}
+
+// raceOutcome is one reference's attempt in a hedged race: the raw response
+// or a nil raw on transport failure.
+type raceOutcome struct {
+	raw any
+}
+
+// launchRace starts up to alpha workers that forward req to the given
+// references and report every attempt's outcome on the returned channel
+// (exactly one outcome per reference unless rctx is cancelled first).
+// Worker i defers its start by i*HedgeDelay, so with a positive hedge delay
+// the second candidate only launches when the first has not answered
+// promptly (hedged requests); with a zero delay all alpha candidates race
+// immediately. References whose calls fail with a transport error are
+// pruned from the routing table, and remaining candidates are handed to
+// freed-up workers, so every reference is still tried — just no longer one
+// full timeout at a time.
+func (p *Peer) launchRace(rctx context.Context, refs []routing.Ref, req any) <-chan raceOutcome {
+	alpha := p.queryAlpha()
+	if alpha > len(refs) {
+		alpha = len(refs)
+	}
+	hedge := p.hedgeDelay()
+	pending := make(chan routing.Ref, len(refs))
 	for _, ref := range refs {
-		p.Metrics.QueryBytes.Add(float64(forward.WireSize()))
-		raw, err := p.transport.Call(ctx, ref.Addr, forward)
-		if err != nil {
-			// Remove the stale reference and try an alternative.
-			p.table.Remove(ref.Addr)
-			continue
-		}
-		resp, ok := raw.(QueryResponse)
-		if !ok {
-			continue
-		}
-		p.Metrics.QueryBytes.Add(float64(resp.WireSize()))
-		if resp.Found {
-			return resp, nil
+		pending <- ref
+	}
+	close(pending)
+	results := make(chan raceOutcome, len(refs))
+	for i := 0; i < alpha; i++ {
+		go func(stagger time.Duration) {
+			if stagger > 0 {
+				t := time.NewTimer(stagger)
+				select {
+				case <-rctx.Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+			for ref := range pending {
+				if rctx.Err() != nil {
+					return
+				}
+				p.Metrics.QueryBytes.Add(float64(network.MessageSize(req)))
+				raw, err := p.transport.Call(rctx, ref.Addr, req)
+				if err != nil {
+					// Only prune on genuine transport failures: a call
+					// aborted because a concurrent candidate already won
+					// says nothing about the reference's liveness.
+					if rctx.Err() == nil && !errors.Is(err, context.Canceled) {
+						p.table.Remove(ref.Addr)
+					}
+					results <- raceOutcome{}
+					continue
+				}
+				p.Metrics.QueryBytes.Add(float64(network.MessageSize(raw)))
+				results <- raceOutcome{raw: raw}
+			}
+		}(time.Duration(i) * hedge)
+	}
+	return results
+}
+
+// raceCall forwards req to the given references with up to alpha calls in
+// flight at once and returns the first response that accept approves.
+func (p *Peer) raceCall(ctx context.Context, refs []routing.Ref, req any, accept func(raw any) bool) (any, bool) {
+	if len(refs) == 0 {
+		return nil, false
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := p.launchRace(rctx, refs, req)
+	for done := 0; done < len(refs); done++ {
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case out := <-results:
+			if out.raw != nil && accept(out.raw) {
+				return out.raw, true
+			}
 		}
 	}
-	return QueryResponse{}, errNotResponsible
+	return nil, false
+}
+
+// forEachBounded runs fn for every item, keeping at most workers invocations
+// in flight at once.
+func forEachBounded[T any](workers int, items []T, fn func(T)) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, it := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(it T) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(it)
+		}(it)
+	}
+	wg.Wait()
 }
 
 // RangeResult is the outcome of a range query.
@@ -114,7 +228,7 @@ type RangeResult struct {
 // to every partition overlapping the range (a "shower" query in P-Grid
 // terms: the local peer answers for its own partition and forwards a
 // restricted sub-range to one reference per overlapping complementary
-// sub-tree).
+// sub-tree, with up to Fanout sub-trees queried concurrently).
 func (p *Peer) RangeQuery(ctx context.Context, r keyspace.Range) (RangeResult, error) {
 	req := RangeRequest{Lo: r.Lo, Hi: r.Hi, HiUnbounded: r.HiUnbounded, TTL: p.cfg.QueryTTL}
 	resp := p.handleRange(ctx, req)
@@ -124,9 +238,17 @@ func (p *Peer) RangeQuery(ctx context.Context, r keyspace.Range) (RangeResult, e
 	return RangeResult{Items: items, Hops: resp.Hops, Partitions: resp.Partitions, Incomplete: resp.Incomplete}, nil
 }
 
+// rangeBranch is one complementary sub-tree a range query fans out into.
+type rangeBranch struct {
+	level   int
+	forward RangeRequest
+}
+
 // handleRange serves a range query: collect local items in the range and
-// recursively forward the parts of the range that belong to complementary
-// sub-trees of the local path.
+// forward the parts of the range that belong to complementary sub-trees of
+// the local path. All overlapping sub-trees are queried concurrently through
+// a worker pool bounded by Fanout, and branch results are merged as they
+// arrive.
 func (p *Peer) handleRange(ctx context.Context, req RangeRequest) RangeResponse {
 	r := keyspace.Range{Lo: req.Lo, Hi: req.Hi, HiUnbounded: req.HiUnbounded}
 	out := RangeResponse{Hops: req.Hops, Partitions: 1}
@@ -137,6 +259,7 @@ func (p *Peer) handleRange(ctx context.Context, req RangeRequest) RangeResponse 
 		return out
 	}
 	path := p.Path()
+	var branches []rangeBranch
 	for level := 0; level < path.Depth(); level++ {
 		sub := path.FlipAt(level)
 		if !r.OverlapsPath(sub) {
@@ -156,43 +279,68 @@ func (p *Peer) handleRange(ctx context.Context, req RangeRequest) RangeResponse 
 			hi = subHi
 			unbounded = false
 		}
-		forward := RangeRequest{Lo: lo, Hi: hi, HiUnbounded: unbounded, Hops: req.Hops + 1, TTL: req.TTL - 1}
-		refs := p.table.Refs(level)
-		answered := false
-		for _, ref := range refs {
-			p.Metrics.QueryBytes.Add(float64(forward.WireSize()))
-			raw, err := p.transport.Call(ctx, ref.Addr, forward)
-			if err != nil {
-				p.table.Remove(ref.Addr)
-				continue
-			}
-			resp, ok := raw.(RangeResponse)
-			if !ok {
-				continue
-			}
-			out.Items = append(out.Items, resp.Items...)
-			out.Partitions += resp.Partitions
-			if resp.Hops > out.Hops {
-				out.Hops = resp.Hops
-			}
-			if resp.Incomplete {
-				out.Incomplete = true
-			}
-			answered = true
-			break
+		branches = append(branches, rangeBranch{
+			level:   level,
+			forward: RangeRequest{Lo: lo, Hi: hi, HiUnbounded: unbounded, Hops: req.Hops + 1, TTL: req.TTL - 1},
+		})
+	}
+	if len(branches) == 0 {
+		return out
+	}
+
+	var mu sync.Mutex
+	forEachBounded(p.queryFanout(), branches, func(br rangeBranch) {
+		resp, ok := p.forwardRangeBranch(ctx, br)
+		mu.Lock()
+		defer mu.Unlock()
+		if !ok {
+			out.Incomplete = true
+			return
 		}
-		if !answered {
+		out.Items = append(out.Items, resp.Items...)
+		out.Partitions += resp.Partitions
+		if resp.Hops > out.Hops {
+			out.Hops = resp.Hops
+		}
+		if resp.Incomplete {
 			out.Incomplete = true
 		}
-	}
+	})
 	return out
 }
 
+// forwardRangeBranch forwards the restricted sub-range of one branch to a
+// reference of the complementary sub-tree, falling back to alternative
+// references when one is stale (stale references are pruned). Within a
+// branch the references are tried one at a time so every partition is
+// queried exactly once; the concurrency lives across branches.
+func (p *Peer) forwardRangeBranch(ctx context.Context, br rangeBranch) (RangeResponse, bool) {
+	for _, ref := range p.shuffledRefs(br.level) {
+		p.Metrics.QueryBytes.Add(float64(br.forward.WireSize()))
+		raw, err := p.transport.Call(ctx, ref.Addr, br.forward)
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+				p.table.Remove(ref.Addr)
+			}
+			continue
+		}
+		resp, ok := raw.(RangeResponse)
+		if !ok {
+			continue
+		}
+		p.Metrics.QueryBytes.Add(float64(resp.WireSize()))
+		return resp, true
+	}
+	return RangeResponse{}, false
+}
+
 // dedupeItems removes duplicate (key, value) pairs (replicas can return the
-// same item via different branches) and sorts by key.
+// same item via different branches) and sorts by key. The input slice is
+// left untouched: results may alias a response buffer the caller still
+// reads.
 func dedupeItems(items []replication.Item) []replication.Item {
 	seen := make(map[string]bool, len(items))
-	out := items[:0]
+	out := make([]replication.Item, 0, len(items))
 	for _, it := range items {
 		k := it.Key.String() + "\x00" + it.Value
 		if !seen[k] {

@@ -40,6 +40,13 @@ type Config struct {
 	// Queries is the number of exact-match queries evaluated after
 	// construction.
 	Queries int
+	// BatchQueries evaluates the query phase as pipelined batches through
+	// Peer.QueryBatch (keys sharing a route share messages) instead of as
+	// independent lookups.
+	BatchQueries bool
+	// BatchSize is the number of keys per batch when BatchQueries is set
+	// (0 means 16).
+	BatchSize int
 	// OfflineFraction takes that fraction of peers offline before the query
 	// phase to measure resilience (0 = no churn).
 	OfflineFraction float64
@@ -301,6 +308,63 @@ func (e *Experiment) RunQueries(ctx context.Context, n int) (successRate, meanHo
 	return success / float64(attempts), meanHops
 }
 
+// RunBatchQueries evaluates n exact-match queries for randomly chosen
+// existing items as pipelined batches of the given size, each batch starting
+// at a randomly chosen online peer. It returns the per-key success rate and
+// the mean hop count of successful keys, matching RunQueries so the two
+// query engines can be compared on the same metrics.
+func (e *Experiment) RunBatchQueries(ctx context.Context, n, batchSize int) (successRate, meanHops float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	if batchSize <= 0 {
+		batchSize = 16
+	}
+	online := e.onlinePeers()
+	if len(online) == 0 {
+		return 0, 0
+	}
+	var success, hops float64
+	attempts := 0
+	for n > 0 {
+		size := batchSize
+		if size > n {
+			size = n
+		}
+		n -= size
+		keys := make([]keyspace.Key, size)
+		values := make([]string, size)
+		for i := 0; i < size; i++ {
+			items := e.OriginalItems[e.rng.Intn(len(e.OriginalItems))]
+			it := items[e.rng.Intn(len(items))]
+			keys[i] = it.Key
+			values[i] = it.Value
+		}
+		origin := online[e.rng.Intn(len(online))]
+		results := origin.QueryBatch(ctx, keys)
+		for i, res := range results {
+			attempts++
+			if res.Err != nil {
+				continue
+			}
+			for _, got := range res.Items {
+				if got.Value == values[i] {
+					success++
+					hops += float64(res.Hops)
+					break
+				}
+			}
+		}
+	}
+	if attempts == 0 {
+		return 0, 0
+	}
+	if success > 0 {
+		meanHops = hops / success
+	}
+	return success / float64(attempts), meanHops
+}
+
 // onlinePeers returns the peers whose endpoints are currently online.
 func (e *Experiment) onlinePeers() []*overlay.Peer {
 	var out []*overlay.Peer
@@ -390,6 +454,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.OfflineFraction > 0 {
 		e.TakeOffline(cfg.OfflineFraction)
 	}
-	res.QuerySuccessRate, res.MeanQueryHops = e.RunQueries(ctx, cfg.Queries)
+	if cfg.BatchQueries {
+		res.QuerySuccessRate, res.MeanQueryHops = e.RunBatchQueries(ctx, cfg.Queries, cfg.BatchSize)
+	} else {
+		res.QuerySuccessRate, res.MeanQueryHops = e.RunQueries(ctx, cfg.Queries)
+	}
 	return res, nil
 }

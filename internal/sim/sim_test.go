@@ -290,3 +290,35 @@ func TestDefaultConfigsAreSane(t *testing.T) {
 		t.Errorf("default sweep drifted: %+v", sc)
 	}
 }
+
+func TestRunWithBatchQueries(t *testing.T) {
+	cfg := smallConfig(17)
+	cfg.BatchQueries = true
+	cfg.BatchSize = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuerySuccessRate < 0.85 {
+		t.Errorf("batched query success rate %.2f below 0.85", res.QuerySuccessRate)
+	}
+	if res.MeanQueryHops <= 0 {
+		t.Error("batched queries recorded no hops")
+	}
+	// Degenerate sizes fall back to the default batch size.
+	e, err := New(smallConfig(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := e.Replicate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	e.Construct(ctx)
+	if rate, _ := e.RunBatchQueries(ctx, 20, 0); rate < 0.8 {
+		t.Errorf("default-size batch success rate %.2f below 0.8", rate)
+	}
+	if rate, _ := e.RunBatchQueries(ctx, 0, 8); rate != 0 {
+		t.Errorf("zero queries should report rate 0, got %.2f", rate)
+	}
+}

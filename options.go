@@ -72,6 +72,27 @@ func WithHeuristicProbabilities() Option {
 // trie level.
 func WithRoutingRedundancy(refs int) Option { return func(o *options) { o.overlay.MaxRefs = refs } }
 
+// WithQueryParallelism sets α, the number of routing references an
+// exact-match (or batch) query races concurrently at every forwarding step.
+// The first responsible answer wins and stale references encountered by the
+// losers are pruned, so a dead reference costs at most one hedge delay
+// instead of a full timeout before an alternative is tried. 1 restores the
+// sequential try-one-reference-at-a-time behaviour; the default is
+// overlay.DefaultAlpha (3).
+func WithQueryParallelism(alpha int) Option { return func(o *options) { o.overlay.Alpha = alpha } }
+
+// WithHedgeDelay staggers the launch of the additional α lookup candidates:
+// candidate i starts i*d after the first, so extra requests are only sent
+// when the preferred reference has not answered promptly (hedged requests).
+// A zero delay (the default) races all α candidates immediately.
+func WithHedgeDelay(d time.Duration) Option { return func(o *options) { o.overlay.HedgeDelay = d } }
+
+// WithRangeFanout bounds how many overlapping sub-trees a range ("shower")
+// query — or next-hop groups of a batch query — forwards to concurrently.
+// 1 restores the serial branch-after-branch behaviour; the default is
+// overlay.DefaultFanout (4).
+func WithRangeFanout(n int) Option { return func(o *options) { o.overlay.Fanout = n } }
+
 // WithBootstrapDegree sets the degree of the unstructured bootstrap
 // overlay.
 func WithBootstrapDegree(d int) Option { return func(o *options) { o.degree = d } }

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
@@ -306,6 +307,58 @@ func (c *Cluster) Search(ctx context.Context, key Key) ([]SearchHit, error) {
 // SearchString resolves an exact-match query for a string key.
 func (c *Cluster) SearchString(ctx context.Context, term string) ([]SearchHit, error) {
 	return c.Search(ctx, StringKey(term))
+}
+
+// SearchMany resolves exact-match queries for many keys as one pipelined
+// batch from a random origin peer: keys that route through the same next hop
+// share a single message per hop instead of travelling as independent
+// lookups. The result aligns with keys by index; keys that could not be
+// resolved get a nil hit slice. An error is returned only when no key could
+// be resolved at all.
+func (c *Cluster) SearchMany(ctx context.Context, keys []Key) ([][]SearchHit, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	origin := c.peers[c.rng.Intn(len(c.peers))]
+	results := origin.QueryBatch(ctx, keys)
+	out := make([][]SearchHit, len(keys))
+	resolved := 0
+	for i, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		resolved++
+		hits := make([]SearchHit, 0, len(res.Items))
+		for _, it := range res.Items {
+			hits = append(hits, SearchHit{Key: it.Key, Value: it.Value, Hops: res.Hops})
+		}
+		out[i] = hits
+	}
+	if resolved == 0 {
+		return out, errors.New("pgrid: no key of the batch could be resolved")
+	}
+	return out, nil
+}
+
+// SearchManyStrings resolves exact-match queries for many string keys as one
+// pipelined batch; see SearchMany.
+func (c *Cluster) SearchManyStrings(ctx context.Context, terms []string) ([][]SearchHit, error) {
+	keys := make([]Key, len(terms))
+	for i, t := range terms {
+		keys[i] = StringKey(t)
+	}
+	return c.SearchMany(ctx, keys)
+}
+
+// SetQueryConcurrency adjusts the query engine's concurrency knobs on every
+// peer at run time: alpha references raced per lookup hop, fanout concurrent
+// range/batch sub-tree forwards, and the hedge delay staggering additional
+// lookup candidates. Non-positive alpha or fanout and negative hedge keep
+// the current value.
+func (c *Cluster) SetQueryConcurrency(alpha, fanout int, hedge time.Duration) {
+	for _, p := range c.peers {
+		p.SetQueryConcurrency(alpha, fanout, hedge)
+	}
 }
 
 // SearchRange returns every item whose key falls into [lo, hi), in key

@@ -93,6 +93,52 @@ func TestClusterBuildAndSearch(t *testing.T) {
 	}
 }
 
+func TestClusterSearchMany(t *testing.T) {
+	c := buildTestCluster(t, WithSeed(13))
+	ctx := context.Background()
+	terms := []string{"database", "datalog", "overlay", "network", "index", "peer", "query", "trie"}
+	for i, term := range terms {
+		for d := 0; d < 6; d++ {
+			if err := c.IndexString(term, fmt.Sprintf("doc-%d-%d", i, d)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := c.Build(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Batch the terms plus one key that exists nowhere.
+	lookups := append(append([]string(nil), terms...), "zzz-missing")
+	hits, err := c.SearchManyStrings(ctx, lookups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != len(lookups) {
+		t.Fatalf("got %d result slices for %d keys", len(hits), len(lookups))
+	}
+	for i, term := range terms {
+		if len(hits[i]) == 0 {
+			t.Errorf("no hits for %q in batch", term)
+			continue
+		}
+		found := false
+		for _, h := range hits[i] {
+			if strings.HasPrefix(h.Value, fmt.Sprintf("doc-%d-", i)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("batch hits for %q do not contain its documents: %v", term, hits[i])
+		}
+	}
+	if len(hits[len(hits)-1]) != 0 {
+		t.Errorf("missing term should produce no hits, got %v", hits[len(hits)-1])
+	}
+	if _, err := c.SearchMany(ctx, nil); err != nil {
+		t.Errorf("empty batch should be a no-op, got %v", err)
+	}
+}
+
 func TestClusterRangeSearch(t *testing.T) {
 	c := buildTestCluster(t, WithSeed(9))
 	ctx := context.Background()
@@ -215,12 +261,22 @@ func TestClusterOptionCoverage(t *testing.T) {
 		WithRoutingRedundancy(2),
 		WithNetworkLatency(time.Microsecond),
 		WithMessageLoss(0),
+		WithQueryParallelism(2),
+		WithHedgeDelay(time.Millisecond),
+		WithRangeFanout(6),
 	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Peer(0).Config().Samples != 5 || !c.Peer(0).Config().UseCorrection {
 		t.Error("options not propagated to peers")
+	}
+	if cfg := c.Peer(0).Config(); cfg.Alpha != 2 || cfg.HedgeDelay != time.Millisecond || cfg.Fanout != 6 {
+		t.Errorf("query concurrency options not propagated: %+v", cfg)
+	}
+	c.SetQueryConcurrency(4, 2, 0)
+	if cfg := c.Peer(0).Config(); cfg.Alpha != 4 || cfg.Fanout != 2 || cfg.HedgeDelay != 0 {
+		t.Errorf("SetQueryConcurrency not applied: %+v", cfg)
 	}
 	h, err := NewCluster(WithPeers(4), WithHeuristicProbabilities())
 	if err != nil {

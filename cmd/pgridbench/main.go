@@ -11,6 +11,7 @@
 //	pgridbench -fig t1         # Section 5.2 in-text system metrics
 //	pgridbench -fig t2         # eager vs autonomous analytic cost
 //	pgridbench -fig q          # concurrent query engine: α / fan-out sweep
+//	pgridbench -fig w          # live mutations: mixed read/write workload
 //	pgridbench -fig all        # everything
 //
 // The -quick flag shrinks populations and repetition counts so a full run
@@ -44,7 +45,7 @@ func main() {
 
 	targets := strings.Split(*fig, ",")
 	if *fig == "all" {
-		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2", "q"}
+		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2", "q", "w"}
 	}
 	for _, t := range targets {
 		if err := run(strings.TrimSpace(t), *quick, *seed); err != nil {
@@ -78,6 +79,8 @@ func run(fig string, quick bool, seed int64) error {
 		return table2()
 	case "q":
 		return queryEngine(quick, seed)
+	case "w":
+		return liveWorkload(quick, seed)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -438,6 +441,174 @@ func queryEngine(quick bool, seed int64) error {
 			}
 		}
 		fmt.Printf("%-24s %10.2f\n", mode, float64(time.Since(start).Microseconds())/1000/float64(reps))
+	}
+	return nil
+}
+
+// liveWorkload measures the live mutation subsystem: insert and delete
+// latency under a mixed read/write workload (70/20/10) against a constructed
+// overlay with background maintenance running, and the read-your-writes
+// convergence time — how long after a quorum-acked insert every online
+// responsible peer serves the item, with a fifth of the peers churning
+// through the write phase.
+func liveWorkload(quick bool, seed int64) error {
+	header("Live mutations: routed writes, quorum-ack, maintenance convergence")
+	ctx := context.Background()
+	peers, ops := 96, 600
+	if quick {
+		peers, ops = 48, 240
+	}
+	latency := 500 * time.Microsecond
+	c, err := pgrid.NewCluster(
+		pgrid.WithPeers(peers),
+		pgrid.WithMaxKeys(20),
+		pgrid.WithMinReplicas(3),
+		pgrid.WithWriteQuorum(2),
+		pgrid.WithRoutingRedundancy(4),
+		pgrid.WithSeed(seed),
+		pgrid.WithNetworkLatency(latency),
+		pgrid.WithMaintenanceInterval(5*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+	n := 6 * peers
+	keys := make([]pgrid.Key, n)
+	for j := range keys {
+		keys[j] = pgrid.FloatKey(float64(j) / float64(n))
+		if err := c.Index(keys[j], fmt.Sprintf("v%d", j)); err != nil {
+			return err
+		}
+	}
+	if _, err := c.Build(ctx); err != nil {
+		return err
+	}
+	c.StartMaintenance()
+	defer c.StopMaintenance()
+
+	fmt.Printf("%d peers, %v one-way latency, write quorum 2, maintenance every 5ms\n\n", peers, latency)
+
+	// Mixed workload: 70% reads, 20% inserts, 10% deletes of earlier
+	// inserts.
+	var insertLat, deleteLat []float64
+	type live struct {
+		key pgrid.Key
+		val string
+	}
+	var lives []live
+	reads, readHits, quorumMisses := 0, 0, 0
+	for i := 0; i < ops; i++ {
+		switch {
+		case i%10 < 7:
+			reads++
+			if hits, err := c.Search(ctx, keys[(i*37)%len(keys)]); err == nil && len(hits) > 0 {
+				readHits++
+			}
+		case i%10 < 9:
+			w := live{key: pgrid.FloatKey(float64(i%n)/float64(n) + 0.31/float64(2*n)), val: fmt.Sprintf("live-%d", i)}
+			start := time.Now()
+			_, err := c.Insert(ctx, w.key, w.val)
+			insertLat = append(insertLat, float64(time.Since(start).Microseconds())/1000)
+			if err == pgrid.ErrNoQuorum {
+				quorumMisses++
+			} else if err != nil {
+				return err
+			}
+			lives = append(lives, w)
+		default:
+			if len(lives) == 0 {
+				continue
+			}
+			w := lives[len(lives)-1]
+			lives = lives[:len(lives)-1]
+			start := time.Now()
+			if _, err := c.Delete(ctx, w.key, w.val); err != nil && err != pgrid.ErrNoQuorum {
+				return err
+			}
+			deleteLat = append(deleteLat, float64(time.Since(start).Microseconds())/1000)
+		}
+	}
+	fmt.Printf("%-24s %10s %10s %10s\n", "mixed workload op", "p50 (ms)", "p95 (ms)", "mean (ms)")
+	for _, row := range []struct {
+		name string
+		lat  []float64
+	}{{"insert (quorum=2)", insertLat}, {"delete (quorum=2)", deleteLat}} {
+		if len(row.lat) == 0 {
+			continue
+		}
+		s := stats.Summarize(row.lat)
+		fmt.Printf("%-24s %10.2f %10.2f %10.2f\n", row.name, s.Median, s.P95, s.Mean)
+	}
+	fmt.Printf("%-24s %9.0f%%   (%d quorum misses of %d inserts)\n", "read success",
+		100*float64(readHits)/float64(reads), quorumMisses, len(insertLat))
+
+	// Read-your-writes convergence under churn: a fifth of the peers is
+	// offline while fresh items are inserted; once they return, background
+	// maintenance must deliver each item to every responsible peer.
+	for i := 0; i < peers; i += 5 {
+		c.SetOnline(i, false)
+	}
+	m := 20
+	type pending struct {
+		key   pgrid.Key
+		val   string
+		since time.Time
+	}
+	var writes []pending
+	unroutable := 0
+	for i := 0; i < m; i++ {
+		key := pgrid.FloatKey((float64(i) + 0.137) / float64(m))
+		val := fmt.Sprintf("conv-%d", i)
+		if _, err := c.Insert(ctx, key, val); err != nil && err != pgrid.ErrNoQuorum {
+			// With a fifth of the peers offline a partition can lose all its
+			// replicas; such writes cannot route and are not measured.
+			unroutable++
+			continue
+		}
+		writes = append(writes, pending{key: key, val: val, since: time.Now()})
+	}
+	for i := 0; i < peers; i += 5 {
+		c.SetOnline(i, true)
+	}
+	var convLat []float64
+	deadline := time.Now().Add(30 * time.Second)
+	for len(writes) > 0 && time.Now().Before(deadline) {
+		remaining := writes[:0]
+		for _, w := range writes {
+			converged := true
+			for i := 0; i < c.Peers(); i++ {
+				p := c.Peer(i)
+				if !p.Table().Responsible(w.key) {
+					continue
+				}
+				found := false
+				for _, it := range p.Store().Lookup(w.key) {
+					if it.Value == w.val {
+						found = true
+						break
+					}
+				}
+				if !found {
+					converged = false
+					break
+				}
+			}
+			if converged {
+				convLat = append(convLat, float64(time.Since(w.since).Microseconds())/1000)
+			} else {
+				remaining = append(remaining, w)
+			}
+		}
+		writes = append([]pending(nil), remaining...)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(convLat) > 0 {
+		s := stats.Summarize(convLat)
+		fmt.Printf("\n%-24s %10.2f %10.2f %10.2f   (%d/%d converged, 20%% peers churned, %d unroutable)\n",
+			"convergence time (ms)", s.Median, s.P95, s.Mean, len(convLat), m, unroutable)
+	}
+	if len(writes) > 0 {
+		fmt.Printf("%-24s %d writes had not reached every responsible peer at the deadline\n", "", len(writes))
 	}
 	return nil
 }

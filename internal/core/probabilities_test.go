@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"pgrid/internal/testutil"
 )
 
 func TestBetaEquationEndpoints(t *testing.T) {
@@ -241,7 +243,7 @@ func TestCorrectedStaysInRangeProperty(t *testing.T) {
 		}
 		return pr.Alpha >= 0 && pr.Alpha <= 1 && pr.Beta >= 0 && pr.Beta <= 1
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 300, 510)); err != nil {
 		t.Error(err)
 	}
 }

@@ -3,6 +3,8 @@ package keyspace
 import (
 	"testing"
 	"testing/quick"
+
+	"pgrid/internal/testutil"
 )
 
 func TestIntervalBasics(t *testing.T) {
@@ -44,7 +46,7 @@ func TestBisectPreservesMeasureProperty(t *testing.T) {
 		l, r := iv.Bisect()
 		return abs(l.Width()+r.Width()-iv.Width()) < 1e-12 && l.Hi == r.Lo
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 1000, 503)); err != nil {
 		t.Error(err)
 	}
 }

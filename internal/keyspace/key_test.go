@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"pgrid/internal/testutil"
 )
 
 func TestFromFloatBasic(t *testing.T) {
@@ -105,7 +107,7 @@ func TestOrderPreservationProperty(t *testing.T) {
 		ky := MustFromFloat(y, 32)
 		return kx.Compare(ky) <= 0
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 2000, 505)); err != nil {
 		t.Error(err)
 	}
 }
@@ -118,7 +120,7 @@ func TestFloatRoundTripProperty(t *testing.T) {
 		diff := x - k.Float()
 		return diff >= 0 && diff < 1.0/float64(uint64(1)<<40)*2
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 2000, 506)); err != nil {
 		t.Error(err)
 	}
 }

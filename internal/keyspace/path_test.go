@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"pgrid/internal/testutil"
 )
 
 func TestPathChildrenAndParent(t *testing.T) {
@@ -117,7 +119,7 @@ func TestPathIntervalConsistentWithKeyPrefix(t *testing.T) {
 		p := MustFromFloat(x, depth).Path(depth)
 		return k.HasPrefix(p) && p.Interval().Contains(k.Float())
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 1000, 504)); err != nil {
 		t.Error(err)
 	}
 }

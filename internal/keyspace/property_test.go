@@ -1,0 +1,161 @@
+package keyspace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pgrid/internal/testutil"
+)
+
+// Property-based tests for the order-preserving encoders. All generators are
+// seeded and the seed is logged (via testutil.QuickConfig), so a failure
+// reproduces deterministically; bump propertySeed to explore a different
+// input population.
+const propertySeed int64 = 1702
+
+// TestEncodeStringOrderProperty: for arbitrary strings, the byte order of
+// the lower-cased inputs must be preserved by the keys — equal-or-smaller
+// keys for smaller strings (non-strict, because keys truncate to DefaultDepth
+// bits), and identical keys for case-insensitively equal strings.
+func TestEncodeStringOrderProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := MustEncodeString(a, DefaultDepth)
+		kb := MustEncodeString(b, DefaultDepth)
+		la, lb := strings.ToLower(a), strings.ToLower(b)
+		switch {
+		case la < lb:
+			return ka.Compare(kb) <= 0
+		case la > lb:
+			return ka.Compare(kb) >= 0
+		default:
+			return ka.Equal(kb)
+		}
+	}
+	if err := quick.Check(f, testutil.QuickConfig(t, 4000, propertySeed)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeUint64OrderProperty: integer order must survive the encoding at
+// every depth, with equality exactly when the retained high bits agree.
+func TestEncodeUint64OrderProperty(t *testing.T) {
+	f := func(a, b uint64, rawDepth uint8) bool {
+		depth := int(rawDepth%64) + 1
+		ka, err1 := EncodeUint64(a, depth)
+		kb, err2 := EncodeUint64(b, depth)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a == b {
+			return ka.Equal(kb)
+		}
+		if a > b {
+			a, b = b, a
+			ka, kb = kb, ka
+		}
+		if a>>(64-uint(depth)) == b>>(64-uint(depth)) {
+			return ka.Equal(kb)
+		}
+		return ka.Compare(kb) < 0
+	}
+	if err := quick.Check(f, testutil.QuickConfig(t, 4000, propertySeed)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFromFloatOrderProperty: real order on [0,1) must be preserved, and the
+// key's Float() must be a left-edge approximation that never exceeds the
+// input.
+func TestFromFloatOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(propertySeed))
+	t.Logf("property seed: %d", propertySeed)
+	for i := 0; i < 4000; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x > y {
+			x, y = y, x
+		}
+		kx := MustFromFloat(x, DefaultDepth)
+		ky := MustFromFloat(y, DefaultDepth)
+		if kx.Compare(ky) > 0 {
+			t.Fatalf("order violated: FromFloat(%v) > FromFloat(%v)", x, y)
+		}
+		if f := kx.Float(); f > x || f < 0 || f >= 1 {
+			t.Fatalf("Float() = %v not a left-edge approximation of %v", f, x)
+		}
+	}
+}
+
+// TestEncodeStringPrefixRoundTrip: for printable lower-case inputs the
+// decoded prefix must reproduce the first encoded bytes of the string.
+func TestEncodeStringPrefixRoundTrip(t *testing.T) {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-_"
+	rng := rand.New(rand.NewSource(propertySeed))
+	t.Logf("property seed: %d", propertySeed)
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(13)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		s := b.String()
+		k := MustEncodeString(s, DefaultDepth)
+		want := s
+		if len(want) > 8 {
+			want = want[:8] // 64 bits hold the first 8 bytes
+		}
+		if got := DecodePrefixString(k); got != want {
+			t.Fatalf("DecodePrefixString(Encode(%q)) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestEncodersNeverPanicProperty: arbitrary inputs (including depths outside
+// the valid range) must produce errors, never panics, and must error exactly
+// when the depth is invalid.
+func TestEncodersNeverPanicProperty(t *testing.T) {
+	f := func(s string, v uint64, x float64, rawDepth int16) bool {
+		depth := int(rawDepth % 90) // exercises both sides of [0, 64]
+		wantErr := depth < 0 || depth > 64
+		if _, err := EncodeString(s, depth); (err != nil) != wantErr {
+			return false
+		}
+		if _, err := EncodeUint64(v, depth); (err != nil) != wantErr {
+			return false
+		}
+		if _, err := EncodeFloat(x, depth); (err != nil) != wantErr {
+			return false
+		}
+		if _, err := FromFloat(x, depth); (err != nil) != wantErr {
+			return false
+		}
+		if _, err := FromBits(v, depth); (err != nil) != wantErr {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, testutil.QuickConfig(t, 2000, propertySeed)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyStringRoundTripProperty: every encoded key survives the
+// String/FromString round trip bit-exactly.
+func TestKeyStringRoundTripProperty(t *testing.T) {
+	f := func(v uint64, rawDepth uint8) bool {
+		depth := int(rawDepth % 65)
+		k, err := EncodeUint64(v, depth)
+		if err != nil {
+			return false
+		}
+		rt, err := FromString(k.String())
+		if err != nil {
+			return false
+		}
+		return rt.Equal(k)
+	}
+	if err := quick.Check(f, testutil.QuickConfig(t, 2000, propertySeed)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package network
+
+import "bytes"
+
+// This file exposes the TCP transport's wire codec (length-prefixed JSON
+// frames around registered payload types) as standalone functions, so tests
+// and fuzz targets can exercise the exact encode/decode path a message takes
+// on the wire without opening sockets.
+
+// EncodeMessage serialises a registered payload value into one
+// length-prefixed wire frame, exactly as the TCP transport sends it. It
+// fails when the payload's type has not been registered with RegisterType.
+func EncodeMessage(from Addr, v any) ([]byte, error) {
+	env, err := encodePayload(from, v)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMessage parses one wire frame and reconstructs its payload value,
+// exactly as the TCP transport does on receipt. A frame carrying a remote
+// error is surfaced as a *RemoteError.
+func DecodeMessage(data []byte) (from Addr, payload any, err error) {
+	env, err := readFrame(bytes.NewReader(data))
+	if err != nil {
+		return "", nil, err
+	}
+	if env.Err != "" {
+		return env.From, nil, &RemoteError{Msg: env.Err}
+	}
+	payload, err = decodePayload(env)
+	if err != nil {
+		return env.From, nil, err
+	}
+	return env.From, payload, nil
+}

@@ -1,0 +1,179 @@
+package overlay
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/replication"
+)
+
+// wireSeedMessages returns one instance of every protocol message, used both
+// as fuzz seeds and by the round-trip test.
+func wireSeedMessages() []any {
+	key := keyspace.MustFromString("1011")
+	item := replication.Item{Key: key, Value: "doc-1"}
+	return []any{
+		QueryRequest{Key: key, Hops: 1, TTL: 7},
+		QueryResponse{Found: true, Items: []replication.Item{item}, Hops: 2, Responsible: "peer-1", ResponsiblePath: "10"},
+		BatchQueryRequest{Keys: []keyspace.Key{key}, TTL: 3},
+		BatchQueryResponse{Results: []QueryResponse{{Found: true, Hops: 1}}},
+		RangeRequest{Lo: key, Hi: key, TTL: 4},
+		RangeResponse{Items: []replication.Item{item}, Partitions: 2},
+		ReplicateRequest{From: "peer-2", Path: "10", Items: []replication.Item{item}, Tombstones: []replication.Item{item}, AntiEntropy: true},
+		ReplicateResponse{Accepted: 1, Items: []replication.Item{item}, Tombstones: []replication.Item{item}, Path: "10"},
+		InsertRequest{Item: item, TTL: 9},
+		DeleteRequest{Key: key, Value: "doc-1", TTL: 9, Direct: true},
+		MutateResponse{Found: true, Acks: 3, Replicas: 4, Hops: 2, Responsible: "peer-3", ResponsiblePath: "10"},
+		PingRequest{From: "peer-4"},
+		PingResponse{Path: "101", Done: true},
+		ExchangeRequest{From: "peer-5", Path: "1", Estimate: 0.25, Items: []replication.Item{item}},
+		ExchangeResponse{Action: ActionSplit, From: "peer-6", NewPath: "11", NewPathSet: true},
+	}
+}
+
+// FuzzWireDecode throws arbitrary bytes at the TCP transport's frame decoder
+// (the exact path every incoming message takes): it must never panic, and
+// every frame it does accept must re-encode cleanly.
+//
+// Run continuously with:
+//
+//	go test ./internal/overlay -run=^$ -fuzz=FuzzWireDecode -fuzztime=30s
+func FuzzWireDecode(f *testing.F) {
+	for _, msg := range wireSeedMessages() {
+		data, err := network.EncodeMessage("fuzz-seed", msg)
+		if err != nil {
+			f.Fatalf("encode seed %T: %v", msg, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, payload, err := network.DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if _, err := network.EncodeMessage(from, payload); err != nil {
+			t.Fatalf("decoded payload %T does not re-encode: %v", payload, err)
+		}
+	})
+}
+
+// FuzzMutationWireRoundTrip round-trips fuzzed Insert/Delete/Query messages
+// through the wire codec and checks the fields survive bit-exactly — the
+// property TCP deployments rely on for routed mutations.
+func FuzzMutationWireRoundTrip(f *testing.F) {
+	f.Add(uint64(0xDEADBEEF00000000), 32, "doc-7", 3, 61, false)
+	f.Add(uint64(0), 0, "", 0, 0, true)
+	f.Add(^uint64(0), 64, "v\x00w", -4, 1<<30, true)
+	f.Fuzz(func(t *testing.T, bits uint64, klen int, value string, hops, ttl int, direct bool) {
+		klen %= 65
+		if klen < 0 {
+			klen = -klen
+		}
+		// The JSON wire codec canonicalises invalid UTF-8 to U+FFFD; values
+		// are document identifiers, so only valid UTF-8 must round-trip
+		// bit-exactly.
+		if !utf8.ValidString(value) {
+			value = strings.ToValidUTF8(value, "�")
+		}
+		key, err := keyspace.FromBits(bits, klen)
+		if err != nil {
+			t.Fatalf("FromBits(%v, %d): %v", bits, klen, err)
+		}
+		msgs := []any{
+			InsertRequest{Item: replication.Item{Key: key, Value: value}, Hops: hops, TTL: ttl, Direct: direct},
+			DeleteRequest{Key: key, Value: value, Hops: hops, TTL: ttl, Direct: direct},
+			QueryRequest{Key: key, Hops: hops, TTL: ttl},
+		}
+		for _, msg := range msgs {
+			data, err := network.EncodeMessage("fuzzer", msg)
+			if err != nil {
+				t.Fatalf("encode %T: %v", msg, err)
+			}
+			from, got, err := network.DecodeMessage(data)
+			if err != nil {
+				t.Fatalf("decode %T: %v", msg, err)
+			}
+			if from != "fuzzer" {
+				t.Fatalf("from = %q", from)
+			}
+			switch want := msg.(type) {
+			case InsertRequest:
+				if got != want {
+					t.Fatalf("insert round trip: got %+v want %+v", got, want)
+				}
+			case DeleteRequest:
+				if got != want {
+					t.Fatalf("delete round trip: got %+v want %+v", got, want)
+				}
+			case QueryRequest:
+				if got != want {
+					t.Fatalf("query round trip: got %+v want %+v", got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestRegenerateWireCorpus rewrites the checked-in seed corpus for
+// FuzzWireDecode from wireSeedMessages, so the corpus tracks the message
+// set. It only runs when PGRID_REGEN_CORPUS is set:
+//
+//	PGRID_REGEN_CORPUS=1 go test ./internal/overlay -run TestRegenerateWireCorpus
+func TestRegenerateWireCorpus(t *testing.T) {
+	if os.Getenv("PGRID_REGEN_CORPUS") == "" {
+		t.Skip("set PGRID_REGEN_CORPUS=1 to rewrite testdata/fuzz/FuzzWireDecode")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range wireSeedMessages() {
+		data, err := network.EncodeMessage("corpus", msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		name := strings.ToLower(strings.TrimPrefix(fmt.Sprintf("%T", msg), "overlay."))
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWireCodecRoundTripsEveryMessage keeps the non-fuzz suite covering the
+// frame codec for the full message set (the fuzzers extend this population).
+func TestWireCodecRoundTripsEveryMessage(t *testing.T) {
+	for _, msg := range wireSeedMessages() {
+		data, err := network.EncodeMessage("codec-test", msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		if bytes.Contains(data[:4], []byte{0xff}) {
+			t.Fatalf("implausible frame length prefix for %T", msg)
+		}
+		_, payload, err := network.DecodeMessage(data)
+		if err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+		if _, ok := payload.(error); ok {
+			t.Fatalf("payload decoded as error for %T", msg)
+		}
+		reenc, err := network.EncodeMessage("codec-test", payload)
+		if err != nil {
+			t.Fatalf("re-encode %T: %v", msg, err)
+		}
+		if !bytes.Equal(data, reenc) {
+			t.Errorf("codec not stable for %T", msg)
+		}
+	}
+}

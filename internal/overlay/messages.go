@@ -26,6 +26,9 @@ const (
 	msgReplicateReply   = "pgrid.replicate.response"
 	msgPingRequest      = "pgrid.ping.request"
 	msgPingResponse     = "pgrid.ping.response"
+	msgInsertRequest    = "pgrid.insert.request"
+	msgDeleteRequest    = "pgrid.delete.request"
+	msgMutateResponse   = "pgrid.mutate.response"
 )
 
 func init() {
@@ -41,6 +44,9 @@ func init() {
 	network.RegisterType(msgReplicateReply, ReplicateResponse{})
 	network.RegisterType(msgPingRequest, PingRequest{})
 	network.RegisterType(msgPingResponse, PingResponse{})
+	network.RegisterType(msgInsertRequest, InsertRequest{})
+	network.RegisterType(msgDeleteRequest, DeleteRequest{})
+	network.RegisterType(msgMutateResponse, MutateResponse{})
 }
 
 // Action describes the outcome of an exchange interaction.
@@ -225,6 +231,10 @@ type ReplicateRequest struct {
 	From  network.Addr
 	Path  keyspace.Path
 	Items []replication.Item
+	// Tombstones are the initiator's deleted (key, value) pairs within Path,
+	// exchanged during anti-entropy so deletes propagate with the data and a
+	// replica that missed the delete drops its stale live copy.
+	Tombstones []replication.Item
 	// AntiEntropy requests the responder to send back items the initiator
 	// is missing.
 	AntiEntropy bool
@@ -233,19 +243,22 @@ type ReplicateRequest struct {
 }
 
 // WireSize implements network.WireSizer.
-func (r ReplicateRequest) WireSize() int { return messageBytes(len(r.Items), 0) }
+func (r ReplicateRequest) WireSize() int { return messageBytes(len(r.Items)+len(r.Tombstones), 0) }
 
 // ReplicateResponse acknowledges replication and optionally returns missing
 // items.
 type ReplicateResponse struct {
 	Accepted int
 	Items    []replication.Item
-	Replicas []network.Addr
-	Path     keyspace.Path
+	// Tombstones are the responder's deleted pairs the initiator should
+	// apply (anti-entropy only).
+	Tombstones []replication.Item
+	Replicas   []network.Addr
+	Path       keyspace.Path
 }
 
 // WireSize implements network.WireSizer.
-func (r ReplicateResponse) WireSize() int { return messageBytes(len(r.Items), 0) }
+func (r ReplicateResponse) WireSize() int { return messageBytes(len(r.Items)+len(r.Tombstones), 0) }
 
 // PingRequest probes a peer for liveness and its current path.
 type PingRequest struct{ From network.Addr }
@@ -261,6 +274,82 @@ type PingResponse struct {
 
 // WireSize implements network.WireSizer.
 func (PingResponse) WireSize() int { return 48 }
+
+// InsertRequest routes a live write towards the partition responsible for
+// the item's key. The responsible peer applies the write locally, fans it out
+// to its replica set, and acknowledges with the number of replicas that
+// applied it (quorum-ack).
+type InsertRequest struct {
+	// Item is the (key, value) pair to store.
+	Item replication.Item
+	// ID identifies the mutation end to end: the α-raced routing can
+	// deliver duplicates of the request to more than one responsible peer,
+	// and the ID lets them coordinate the operation exactly once (replicas
+	// learn it on the Direct fan-out leg). Zero disables deduplication.
+	ID uint64
+	// Hops counts the routing hops taken so far.
+	Hops int
+	// TTL bounds the remaining hops.
+	TTL int
+	// Direct marks the replica fan-out leg: the receiver must apply the
+	// write locally without routing it any further.
+	Direct bool
+}
+
+// WireSize implements network.WireSizer.
+func (InsertRequest) WireSize() int { return messageBytes(1, 0) }
+
+// DeleteRequest routes a live delete of one (key, value) pair towards the
+// responsible partition. Deletes are tombstoned at every replica that applies
+// them, so anti-entropy cannot resurrect the pair.
+type DeleteRequest struct {
+	// Key is the key of the pair to delete.
+	Key keyspace.Key
+	// Value selects the stored value to delete under the key.
+	Value string
+	// Gen is the coordinator's generation stamp for the tombstone,
+	// meaningful on the Direct fan-out leg: replicas apply this exact stamp
+	// so the delete orders consistently against re-inserts even where the
+	// local tombstone history is stale.
+	Gen uint64
+	// ID identifies the mutation end to end for duplicate suppression; see
+	// InsertRequest.ID.
+	ID uint64
+	// Hops counts the routing hops taken so far.
+	Hops int
+	// TTL bounds the remaining hops.
+	TTL int
+	// Direct marks the replica fan-out leg (apply locally, do not route).
+	Direct bool
+}
+
+// WireSize implements network.WireSizer.
+func (DeleteRequest) WireSize() int { return messageBytes(1, 0) }
+
+// MutateResponse acknowledges an Insert or Delete.
+type MutateResponse struct {
+	// Found reports whether a responsible peer was reached.
+	Found bool
+	// Acks is the number of replicas (including the responsible peer) that
+	// applied the mutation.
+	Acks int
+	// Replicas is the size of the replica set the responsible peer attempted
+	// to write to, including itself.
+	Replicas int
+	// Gen is the highest generation the responder has seen for the mutated
+	// pair. On a Direct leg that refused a stale write it tells the
+	// coordinator what generation its retry must out-stamp.
+	Gen uint64
+	// Hops is the total number of routing hops used.
+	Hops int
+	// Responsible is the peer that coordinated the write.
+	Responsible network.Addr
+	// ResponsiblePath is that peer's path.
+	ResponsiblePath keyspace.Path
+}
+
+// WireSize implements network.WireSizer.
+func (MutateResponse) WireSize() int { return 96 }
 
 // messageBytes approximates the wire size of a protocol message carrying
 // nItems data items and nRefs routing references: a fixed header plus ~24

@@ -58,6 +58,11 @@ type Config struct {
 	// reproduces the serial branch-after-branch behaviour; 0 means the
 	// default of 4.
 	Fanout int
+	// WriteQuorum is the number of replica acknowledgements (including the
+	// responsible peer itself) a routed Insert or Delete needs before it is
+	// reported successful. 1 (the default) accepts the responsible peer
+	// alone; higher values trade write latency for durability under churn.
+	WriteQuorum int
 	// Seed drives the peer's local randomness.
 	Seed int64
 }
@@ -102,6 +107,9 @@ func (c Config) normalize() Config {
 	if c.Fanout <= 0 {
 		c.Fanout = DefaultFanout
 	}
+	if c.WriteQuorum <= 0 {
+		c.WriteQuorum = DefaultWriteQuorum
+	}
 	return c
 }
 
@@ -113,6 +121,10 @@ const (
 	// DefaultFanout is the default bound on concurrently forwarded range
 	// sub-trees and batch groups.
 	DefaultFanout = 4
+	// DefaultWriteQuorum is the default number of replica acks a routed
+	// mutation needs: just the responsible peer, matching a single-copy
+	// write; raise it for stronger durability.
+	DefaultWriteQuorum = 1
 )
 
 // Metrics aggregates a peer's protocol activity for the evaluation figures.
@@ -126,6 +138,11 @@ type Metrics struct {
 	// forwarded, and the hops they took.
 	Queries   stats.Counter
 	QueryHops stats.Counter
+	// Mutations and MutationHops count routed Insert/Delete operations this
+	// peer originated, and the hops they took to reach the responsible
+	// partition.
+	Mutations    stats.Counter
+	MutationHops stats.Counter
 	// MaintenanceBytes and QueryBytes separate bandwidth by purpose
 	// (Figure 8).
 	MaintenanceBytes stats.Counter
@@ -145,6 +162,10 @@ type Peer struct {
 	idle     int
 	done     bool
 	rng      *rand.Rand
+	// mutSeen and mutLog deduplicate recently coordinated mutation IDs (the
+	// α-raced routing can deliver duplicates to several responsible peers).
+	mutSeen map[uint64]bool
+	mutLog  []uint64
 
 	// Metrics are exported counters; they are updated without holding mu.
 	Metrics Metrics
@@ -240,6 +261,22 @@ func (p *Peer) Replicas() []network.Addr {
 	return out
 }
 
+// AddReplica records another peer as a replica of this peer's partition.
+// Replicas are normally discovered through construction encounters and
+// anti-entropy gossip; AddReplica lets deployments seed the set explicitly.
+func (p *Peer) AddReplica(a network.Addr) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addReplicaLocked(a)
+}
+
+// removeReplica forgets a replica that turned out to be unreachable.
+func (p *Peer) removeReplica(a network.Addr) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.replicas, a)
+}
+
 // Done reports whether the peer considers its part of the construction
 // converged.
 func (p *Peer) Done() bool {
@@ -267,6 +304,10 @@ func (p *Peer) handle(ctx context.Context, from network.Addr, req any) (any, err
 		return p.handleRange(ctx, m), nil
 	case ReplicateRequest:
 		return p.handleReplicate(m), nil
+	case InsertRequest:
+		return p.handleInsert(ctx, m), nil
+	case DeleteRequest:
+		return p.handleDelete(ctx, m), nil
 	case PingRequest:
 		return PingResponse{Path: p.Path(), Done: p.Done()}, nil
 	default:
@@ -322,8 +363,11 @@ func (p *Peer) snapshotReplicasLocked() []network.Addr {
 }
 
 // handleReplicate serves the pre-construction replication push and replica
-// anti-entropy.
+// anti-entropy. Tombstones carried by the request are applied before the
+// items, so a replica that missed a delete drops its stale live copy instead
+// of re-spreading it.
 func (p *Peer) handleReplicate(req ReplicateRequest) ReplicateResponse {
+	p.store.AddTombstones(req.Tombstones)
 	accepted := p.store.AddAll(req.Items)
 	p.Metrics.KeysMoved.Add(float64(len(req.Items)))
 	resp := ReplicateResponse{Accepted: accepted, Path: p.Path()}
@@ -340,7 +384,8 @@ func (p *Peer) handleReplicate(req ReplicateRequest) ReplicateResponse {
 	p.mu.Unlock()
 	if req.AntiEntropy {
 		// Send back the items the initiator appears to be missing within
-		// the shared partition.
+		// the shared partition, plus the local tombstones so deletes travel
+		// in both directions.
 		initiator := replication.NewStore()
 		initiator.AddAll(req.Items)
 		for _, it := range p.store.ItemsWithPrefix(req.Path) {
@@ -348,6 +393,7 @@ func (p *Peer) handleReplicate(req ReplicateRequest) ReplicateResponse {
 				resp.Items = append(resp.Items, it)
 			}
 		}
+		resp.Tombstones = p.store.TombstonesWithPrefix(req.Path)
 		p.Metrics.KeysMoved.Add(float64(len(resp.Items)))
 	}
 	return resp

@@ -90,6 +90,90 @@ func TestOverlayOverTCP(t *testing.T) {
 	}
 }
 
+// TestMutationsAndBatchOverTCP drives the live mutation subsystem and batch
+// queries end-to-end over the real TCP transport: a routed Insert with
+// quorum-ack across both replicas of the responsible partition, a QueryBatch
+// spanning both partitions, a routed Delete, and an anti-entropy round that
+// must not resurrect the deleted pair.
+func TestMutationsAndBatchOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration test")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cfg := Config{MaxKeys: 100, MinReplicas: 1, WriteQuorum: 2}
+	var peers []*Peer
+	for i := 0; i < 3; i++ {
+		ep, err := network.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		pcfg := cfg
+		pcfg.Seed = int64(60 + i)
+		peers = append(peers, New(pcfg, ep))
+	}
+	origin, r1, r2 := peers[0], peers[1], peers[2]
+	origin.Table().SetPath("0")
+	r1.Table().SetPath("1")
+	r2.Table().SetPath("1")
+	origin.Table().Add(0, refFor(r1))
+	origin.Table().Add(0, refFor(r2))
+	r1.Table().Add(0, refFor(origin))
+	r2.Table().Add(0, refFor(origin))
+	r1.AddReplica(r2.Addr())
+	r2.AddReplica(r1.Addr())
+
+	ownKey := keyspace.MustFromString("0100")
+	origin.AddItems([]replication.Item{{Key: ownKey, Value: "local"}})
+
+	// Routed insert over TCP: must reach both replicas of partition "1".
+	key := keyspace.MustFromString("1100")
+	res, err := origin.Insert(ctx, replication.Item{Key: key, Value: "tcp-live"})
+	if err != nil {
+		t.Fatalf("insert over tcp: %v", err)
+	}
+	if res.Acks < 2 {
+		t.Errorf("insert acks over tcp = %d, want >= 2", res.Acks)
+	}
+	for _, p := range []*Peer{r1, r2} {
+		if got := p.Store().Lookup(key); len(got) != 1 || got[0].Value != "tcp-live" {
+			t.Errorf("replica %s missed the routed insert: %v", p.Addr(), got)
+		}
+	}
+
+	// Batch query spanning both partitions, served over the wire codec.
+	results := origin.QueryBatch(ctx, []keyspace.Key{ownKey, key})
+	if results[0].Err != nil || len(results[0].Items) != 1 || results[0].Items[0].Value != "local" {
+		t.Errorf("batch key 0: %+v", results[0])
+	}
+	if results[1].Err != nil || len(results[1].Items) != 1 || results[1].Items[0].Value != "tcp-live" {
+		t.Errorf("batch key 1: %+v", results[1])
+	}
+
+	// Routed delete over TCP: tombstoned at both replicas, and an
+	// anti-entropy round between them must not bring the pair back.
+	dres, err := origin.Delete(ctx, key, "tcp-live")
+	if err != nil {
+		t.Fatalf("delete over tcp: %v", err)
+	}
+	if dres.Acks < 2 {
+		t.Errorf("delete acks over tcp = %d, want >= 2", dres.Acks)
+	}
+	if _, err := r1.AntiEntropy(ctx, r2.Addr()); err != nil {
+		t.Fatalf("anti-entropy over tcp: %v", err)
+	}
+	for _, p := range []*Peer{r1, r2} {
+		if got := p.Store().Lookup(key); len(got) != 0 {
+			t.Errorf("replica %s resurrected the deleted pair over tcp: %v", p.Addr(), got)
+		}
+	}
+	if qres, err := origin.Query(ctx, key); err == nil && len(qres.Items) != 0 {
+		t.Errorf("deleted pair still returned over tcp: %v", qres.Items)
+	}
+}
+
 // TestExchangeResponderBehind exercises the branch where the contacted peer
 // is still at a shallower path than the initiator and must extend itself.
 func TestExchangeResponderBehind(t *testing.T) {

@@ -19,34 +19,302 @@ import (
 type Item struct {
 	Key   keyspace.Key
 	Value string
+	// Gen is the pair's logical generation, used to order live writes
+	// against delete tombstones during replica reconciliation: every live
+	// re-insert or delete of the same (Key, Value) pair bumps it, and the
+	// merge keeps the state with the higher generation (deletes win ties).
+	// It stays zero for data that never saw a live mutation.
+	Gen uint64 `json:",omitempty"`
 }
 
 // Store is a peer's local data store. It is safe for concurrent use.
+//
+// Deletions are remembered as generation-stamped tombstones: a deleted
+// (key, value) pair can only be brought back by a copy with a strictly
+// higher generation — replication of a stale live copy is refused, so a
+// delete that reached one replica cannot be undone by anti-entropy, while a
+// deliberate re-insert (which bumps the generation above the tombstone's)
+// propagates and wins everywhere. Tombstones are exchanged during
+// reconciliation like items. They are currently kept forever — safe, but
+// memory and reconciliation cost grow with lifetime deletes; see the
+// tombstone-GC item in ROADMAP.md.
 type Store struct {
 	mu    sync.RWMutex
-	items map[string][]Item // indexed by key bit string
+	items map[string][]Item            // live items by key bit string
+	tombs map[string]map[string]uint64 // key bit string -> value -> tombstone generation
 	count int
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{items: make(map[string][]Item)}
+	return &Store{items: make(map[string][]Item), tombs: make(map[string]map[string]uint64)}
 }
 
-// Add inserts an item. Duplicate (key, value) pairs are ignored so that
-// replica reconciliation is idempotent.
+// tombGenLocked returns the tombstone generation for the pair (callers must
+// hold mu).
+func (s *Store) tombGenLocked(ks, value string) (uint64, bool) {
+	g, ok := s.tombs[ks][value]
+	return g, ok
+}
+
+// clearTombLocked removes the pair's tombstone (callers must hold mu).
+func (s *Store) clearTombLocked(ks, value string) {
+	if vals, ok := s.tombs[ks]; ok {
+		delete(vals, value)
+		if len(vals) == 0 {
+			delete(s.tombs, ks)
+		}
+	}
+}
+
+// setTombLocked records a tombstone generation (callers must hold mu).
+func (s *Store) setTombLocked(ks, value string, gen uint64) {
+	if s.tombs[ks] == nil {
+		s.tombs[ks] = make(map[string]uint64)
+	}
+	s.tombs[ks][value] = gen
+}
+
+// removeLiveLocked drops the live copy of the pair if present (callers must
+// hold mu). It returns whether a copy was removed.
+func (s *Store) removeLiveLocked(ks, value string) bool {
+	its := s.items[ks]
+	for i, it := range its {
+		if it.Value == value {
+			its[i] = its[len(its)-1]
+			its = its[:len(its)-1]
+			if len(its) == 0 {
+				delete(s.items, ks)
+			} else {
+				s.items[ks] = its
+			}
+			s.count--
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts a replicated item. Duplicate (key, value) pairs are ignored so
+// that replica reconciliation is idempotent, and pairs tombstoned at the
+// same or a higher generation are refused so that reconciliation cannot
+// resurrect deleted items; a copy carrying a higher generation than the
+// tombstone (a deliberate re-insert elsewhere) clears it and wins.
 func (s *Store) Add(it Item) bool {
 	ks := it.Key.String()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, existing := range s.items[ks] {
+	return s.addLocked(ks, it)
+}
+
+func (s *Store) addLocked(ks string, it Item) bool {
+	if tg, ok := s.tombGenLocked(ks, it.Value); ok {
+		if it.Gen <= tg {
+			return false
+		}
+		s.clearTombLocked(ks, it.Value)
+	}
+	for i, existing := range s.items[ks] {
 		if existing.Value == it.Value {
+			if it.Gen > existing.Gen {
+				s.items[ks][i].Gen = it.Gen
+			}
 			return false
 		}
 	}
 	s.items[ks] = append(s.items[ks], it)
 	s.count++
 	return true
+}
+
+// Insert is a live write: it stamps the pair with a generation above any
+// local tombstone or live copy — so a pair that was deleted earlier is
+// deliberately re-inserted and the new generation propagates through
+// reconciliation — and returns the stamped item for replica fan-out.
+func (s *Store) Insert(it Item) Item {
+	ks := it.Key.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := it.Gen
+	if gen == 0 {
+		gen = 1 // a live write is always stamped above never-mutated data
+	}
+	if tg, ok := s.tombGenLocked(ks, it.Value); ok && tg >= gen {
+		gen = tg + 1
+	}
+	for i, existing := range s.items[ks] {
+		if existing.Value == it.Value {
+			if existing.Gen >= gen {
+				gen = existing.Gen + 1
+			}
+			s.items[ks][i].Gen = gen
+			return Item{Key: it.Key, Value: it.Value, Gen: gen}
+		}
+	}
+	s.clearTombLocked(ks, it.Value)
+	stamped := Item{Key: it.Key, Value: it.Value, Gen: gen}
+	s.items[ks] = append(s.items[ks], stamped)
+	s.count++
+	return stamped
+}
+
+// Delete removes the (key, value) pair and records a tombstone stamped
+// above every state this store has seen for the pair. It returns true when
+// the store changed visibly: a live copy was removed or the tombstone is
+// new (re-stamping an existing tombstone does not count).
+func (s *Store) Delete(key keyspace.Key, value string) bool {
+	_, changed := s.deleteStamped(key, value, 0)
+	return changed
+}
+
+// DeleteStamped is Delete returning the generation-stamped tombstone as an
+// item, for fan-out to replicas: applying that exact stamp everywhere (via
+// AddTombstones) orders the delete consistently against concurrent
+// re-inserts even at replicas whose own tombstone history is stale. floor is
+// the highest generation the coordinator has seen reported elsewhere (0 when
+// none); the stamp always ends up strictly above it.
+func (s *Store) DeleteStamped(key keyspace.Key, value string, floor uint64) Item {
+	it, _ := s.deleteStamped(key, value, floor)
+	return it
+}
+
+func (s *Store) deleteStamped(key keyspace.Key, value string, floor uint64) (Item, bool) {
+	ks := key.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Stamp above the floor, the live copy and any existing tombstone: an
+	// explicit delete re-asserts the removal even when this store's
+	// tombstone is stale (e.g. it missed a re-insert that happened
+	// elsewhere).
+	gen := floor
+	if tg, ok := s.tombGenLocked(ks, value); ok && tg > gen {
+		gen = tg
+	}
+	changed := false
+	for _, it := range s.items[ks] {
+		if it.Value == value {
+			if it.Gen > gen {
+				gen = it.Gen
+			}
+			break
+		}
+	}
+	if s.removeLiveLocked(ks, value) {
+		changed = true
+	}
+	if _, ok := s.tombGenLocked(ks, value); !ok {
+		changed = true
+	}
+	gen++
+	s.setTombLocked(ks, value, gen)
+	return Item{Key: key, Value: value, Gen: gen}, changed
+}
+
+// Deleted reports whether the (key, value) pair is tombstoned.
+func (s *Store) Deleted(key keyspace.Key, value string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.tombGenLocked(key.String(), value)
+	return ok
+}
+
+// Live reports whether the (key, value) pair is currently stored.
+func (s *Store) Live(key keyspace.Key, value string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, it := range s.items[key.String()] {
+		if it.Value == value {
+			return true
+		}
+	}
+	return false
+}
+
+// PairGen returns the highest generation this store has seen for the
+// (key, value) pair — live or tombstoned — and 0 for an unknown pair. A
+// write coordinator uses it to learn how far a refusing replica is ahead.
+func (s *Store) PairGen(key keyspace.Key, value string) uint64 {
+	ks := key.String()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if tg, ok := s.tombGenLocked(ks, value); ok {
+		return tg
+	}
+	for _, it := range s.items[ks] {
+		if it.Value == value {
+			return it.Gen
+		}
+	}
+	return 0
+}
+
+// Tombstones returns the deleted (key, value) pairs as generation-stamped
+// items, ordered by key then value, for exchange during anti-entropy.
+func (s *Store) Tombstones() []Item {
+	return s.tombstones(nil)
+}
+
+// TombstonesWithPrefix returns the tombstones whose keys start with the path.
+func (s *Store) TombstonesWithPrefix(p keyspace.Path) []Item {
+	return s.tombstones(func(k keyspace.Key) bool { return k.HasPrefix(p) })
+}
+
+// tombstones collects tombstones whose keys pass the filter (nil = all).
+func (s *Store) tombstones(keep func(keyspace.Key) bool) []Item {
+	s.mu.RLock()
+	var out []Item
+	for ks, vals := range s.tombs {
+		k := keyspace.MustFromString(ks)
+		if keep != nil && !keep(k) {
+			continue
+		}
+		for v, g := range vals {
+			out = append(out, Item{Key: k, Value: v, Gen: g})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		c := out[i].Key.Compare(out[j].Key)
+		if c != 0 {
+			return c < 0
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// AddTombstones applies tombstones received from a replica: live copies at
+// the same or a lower generation are dropped and the tombstones recorded
+// (deletes win generation ties; a live copy with a strictly higher
+// generation — a newer re-insert — survives). It returns the number of
+// tombstones that changed this store.
+func (s *Store) AddTombstones(items []Item) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, it := range items {
+		ks := it.Key.String()
+		if tg, ok := s.tombGenLocked(ks, it.Value); ok {
+			if it.Gen > tg {
+				s.setTombLocked(ks, it.Value, it.Gen)
+			}
+			continue
+		}
+		liveGen, live := uint64(0), false
+		for _, existing := range s.items[ks] {
+			if existing.Value == it.Value {
+				liveGen, live = existing.Gen, true
+				break
+			}
+		}
+		if live && liveGen > it.Gen {
+			continue // a newer live write supersedes this tombstone
+		}
+		s.removeLiveLocked(ks, it.Value)
+		s.setTombLocked(ks, it.Value, it.Gen)
+		n++
+	}
+	return n
 }
 
 // AddAll inserts a batch of items and returns how many were new.
@@ -179,10 +447,11 @@ func (s *Store) RetainPrefix(p keyspace.Path) []Item {
 	return removed
 }
 
-// Clone returns a deep copy of the store.
+// Clone returns a deep copy of the store, including tombstones.
 func (s *Store) Clone() *Store {
 	c := NewStore()
 	c.AddAll(s.Items())
+	c.AddTombstones(s.Tombstones())
 	return c
 }
 
@@ -207,9 +476,13 @@ func (s *Store) Diff(other *Store) []Item {
 }
 
 // Reconcile performs anti-entropy between two replica stores: both end up
-// with the union of their items. It returns the number of items transferred
-// in each direction (for bandwidth accounting).
+// with the union of their items minus the union of their tombstones (deletes
+// win over stale live copies, so a removed item cannot be resurrected). It
+// returns the number of items transferred in each direction (for bandwidth
+// accounting).
 func Reconcile(a, b *Store) (toA, toB int) {
+	b.AddTombstones(a.Tombstones())
+	a.AddTombstones(b.Tombstones())
 	missingInB := a.Diff(b)
 	missingInA := b.Diff(a)
 	toB = b.AddAll(missingInB)

@@ -9,6 +9,8 @@ import (
 	"testing/quick"
 
 	"pgrid/internal/keyspace"
+
+	"pgrid/internal/testutil"
 )
 
 func item(key string, val string) Item {
@@ -158,7 +160,7 @@ func TestReconcilePropertyUnion(t *testing.T) {
 		Reconcile(a, b)
 		return a.Len() == len(union) && b.Len() == len(union)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 100, 507)); err != nil {
 		t.Error(err)
 	}
 }
@@ -231,8 +233,161 @@ func TestEstimateReplicasMonotoneProperty(t *testing.T) {
 		}
 		return EstimateReplicas(n, n, o2, 5) <= EstimateReplicas(n, n, o1, 5)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 500, 508)); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestDeleteTombstonesPair(t *testing.T) {
+	s := NewStore()
+	s.AddAll([]Item{item("0101", "doc1"), item("0101", "doc2")})
+	if !s.Delete(keyspace.MustFromString("0101"), "doc1") {
+		t.Error("delete of a live item should report a change")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len after delete = %d", s.Len())
+	}
+	if got := s.Lookup(keyspace.MustFromString("0101")); len(got) != 1 || got[0].Value != "doc2" {
+		t.Errorf("lookup after delete = %v", got)
+	}
+	if !s.Deleted(keyspace.MustFromString("0101"), "doc1") {
+		t.Error("deleted pair should be tombstoned")
+	}
+	// Replication-driven Add must not resurrect the pair.
+	if s.Add(item("0101", "doc1")) {
+		t.Error("add of a tombstoned pair should be refused")
+	}
+	if s.Len() != 1 {
+		t.Errorf("tombstoned add changed the store: len = %d", s.Len())
+	}
+	// Deleting again only reports a change the first time.
+	if s.Delete(keyspace.MustFromString("0101"), "doc1") {
+		t.Error("second delete should be a no-op")
+	}
+	// A deliberate re-insert clears the tombstone and is stamped above it.
+	stamped := s.Insert(item("0101", "doc1"))
+	if !s.Live(keyspace.MustFromString("0101"), "doc1") {
+		t.Error("insert should clear the tombstone and store the item")
+	}
+	if stamped.Gen == 0 {
+		t.Error("re-insert should carry a generation above the tombstone's")
+	}
+	if s.Deleted(keyspace.MustFromString("0101"), "doc1") {
+		t.Error("insert should have cleared the tombstone")
+	}
+	if s.Len() != 2 {
+		t.Errorf("len after re-insert = %d", s.Len())
+	}
+}
+
+// TestStaleTombstoneCannotKillReinsert is the regression test for the
+// delete → re-insert → stale-replica-returns sequence: a replica that still
+// holds the old tombstone must not destroy the newer quorum-acked write when
+// its tombstones are merged, and the re-inserted copy must win at the stale
+// replica too.
+func TestStaleTombstoneCannotKillReinsert(t *testing.T) {
+	fresh, stale := NewStore(), NewStore()
+	fresh.Add(item("0011", "doc"))
+	stale.Add(item("0011", "doc"))
+	// The delete reaches both replicas...
+	fresh.Delete(keyspace.MustFromString("0011"), "doc")
+	stale.Delete(keyspace.MustFromString("0011"), "doc")
+	// ...then the pair is deliberately re-inserted while `stale` is offline.
+	reborn := fresh.Insert(item("0011", "doc"))
+	if !fresh.Live(keyspace.MustFromString("0011"), "doc") {
+		t.Fatal("re-insert did not apply at the fresh replica")
+	}
+	// The stale replica comes back: merging its old tombstone must not kill
+	// the newer write...
+	if n := fresh.AddTombstones(stale.Tombstones()); n != 0 {
+		t.Errorf("stale tombstone applied over a newer write (%d changes)", n)
+	}
+	if !fresh.Live(keyspace.MustFromString("0011"), "doc") {
+		t.Fatal("stale tombstone destroyed the re-inserted pair")
+	}
+	// ...and the re-inserted copy must win at the stale replica.
+	if !stale.Add(reborn) {
+		t.Error("stale replica refused the newer re-inserted copy")
+	}
+	Reconcile(fresh, stale)
+	for name, s := range map[string]*Store{"fresh": fresh, "stale": stale} {
+		if !s.Live(keyspace.MustFromString("0011"), "doc") {
+			t.Errorf("replica %s lost the re-inserted pair after reconcile", name)
+		}
+		if s.Deleted(keyspace.MustFromString("0011"), "doc") {
+			t.Errorf("replica %s kept the stale tombstone", name)
+		}
+	}
+}
+
+func TestDeleteOfAbsentPairStillTombstones(t *testing.T) {
+	s := NewStore()
+	if !s.Delete(keyspace.MustFromString("1100"), "ghost") {
+		t.Error("first tombstone of an absent pair is still a change")
+	}
+	if s.Add(item("1100", "ghost")) {
+		t.Error("tombstone must block a later replica push")
+	}
+	if s.Add(item("1100", "other")) != true {
+		t.Error("tombstone must be value-specific")
+	}
+}
+
+func TestTombstoneExchange(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	a.AddAll([]Item{item("00", "x"), item("01", "y")})
+	b.AddAll([]Item{item("00", "x"), item("01", "y")})
+	a.Delete(keyspace.MustFromString("00"), "x")
+	if got := a.TombstonesWithPrefix("0"); len(got) != 1 || got[0].Value != "x" {
+		t.Fatalf("tombstones = %v", got)
+	}
+	if n := b.AddTombstones(a.Tombstones()); n != 1 {
+		t.Errorf("applied %d tombstones, want 1", n)
+	}
+	if b.Len() != 1 {
+		t.Errorf("b should have dropped the deleted pair, len = %d", b.Len())
+	}
+	// Idempotent.
+	if n := b.AddTombstones(a.Tombstones()); n != 0 {
+		t.Errorf("re-applying tombstones applied %d, want 0", n)
+	}
+}
+
+func TestReconcileDoesNotResurrectDeleted(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	a.AddAll([]Item{item("00", "x"), item("01", "y")})
+	b.AddAll([]Item{item("00", "x"), item("01", "y"), item("11", "z")})
+	// The delete reached only replica a; b still holds the live copy.
+	a.Delete(keyspace.MustFromString("00"), "x")
+	Reconcile(a, b)
+	for name, s := range map[string]*Store{"a": a, "b": b} {
+		if got := s.Lookup(keyspace.MustFromString("00")); len(got) != 0 {
+			t.Errorf("replica %s resurrected deleted item: %v", name, got)
+		}
+		if s.Len() != 2 {
+			t.Errorf("replica %s len = %d, want 2", name, s.Len())
+		}
+	}
+	// Clones carry tombstones with them.
+	c := b.Clone()
+	if c.Add(item("00", "x")) {
+		t.Error("clone lost the tombstone")
+	}
+}
+
+// TestDeleteStampedHonorsFloor: the re-stamp retry passes the highest
+// generation a refusing replica reported as the floor, and the new tombstone
+// must land strictly above it even when the local tombstone is older.
+func TestDeleteStampedHonorsFloor(t *testing.T) {
+	s := NewStore()
+	key := keyspace.MustFromString("0110")
+	s.Delete(key, "v") // local tombstone at gen 1
+	if it := s.DeleteStamped(key, "v", 10); it.Gen != 11 {
+		t.Errorf("stamp = %d, want 11 (strictly above the floor)", it.Gen)
+	}
+	// A floor below the local state still stamps above the local state.
+	if it := s.DeleteStamped(key, "v", 3); it.Gen != 12 {
+		t.Errorf("stamp = %d, want 12 (above the local tombstone)", it.Gen)
 	}
 }
 

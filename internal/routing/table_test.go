@@ -9,6 +9,8 @@ import (
 
 	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
+
+	"pgrid/internal/testutil"
 )
 
 func TestSetPathAndLevels(t *testing.T) {
@@ -240,7 +242,7 @@ func TestRoutingInvariantProperty(t *testing.T) {
 		// including the divergence level.
 		return key.HasPrefix(ref.Path) && level >= 0
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 500, 501)); err != nil {
 		t.Error(err)
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -273,6 +274,44 @@ func TestTimelineSmall(t *testing.T) {
 	}
 	if res.Summary() == "" {
 		t.Error("summary empty")
+	}
+}
+
+// TestTimelineWithLiveWrites runs the timeline with the routed write
+// workload and background maintenance enabled: writes must mostly succeed in
+// both operational phases, and the read-your-writes probe must show that
+// inserts converge to readable state even while peers churn.
+func TestTimelineWithLiveWrites(t *testing.T) {
+	cfg := TimelineConfig{
+		Experiment:          smallConfig(10),
+		JoinEnd:             20 * time.Minute,
+		ConstructEnd:        60 * time.Minute,
+		QueryEnd:            80 * time.Minute,
+		ChurnEnd:            100 * time.Minute,
+		QueryInterval:       2 * time.Minute,
+		WriteInterval:       4 * time.Minute,
+		MaintenanceInterval: 2 * time.Minute,
+		Churn:               churn.PaperModel(),
+		HopLatency:          2 * time.Second,
+		Step:                time.Minute,
+	}
+	res, err := RunTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteSuccessBeforeChurn < 0.8 {
+		t.Errorf("write success before churn %v too low", res.WriteSuccessBeforeChurn)
+	}
+	if res.WriteSuccessDuringChurn < 0.5 {
+		t.Errorf("write success during churn %v too low", res.WriteSuccessDuringChurn)
+	}
+	if res.ReadYourWrites < 0.7 {
+		t.Errorf("read-your-writes convergence %v too low", res.ReadYourWrites)
+	}
+	if got := res.Summary(); got == "" {
+		t.Error("summary empty")
+	} else if !strings.Contains(got, "write success") {
+		t.Errorf("summary misses the write metrics: %q", got)
 	}
 }
 

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"pgrid/internal/churn"
+	"pgrid/internal/keyspace"
 	"pgrid/internal/overlay"
+	"pgrid/internal/replication"
 	"pgrid/internal/stats"
 	"pgrid/internal/workload"
 )
@@ -39,6 +41,15 @@ type TimelineConfig struct {
 	// QueryInterval is the mean time between queries per peer (paper: a
 	// query every 1–2 minutes per peer).
 	QueryInterval time.Duration
+	// WriteInterval is the mean time between routed live writes (Insert and
+	// Delete) per peer during the operational phases. Zero disables the
+	// write workload, reproducing the paper's read-only experiment.
+	WriteInterval time.Duration
+	// MaintenanceInterval is the virtual-time pause between background
+	// maintenance ticks per peer (anti-entropy with a random replica plus
+	// routing-reference probing) once the overlay is constructed. Zero
+	// disables maintenance.
+	MaintenanceInterval time.Duration
 	// Churn is the churn model applied during the final phase.
 	Churn churn.Model
 	// HopLatency is the mean one-way latency per routing hop used to model
@@ -84,6 +95,14 @@ type TimelineResult struct {
 	// SuccessBeforeChurn and SuccessDuringChurn are query success rates in
 	// the two operational phases.
 	SuccessBeforeChurn, SuccessDuringChurn float64
+	// WriteSuccessBeforeChurn and WriteSuccessDuringChurn are routed-write
+	// (Insert/Delete) success rates in the two operational phases; both are
+	// zero when the write workload is disabled.
+	WriteSuccessBeforeChurn, WriteSuccessDuringChurn float64
+	// ReadYourWrites is the fraction of sampled earlier inserts that a later
+	// query read back — the timeline's convergence signal for live writes
+	// under churn.
+	ReadYourWrites float64
 }
 
 // RunTimeline replays the full experiment timeline.
@@ -140,8 +159,24 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 	if cfg.QueryInterval > 0 {
 		queriesPerTick = float64(cfg.Step) / float64(cfg.QueryInterval)
 	}
+	writesPerTick := 0.0
+	if cfg.WriteInterval > 0 {
+		writesPerTick = float64(cfg.Step) / float64(cfg.WriteInterval)
+	}
+	maintEvery := 0
+	if cfg.MaintenanceInterval > 0 {
+		maintEvery = int(cfg.MaintenanceInterval / cfg.Step)
+		if maintEvery < 1 {
+			maintEvery = 1
+		}
+	}
 
 	var successBefore, attemptsBefore, successDuring, attemptsDuring float64
+	var wSuccessBefore, wAttemptsBefore, wSuccessDuring, wAttemptsDuring float64
+	var readbackOK, readbackN float64
+	var liveWrites []replication.Item
+	writeSeq := 0
+	tick := 0
 
 	for now := time.Duration(0); now < cfg.ChurnEnd; now += cfg.Step {
 		// Figure 7: online peers. Before their join time peers are not part
@@ -221,6 +256,77 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 			}
 		}
 
+		// Live write workload: routed Inserts (and occasional Deletes of
+		// earlier live writes) from random online origins, continuing
+		// through the churn phase.
+		if now >= cfg.ConstructEnd && writesPerTick > 0 {
+			inChurn := now >= cfg.QueryEnd
+			nWrites := int(writesPerTick * float64(online))
+			for w := 0; w < nWrites; w++ {
+				origin := e.randomOnlinePeer()
+				if origin == nil {
+					break
+				}
+				var err error
+				if writeSeq%4 == 3 && len(liveWrites) > 0 {
+					idx := rng.Intn(len(liveWrites))
+					it := liveWrites[idx]
+					_, err = origin.Delete(ctx, it.Key, it.Value)
+					liveWrites = append(liveWrites[:idx], liveWrites[idx+1:]...)
+				} else {
+					it := replication.Item{
+						Key:   keyspace.MustFromFloat(cfg.Experiment.Distribution.Sample(rng), keyspace.DefaultDepth),
+						Value: fmt.Sprintf("live-%d", writeSeq),
+					}
+					_, err = origin.Insert(ctx, it)
+					if err == nil {
+						liveWrites = append(liveWrites, it)
+					}
+				}
+				writeSeq++
+				if inChurn {
+					wAttemptsDuring++
+					if err == nil {
+						wSuccessDuring++
+					}
+				} else {
+					wAttemptsBefore++
+					if err == nil {
+						wSuccessBefore++
+					}
+				}
+			}
+			// Read-your-writes probe: sample earlier inserts and check a
+			// query from a random origin reads them back.
+			for s := 0; s < 3 && len(liveWrites) > 0; s++ {
+				it := liveWrites[rng.Intn(len(liveWrites))]
+				origin := e.randomOnlinePeer()
+				if origin == nil {
+					break
+				}
+				readbackN++
+				if qres, err := origin.Query(ctx, it.Key); err == nil {
+					for _, got := range qres.Items {
+						if got.Value == it.Value {
+							readbackOK++
+							break
+						}
+					}
+				}
+			}
+		}
+
+		// Background maintenance: anti-entropy plus routing probes on every
+		// online peer at the configured virtual-time cadence, which is what
+		// lets writes converge and churned peers catch up without a manual
+		// re-Build.
+		if maintEvery > 0 && now >= cfg.ConstructEnd && tick%maintEvery == 0 {
+			for _, p := range e.onlinePeers() {
+				p.MaintainTick(ctx, overlay.MaintenanceOptions{})
+			}
+		}
+		tick++
+
 		// Figure 8: bandwidth per second, split by purpose, from the peers'
 		// byte counters.
 		var maintenance, query float64
@@ -246,6 +352,15 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 	if attemptsDuring > 0 {
 		res.SuccessDuringChurn = successDuring / attemptsDuring
 	}
+	if wAttemptsBefore > 0 {
+		res.WriteSuccessBeforeChurn = wSuccessBefore / wAttemptsBefore
+	}
+	if wAttemptsDuring > 0 {
+		res.WriteSuccessDuringChurn = wSuccessDuring / wAttemptsDuring
+	}
+	if readbackN > 0 {
+		res.ReadYourWrites = readbackOK / readbackN
+	}
 	return res, nil
 }
 
@@ -263,6 +378,10 @@ func (r *TimelineResult) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "construction: %s\n", r.Construction)
 	fmt.Fprintf(&b, "query success before churn: %.2f during churn: %.2f\n", r.SuccessBeforeChurn, r.SuccessDuringChurn)
+	if r.WriteSuccessBeforeChurn > 0 || r.WriteSuccessDuringChurn > 0 {
+		fmt.Fprintf(&b, "write success before churn: %.2f during churn: %.2f read-your-writes: %.2f\n",
+			r.WriteSuccessBeforeChurn, r.WriteSuccessDuringChurn, r.ReadYourWrites)
+	}
 	lat := r.QueryLatency.Buckets()
 	if len(lat) > 0 {
 		var means []float64

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"pgrid/internal/testutil"
 )
 
 func TestSummarize(t *testing.T) {
@@ -56,7 +58,7 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 		s := Summarize(xs)
 		return s.Min <= s.Median && s.Median <= s.P95 && s.P95 <= s.Max
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 300, 502)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,19 @@
+// Package testutil provides shared helpers for the test suite.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// QuickConfig returns a testing/quick configuration with a deterministic,
+// logged seed. testing/quick's default generator is time-seeded, which makes
+// a failing property unreproducible; every property test in this repo
+// threads an explicit seed through this helper instead, so the failure log
+// always names the input population.
+func QuickConfig(t *testing.T, maxCount int, seed int64) *quick.Config {
+	t.Helper()
+	t.Logf("testing/quick seed: %d", seed)
+	return &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(seed))}
+}

@@ -8,6 +8,8 @@ import (
 
 	"pgrid/internal/keyspace"
 	"pgrid/internal/workload"
+
+	"pgrid/internal/testutil"
 )
 
 func uniformKeys(n int, seed int64) keyspace.Keys {
@@ -145,7 +147,7 @@ func TestBuildRespectsMinReplicasProperty(t *testing.T) {
 		}
 		return tree.MinLeafPeers() >= 5-1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 40, 511)); err != nil {
 		t.Error(err)
 	}
 }

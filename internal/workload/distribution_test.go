@@ -7,6 +7,8 @@ import (
 	"testing/quick"
 
 	"pgrid/internal/keyspace"
+
+	"pgrid/internal/testutil"
 )
 
 func sampleMany(d Distribution, n int, seed int64) []float64 {
@@ -188,7 +190,7 @@ func TestSampleAlwaysValidKeyProperty(t *testing.T) {
 		k := keyspace.MustFromFloat(x, 32)
 		return k.Len == 32
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 500, 509)); err != nil {
 		t.Error(err)
 	}
 }

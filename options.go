@@ -10,13 +10,14 @@ import (
 
 // options holds the tunable parameters of a Cluster.
 type options struct {
-	peers     int
-	overlay   overlay.Config
-	degree    int
-	maxRounds int
-	seed      int64
-	latency   network.LatencyModel
-	loss      float64
+	peers         int
+	overlay       overlay.Config
+	degree        int
+	maxRounds     int
+	seed          int64
+	latency       network.LatencyModel
+	loss          float64
+	maintainEvery time.Duration
 }
 
 // defaultOptions returns the paper's parameters: n_min = 5,
@@ -29,9 +30,10 @@ func defaultOptions() options {
 			MinReplicas: 5,
 			MaxRefs:     3,
 		},
-		degree:    unstructured.DefaultDegree,
-		maxRounds: 100,
-		seed:      1,
+		degree:        unstructured.DefaultDegree,
+		maxRounds:     100,
+		seed:          1,
+		maintainEvery: 100 * time.Millisecond,
 	}
 }
 
@@ -92,6 +94,26 @@ func WithHedgeDelay(d time.Duration) Option { return func(o *options) { o.overla
 // 1 restores the serial branch-after-branch behaviour; the default is
 // overlay.DefaultFanout (4).
 func WithRangeFanout(n int) Option { return func(o *options) { o.overlay.Fanout = n } }
+
+// WithWriteQuorum sets the number of replica acknowledgements (including
+// the responsible peer itself) a routed Insert or Delete needs before it is
+// reported successful. 1 (the default) accepts the responsible peer alone;
+// higher values trade write latency for durability under churn. Writes that
+// miss the quorum return ErrNoQuorum but still reach the replicas that
+// acknowledged, and background maintenance spreads them further.
+func WithWriteQuorum(n int) Option { return func(o *options) { o.overlay.WriteQuorum = n } }
+
+// WithMaintenanceInterval sets the mean pause between two background
+// maintenance ticks per peer (anti-entropy with a random replica plus
+// routing-reference probing) once StartMaintenance is called. The default is
+// 100ms, suitable for the in-process simulated network.
+func WithMaintenanceInterval(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.maintainEvery = d
+		}
+	}
+}
 
 // WithBootstrapDegree sets the degree of the unstructured bootstrap
 // overlay.

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"pgrid/internal/keyspace"
@@ -86,8 +87,19 @@ type Cluster struct {
 	graph   *unstructured.Graph
 	peers   []*overlay.Peer
 	pending [][]Item
-	rng     *rand.Rand
 	built   bool
+
+	// rngMu guards rng: queries and live mutations pick random origin peers
+	// and may run concurrently.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// maintMu guards stopMaintenance so Start/StopMaintenance are safe to
+	// call from concurrent goroutines.
+	maintMu sync.Mutex
+	// stopMaintenance, when non-nil, stops the running background
+	// maintenance loops.
+	stopMaintenance func()
 }
 
 // BuildReport summarises the outcome of constructing the overlay.
@@ -152,6 +164,26 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	return c, nil
 }
 
+// randIntn draws a uniform int from [0, n) under the RNG lock, so queries
+// and live mutations can run from concurrent goroutines.
+func (c *Cluster) randIntn(n int) int {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// randPerm draws a random permutation under the RNG lock.
+func (c *Cluster) randPerm(n int) []int {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Perm(n)
+}
+
+// randomPeer picks a uniformly random peer as the origin of an operation.
+func (c *Cluster) randomPeer() *overlay.Peer {
+	return c.peers[c.randIntn(len(c.peers))]
+}
+
 // Peers returns the number of peers in the cluster.
 func (c *Cluster) Peers() int { return len(c.peers) }
 
@@ -173,7 +205,7 @@ func (c *Cluster) Paths() []Path {
 // stored at the responsible partition directly.
 func (c *Cluster) Index(key Key, value string) error {
 	it := Item{Key: key, Value: value}
-	owner := c.rng.Intn(len(c.peers))
+	owner := c.randIntn(len(c.peers))
 	if !c.built {
 		c.pending[owner] = append(c.pending[owner], it)
 		c.peers[owner].AddItems([]Item{it})
@@ -240,7 +272,7 @@ func (c *Cluster) Build(ctx context.Context) (BuildReport, error) {
 	maxRounds := c.cfg.maxRounds
 	for ; rounds < maxRounds; rounds++ {
 		active := 0
-		for _, idx := range c.rng.Perm(len(c.peers)) {
+		for _, idx := range c.randPerm(len(c.peers)) {
 			p := c.peers[idx]
 			if p.Done() {
 				continue
@@ -289,10 +321,118 @@ func (c *Cluster) report(rounds int) BuildReport {
 // Built reports whether the overlay has been constructed.
 func (c *Cluster) Built() bool { return c.built }
 
+// ErrNotBuilt is returned by live mutations invoked before Build: until the
+// overlay exists there is nothing to route through — use Index instead.
+var ErrNotBuilt = errors.New("pgrid: live mutations require a built overlay; use Index before Build")
+
+// ErrNoQuorum is returned by Insert and Delete when the responsible peer was
+// reached but fewer replicas than the configured write quorum acknowledged
+// the mutation. The write is still applied at the replicas that did
+// acknowledge, and background maintenance spreads it further.
+var ErrNoQuorum = overlay.ErrNoQuorum
+
+// MutateReport summarises a routed live write.
+type MutateReport struct {
+	// Acks is the number of replicas (including the responsible peer) that
+	// applied the mutation.
+	Acks int
+	// Replicas is the size of the replica set the responsible peer wrote to,
+	// including itself.
+	Replicas int
+	// Hops is the number of routing hops the mutation used to reach the
+	// responsible partition.
+	Hops int
+}
+
+// Insert routes a live write through the overlay to all replicas of the
+// partition responsible for the key: the mutation travels the same
+// α-concurrent routing path as an exact-match query, the responsible peer
+// applies it and fans it out to its replica set, and the write succeeds once
+// WriteQuorum replicas acknowledged it (ErrNoQuorum otherwise). Safe for
+// concurrent use, including concurrently with searches.
+func (c *Cluster) Insert(ctx context.Context, key Key, value string) (MutateReport, error) {
+	if !c.built {
+		return MutateReport{}, ErrNotBuilt
+	}
+	res, err := c.randomPeer().Insert(ctx, Item{Key: key, Value: value})
+	return MutateReport{Acks: res.Acks, Replicas: res.Replicas, Hops: res.Hops}, err
+}
+
+// InsertString routes a live write for a string key; see Insert.
+func (c *Cluster) InsertString(ctx context.Context, term, value string) (MutateReport, error) {
+	return c.Insert(ctx, StringKey(term), value)
+}
+
+// Delete routes a live delete of the (key, value) pair to the responsible
+// partition. Every replica that applies it records a tombstone, so
+// anti-entropy maintenance spreads the delete instead of resurrecting the
+// pair: a replica that acknowledged never serves it again, replicas that
+// missed the delete converge via maintenance, and once tombstoned the pair
+// cannot come back. For read-after-delete against any replica immediately,
+// set WithWriteQuorum to the replica-set size; with smaller quorums a query
+// racing ahead of maintenance can still see the pair on a replica the ack
+// did not cover. Quorum semantics match Insert.
+func (c *Cluster) Delete(ctx context.Context, key Key, value string) (MutateReport, error) {
+	if !c.built {
+		return MutateReport{}, ErrNotBuilt
+	}
+	res, err := c.randomPeer().Delete(ctx, key, value)
+	return MutateReport{Acks: res.Acks, Replicas: res.Replicas, Hops: res.Hops}, err
+}
+
+// DeleteString routes a live delete for a string key; see Delete.
+func (c *Cluster) DeleteString(ctx context.Context, term, value string) (MutateReport, error) {
+	return c.Delete(ctx, StringKey(term), value)
+}
+
+// StartMaintenance launches the background maintenance loop on every peer:
+// periodic anti-entropy with a random replica (spreading live writes and
+// delete tombstones) and probing/pruning of stale routing references. The
+// tick interval comes from WithMaintenanceInterval. Calling it again is a
+// no-op while a loop is already running.
+func (c *Cluster) StartMaintenance() {
+	c.maintMu.Lock()
+	defer c.maintMu.Unlock()
+	if c.stopMaintenance != nil {
+		return
+	}
+	stops := make([]func(), len(c.peers))
+	for i, p := range c.peers {
+		stops[i] = p.StartMaintenance(overlay.MaintenanceOptions{Interval: c.cfg.maintainEvery})
+	}
+	c.stopMaintenance = func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// StopMaintenance stops the background maintenance loops and waits for them
+// to exit. It is a no-op when maintenance is not running.
+func (c *Cluster) StopMaintenance() {
+	c.maintMu.Lock()
+	stop := c.stopMaintenance
+	c.stopMaintenance = nil
+	c.maintMu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// MaintenanceRound drives one synchronous maintenance tick on every peer
+// (anti-entropy plus one routing probe each). It is what StartMaintenance
+// does continuously in the background, exposed for deterministic tests and
+// virtual-clock simulations.
+func (c *Cluster) MaintenanceRound(ctx context.Context) {
+	for _, p := range c.peers {
+		p.MaintainTick(ctx, overlay.MaintenanceOptions{})
+	}
+}
+
 // Search resolves an exact-match query for the key, starting from a random
 // peer.
 func (c *Cluster) Search(ctx context.Context, key Key) ([]SearchHit, error) {
-	origin := c.peers[c.rng.Intn(len(c.peers))]
+	origin := c.randomPeer()
 	res, err := origin.Query(ctx, key)
 	if err != nil {
 		return nil, err
@@ -319,7 +459,7 @@ func (c *Cluster) SearchMany(ctx context.Context, keys []Key) ([][]SearchHit, er
 	if len(keys) == 0 {
 		return nil, nil
 	}
-	origin := c.peers[c.rng.Intn(len(c.peers))]
+	origin := c.randomPeer()
 	results := origin.QueryBatch(ctx, keys)
 	out := make([][]SearchHit, len(keys))
 	resolved := 0
@@ -364,7 +504,7 @@ func (c *Cluster) SetQueryConcurrency(alpha, fanout int, hedge time.Duration) {
 // SearchRange returns every item whose key falls into [lo, hi), in key
 // order.
 func (c *Cluster) SearchRange(ctx context.Context, lo, hi Key) ([]SearchHit, error) {
-	origin := c.peers[c.rng.Intn(len(c.peers))]
+	origin := c.randomPeer()
 	res, err := origin.RangeQuery(ctx, keyspace.NewRange(lo, hi))
 	if err != nil {
 		return nil, err

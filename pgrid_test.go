@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -287,6 +288,99 @@ func TestClusterOptionCoverage(t *testing.T) {
 	}
 	if len(c.Paths()) != 8 {
 		t.Error("Paths should list every peer")
+	}
+}
+
+func TestClusterLiveMutations(t *testing.T) {
+	c := buildTestCluster(t, WithWriteQuorum(2), WithMinReplicas(3), WithMaintenanceInterval(10*time.Millisecond))
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		if err := c.IndexFloat(float64(i)/200, fmt.Sprintf("seed-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mutations before Build are rejected.
+	if _, err := c.Insert(ctx, FloatKey(0.5), "early"); err != ErrNotBuilt {
+		t.Errorf("pre-build insert err = %v, want ErrNotBuilt", err)
+	}
+	if _, err := c.Build(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := c.InsertString(ctx, "freshterm", "doc-new")
+	if err != nil && err != ErrNoQuorum {
+		t.Fatalf("insert: %v", err)
+	}
+	if rep.Acks < 1 {
+		t.Errorf("insert acks = %d", rep.Acks)
+	}
+	hits, err := c.SearchString(ctx, "freshterm")
+	if err != nil || len(hits) == 0 {
+		t.Fatalf("read-your-write failed: %v %v", hits, err)
+	}
+
+	if _, err := c.DeleteString(ctx, "freshterm", "doc-new"); err != nil && err != ErrNoQuorum {
+		t.Fatalf("delete: %v", err)
+	}
+	if hits, err := c.SearchString(ctx, "freshterm"); err == nil && len(hits) != 0 {
+		t.Errorf("deleted item still returned: %v", hits)
+	}
+	// Maintenance rounds must not resurrect the deleted pair.
+	for i := 0; i < 3; i++ {
+		c.MaintenanceRound(ctx)
+	}
+	if hits, err := c.SearchString(ctx, "freshterm"); err == nil && len(hits) != 0 {
+		t.Errorf("maintenance resurrected deleted item: %v", hits)
+	}
+}
+
+// TestClusterConcurrentMutationsAndQueries drives inserts, deletes and
+// searches from many goroutines at once with background maintenance running;
+// with -race this is the live system's synchronization test.
+func TestClusterConcurrentMutationsAndQueries(t *testing.T) {
+	c := buildTestCluster(t, WithMaintenanceInterval(5*time.Millisecond))
+	ctx := context.Background()
+	for i := 0; i < 150; i++ {
+		if err := c.IndexFloat(float64(i)/150, fmt.Sprintf("seed-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Build(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.StartMaintenance()
+	defer c.StopMaintenance()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				key := FloatKey(float64((w*15+i)%150)/150 + 0.0003)
+				val := fmt.Sprintf("live-%d-%d", w, i)
+				if _, err := c.Insert(ctx, key, val); err != nil && err != ErrNoQuorum {
+					errs <- fmt.Errorf("insert: %w", err)
+					return
+				}
+				if _, err := c.Search(ctx, key); err != nil {
+					errs <- fmt.Errorf("search: %w", err)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := c.Delete(ctx, key, val); err != nil && err != ErrNoQuorum {
+						errs <- fmt.Errorf("delete: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -15,7 +15,9 @@ import (
 
 	"pgrid/internal/churn"
 	"pgrid/internal/core"
+	"pgrid/internal/network"
 	"pgrid/internal/overlay"
+	"pgrid/internal/replication"
 	"pgrid/internal/routing"
 	"pgrid/internal/sim"
 	"pgrid/internal/stats"
@@ -579,5 +581,113 @@ func BenchmarkClusterQuery(b *testing.B) {
 		if _, err := c.Search(contextBackground(), FloatKey(float64(i%300)/300)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSyncPeers builds two in-sync replica peers of the root partition with
+// the given number of items, for anti-entropy protocol benchmarks.
+func benchSyncPeers(b *testing.B, items int, full bool) (*overlay.Peer, *overlay.Peer) {
+	b.Helper()
+	net := network.NewSim(network.SimConfig{Seed: 3})
+	cfg := overlay.Config{MaxKeys: 1 << 20, MinReplicas: 1, FullSyncAntiEntropy: full, Seed: 3}
+	pa := overlay.New(cfg, net.Endpoint("bench-a"))
+	cfgB := cfg
+	cfgB.Seed = 4
+	pb := overlay.New(cfgB, net.Endpoint("bench-b"))
+	pa.AddReplica(pb.Addr())
+	pb.AddReplica(pa.Addr())
+	for i := 0; i < items; i++ {
+		it := replication.Item{Key: FloatKey(float64(i) / float64(items)), Value: fmt.Sprintf("v%d", i)}
+		pa.Store().Add(it)
+		pb.Store().Add(it)
+	}
+	return pa, pb
+}
+
+// BenchmarkAntiEntropySteadyState measures one digest-protocol sync between
+// identical replicas — the steady-state maintenance hot path, whose cost
+// must stay independent of the store size.
+func BenchmarkAntiEntropySteadyState(b *testing.B) {
+	pa, pb := benchSyncPeers(b, 1000, false)
+	ctx := contextBackground()
+	if _, err := pa.SyncReplica(ctx, pb.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pa.SyncReplica(ctx, pb.Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAntiEntropyFullSet measures one legacy full-set exchange between
+// identical replicas of the same size — the baseline the digest protocol
+// replaces (its cost grows with the store).
+func BenchmarkAntiEntropyFullSet(b *testing.B) {
+	pa, pb := benchSyncPeers(b, 1000, true)
+	ctx := contextBackground()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pa.AntiEntropy(ctx, pb.Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAntiEntropyDelta measures an incremental sync moving a handful of
+// changed pairs between 1000-item replicas.
+func BenchmarkAntiEntropyDelta(b *testing.B) {
+	pa, pb := benchSyncPeers(b, 1000, false)
+	ctx := contextBackground()
+	if _, err := pa.SyncReplica(ctx, pb.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.Store().Insert(replication.Item{Key: FloatKey(0.111), Value: fmt.Sprintf("hot-%d", i)})
+		pa.Store().Delete(FloatKey(0.111), fmt.Sprintf("hot-%d", i-1))
+		if _, err := pa.SyncReplica(ctx, pb.Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreMutation measures raw store insert+delete throughput,
+// including the incremental digest-tree and version maintenance every
+// mutation now performs — the write-amplification guard for the digest
+// subsystem.
+func BenchmarkStoreMutation(b *testing.B) {
+	s := replication.NewStore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := FloatKey(float64(i%4096) / 4096)
+		val := fmt.Sprintf("v%d", i%64)
+		s.Insert(replication.Item{Key: key, Value: val})
+		s.Delete(key, val)
+	}
+}
+
+// BenchmarkClusterInsertDelete measures the routed live-write path end to
+// end (α-raced routing, replica fan-out, quorum-ack).
+func BenchmarkClusterInsertDelete(b *testing.B) {
+	c, err := NewCluster(WithPeers(48), WithMaxKeys(20), WithMinReplicas(2), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 300; j++ {
+		_ = c.IndexFloat(float64(j)/300, fmt.Sprintf("v%d", j))
+	}
+	ctx := contextBackground()
+	if _, err := c.Build(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := FloatKey((float64(i%300) + 0.41) / 300)
+		val := fmt.Sprintf("live-%d", i)
+		_, _ = c.Insert(ctx, key, val)
+		_, _ = c.Delete(ctx, key, val)
 	}
 }

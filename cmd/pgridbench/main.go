@@ -45,7 +45,7 @@ func main() {
 
 	targets := strings.Split(*fig, ",")
 	if *fig == "all" {
-		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2", "q", "w"}
+		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2", "q", "w", "ae"}
 	}
 	for _, t := range targets {
 		if err := run(strings.TrimSpace(t), *quick, *seed); err != nil {
@@ -81,6 +81,8 @@ func run(fig string, quick bool, seed int64) error {
 		return queryEngine(quick, seed)
 	case "w":
 		return liveWorkload(quick, seed)
+	case "ae":
+		return antiEntropy(quick, seed)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -610,6 +612,122 @@ func liveWorkload(quick bool, seed int64) error {
 	if len(writes) > 0 {
 		fmt.Printf("%-24s %d writes had not reached every responsible peer at the deadline\n", "", len(writes))
 	}
+	return nil
+}
+
+// antiEntropy measures maintenance bandwidth as a function of lifetime
+// deletes: the legacy full-set exchange retransmits the partition's entire
+// item and tombstone set every tick, so its bytes-per-tick grow linearly
+// with the deletes the overlay has ever seen, while the digest/delta
+// protocol (the default) pays a constant digest round in steady state and
+// the tombstone GC bounds the metadata itself. This is the figure behind
+// the tombstone-GC item in ROADMAP.md.
+func antiEntropy(quick bool, seed int64) error {
+	header("Anti-entropy: maintenance bytes/tick vs lifetime deletes")
+	ctx := context.Background()
+	peers, items := 48, 240
+	epochDeletes := []int{30, 300, 3000}
+	if quick {
+		peers, items = 32, 120
+		epochDeletes = []int{20, 200, 2000}
+	}
+	measureTicks := 8
+
+	build := func(opts ...pgrid.Option) (*pgrid.Cluster, error) {
+		base := []pgrid.Option{
+			pgrid.WithPeers(peers),
+			pgrid.WithMaxKeys(20),
+			pgrid.WithMinReplicas(2),
+			pgrid.WithRoutingRedundancy(4),
+			pgrid.WithSeed(seed),
+		}
+		c, err := pgrid.NewCluster(append(base, opts...)...)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < items; j++ {
+			if err := c.Index(pgrid.FloatKey(float64(j)/float64(items)), fmt.Sprintf("v%d", j)); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := c.Build(ctx); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+
+	full, err := build(pgrid.WithFullSyncAntiEntropy())
+	if err != nil {
+		return err
+	}
+	digest, err := build(pgrid.WithTombstoneGC(0, 64))
+	if err != nil {
+		return err
+	}
+
+	maintBytes := func(c *pgrid.Cluster) float64 {
+		var total float64
+		for i := 0; i < c.Peers(); i++ {
+			total += c.Peer(i).Metrics.MaintenanceBytes.Value()
+		}
+		return total
+	}
+	tombstones := func(c *pgrid.Cluster) int {
+		n := 0
+		for i := 0; i < c.Peers(); i++ {
+			n += c.Peer(i).Store().TombstoneCount()
+		}
+		return n
+	}
+	// churn writes: insert a fresh pair, then delete it, so every round
+	// trip leaves one more lifetime delete behind.
+	writeDelete := func(c *pgrid.Cluster, i int) {
+		key := pgrid.FloatKey((float64(i%items) + 0.37) / float64(items))
+		val := fmt.Sprintf("churn-%d", i)
+		_, _ = c.Insert(ctx, key, val)
+		_, _ = c.Delete(ctx, key, val)
+	}
+	bytesPerTick := func(c *pgrid.Cluster) float64 {
+		// Let replicas converge first so the measurement sees the steady
+		// state, then average the cost of the next ticks.
+		for i := 0; i < 4; i++ {
+			c.MaintenanceRound(ctx)
+		}
+		start := maintBytes(c)
+		for i := 0; i < measureTicks; i++ {
+			c.MaintenanceRound(ctx)
+		}
+		return (maintBytes(c) - start) / float64(measureTicks)
+	}
+
+	fmt.Printf("%d peers, %d base items, %d maintenance ticks per measurement\n", peers, items, measureTicks)
+	fmt.Println("full-set = legacy exchange (tombstones kept forever); digest = delta protocol + GC horizon of 64 versions")
+	fmt.Println()
+	fmt.Printf("%16s %18s %18s %16s %16s\n", "lifetime deletes", "full-set B/tick", "digest B/tick", "full tombstones", "gc tombstones")
+	done := 0
+	for _, target := range epochDeletes {
+		for ; done < target; done++ {
+			writeDelete(full, done)
+			writeDelete(digest, done)
+			if done%50 == 49 {
+				// Background maintenance keeps running while the write
+				// workload churns, as it would in production.
+				full.MaintenanceRound(ctx)
+				digest.MaintenanceRound(ctx)
+			}
+		}
+		fb := bytesPerTick(full)
+		db := bytesPerTick(digest)
+		fmt.Printf("%16d %18.0f %18.0f %16d %16d\n", done, fb, db, tombstones(full), tombstones(digest))
+	}
+	var insync, delta, fullSyncs float64
+	for i := 0; i < digest.Peers(); i++ {
+		m := &digest.Peer(i).Metrics
+		insync += m.SyncsInSync.Value()
+		delta += m.SyncsDelta.Value()
+		fullSyncs += m.SyncsFull.Value()
+	}
+	fmt.Printf("\ndigest cluster sync rounds: %.0f in-sync, %.0f delta, %.0f full\n", insync, delta, fullSyncs)
 	return nil
 }
 

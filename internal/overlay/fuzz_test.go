@@ -35,6 +35,12 @@ func wireSeedMessages() []any {
 		PingResponse{Path: "101", Done: true},
 		ExchangeRequest{From: "peer-5", Path: "1", Estimate: 0.25, Items: []replication.Item{item}},
 		ExchangeResponse{Action: ActionSplit, From: "peer-6", NewPath: "11", NewPathSet: true},
+		DigestRequest{From: "peer-7", Path: "10", Root: true, Clock: 42, Since: 17,
+			Buckets: []replication.BucketDigest{{Prefix: "10", Hash: 0xFEEDFACECAFEBEEF, Count: 12}}},
+		DigestResponse{Path: "10", Clock: 43, DeltaOK: true, Mismatch: []keyspace.Path{"100", "1011"}},
+		DeltaRequest{From: "peer-8", Path: "10", Clock: 44, Since: 17, Prefixes: []keyspace.Path{"100"},
+			Items: []replication.Item{item}, Tombstones: []replication.Item{{Key: key, Value: "gone", Gen: 3}}},
+		DeltaResponse{Path: "10", Clock: 45, Applied: 2, Items: []replication.Item{item}},
 	}
 }
 

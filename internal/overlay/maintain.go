@@ -56,6 +56,12 @@ type TickReport struct {
 	Replica network.Addr
 	// ItemsReceived is the number of items anti-entropy brought in.
 	ItemsReceived int
+	// Sync is the protocol path the tick's anti-entropy took (SyncNone when
+	// no replica was contacted or the round failed).
+	Sync SyncKind
+	// TombstonesPruned is the number of tombstones the tick's GC compaction
+	// removed.
+	TombstonesPruned int
 	// RefsProbed and RefsPruned count the routing references pinged and the
 	// ones dropped as stale.
 	RefsProbed, RefsPruned int
@@ -79,6 +85,16 @@ func (p *Peer) MaintainTick(ctx context.Context, opts MaintenanceOptions) TickRe
 		return rep
 	}
 
+	// Tombstone GC: prune tombstones past the configured horizon and drop
+	// anti-entropy baselines of peers that left the replica set, so
+	// maintenance metadata stays proportional to the live working set
+	// instead of growing with lifetime deletes and churn.
+	if n := p.store.CompactTombstones(); n > 0 {
+		rep.TombstonesPruned = n
+		p.Metrics.TombstonesPruned.Add(float64(n))
+	}
+	p.compactSyncStates()
+
 	// Re-discover replicas whenever the set ran dry, and occasionally even
 	// when it did not: after churn a group of returning peers can hold only
 	// references to each other, and without an outside lookup that clique
@@ -88,13 +104,27 @@ func (p *Peer) MaintainTick(ctx context.Context, opts MaintenanceOptions) TickRe
 	}
 	if replica, ok := p.randomReplica(); ok {
 		rep.Replica = replica
-		n, err := p.AntiEntropy(ctx, replica)
-		if err != nil {
-			if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
-				p.removeReplica(replica)
+		if p.Config().FullSyncAntiEntropy {
+			n, err := p.AntiEntropy(ctx, replica)
+			if err != nil {
+				if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+					p.removeReplica(replica)
+				}
+			} else {
+				rep.ItemsReceived = n
+				rep.Sync = SyncFullSet
+				p.Metrics.SyncsFull.Add(1)
 			}
 		} else {
-			rep.ItemsReceived = n
+			sres, err := p.SyncReplica(ctx, replica)
+			if err != nil {
+				if ctx.Err() == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, errSyncAborted) {
+					p.removeReplica(replica)
+				}
+			} else {
+				rep.ItemsReceived = sres.Received
+				rep.Sync = sres.Kind
+			}
 		}
 	}
 	for i := 0; i < opts.Probes; i++ {

@@ -29,6 +29,10 @@ const (
 	msgInsertRequest    = "pgrid.insert.request"
 	msgDeleteRequest    = "pgrid.delete.request"
 	msgMutateResponse   = "pgrid.mutate.response"
+	msgDigestRequest    = "pgrid.digest.request"
+	msgDigestResponse   = "pgrid.digest.response"
+	msgDeltaRequest     = "pgrid.delta.request"
+	msgDeltaResponse    = "pgrid.delta.response"
 )
 
 func init() {
@@ -47,6 +51,10 @@ func init() {
 	network.RegisterType(msgInsertRequest, InsertRequest{})
 	network.RegisterType(msgDeleteRequest, DeleteRequest{})
 	network.RegisterType(msgMutateResponse, MutateResponse{})
+	network.RegisterType(msgDigestRequest, DigestRequest{})
+	network.RegisterType(msgDigestResponse, DigestResponse{})
+	network.RegisterType(msgDeltaRequest, DeltaRequest{})
+	network.RegisterType(msgDeltaResponse, DeltaResponse{})
 }
 
 // Action describes the outcome of an exchange interaction.
@@ -350,6 +358,128 @@ type MutateResponse struct {
 
 // WireSize implements network.WireSizer.
 func (MutateResponse) WireSize() int { return 96 }
+
+// DigestRequest opens or continues the digest phase of the delta
+// anti-entropy protocol. The opening round (Root) carries the digest of the
+// initiator's whole partition; walk rounds carry the child-bucket digests of
+// previously mismatched buckets, so the peers recurse only into the parts of
+// the key space where they actually differ.
+type DigestRequest struct {
+	// From is the initiator's address.
+	From network.Addr
+	// Path is the initiator's partition.
+	Path keyspace.Path
+	// Root marks the opening round of a sync.
+	Root bool
+	// Clock is the initiator's store clock, for the responder's records.
+	Clock uint64
+	// Since is the responder's store clock at the initiator's last completed
+	// sync with it (0 = never synced). The responder uses it both to decide
+	// whether it can serve an exact delta and to detect a stale rejoiner: an
+	// initiator whose Since predates the responder's GC floor may have missed
+	// pruned tombstones and must full-sync instead of merging.
+	Since uint64
+	// Buckets are the initiator's digests for the probed prefixes.
+	Buckets []replication.BucketDigest
+	// Replicas is the initiator's replica list for gossip-style discovery.
+	Replicas []network.Addr
+}
+
+// WireSize implements network.WireSizer.
+func (r DigestRequest) WireSize() int { return 96 + 34*len(r.Buckets) + 16*len(r.Replicas) }
+
+// DigestResponse answers one digest round.
+type DigestResponse struct {
+	// Path is the responder's partition path (the initiator drops the
+	// replica when the partitions no longer overlap).
+	Path keyspace.Path
+	// Clock is the responder's store clock.
+	Clock uint64
+	// InSync reports that the root digests matched: the replicas are
+	// identical and nothing needs to be transferred.
+	InSync bool
+	// Incomparable reports that the initiator's Since predates the
+	// responder's GC floor (a post-GC rejoin): deltas are meaningless and
+	// the initiator must rebuild its partition content from the responder.
+	Incomparable bool
+	// DeltaOK reports that the responder can serve an exact delta of
+	// everything changed since the initiator's Since clock.
+	DeltaOK bool
+	// Mismatch lists the probed prefixes whose digests differ.
+	Mismatch []keyspace.Path
+	// Replicas is the responder's replica list.
+	Replicas []network.Addr
+}
+
+// WireSize implements network.WireSizer.
+func (r DigestResponse) WireSize() int { return 96 + 12*len(r.Mismatch) + 16*len(r.Replicas) }
+
+// DeltaRequest transfers the initiator's side of the differing content and
+// asks for the responder's: an exact delta (Since), the mismatched buckets
+// of a digest walk (Prefixes), or the full partition (Full) when
+// generations are incomparable.
+type DeltaRequest struct {
+	// From is the initiator's address.
+	From network.Addr
+	// Path is the initiator's partition.
+	Path keyspace.Path
+	// Clock is the initiator's store clock.
+	Clock uint64
+	// Since, together with the same field's role in DigestRequest, is the
+	// responder clock of the initiator's last completed sync: the responder
+	// returns everything that changed after it, and refuses the initiator's
+	// pushed items when Since predates its GC floor.
+	Since uint64
+	// Prefixes are the mismatched leaf buckets of a digest walk to exchange
+	// (unused when Since or Full drive the request).
+	Prefixes []keyspace.Path
+	// Full requests the responder's complete partition content.
+	Full bool
+	// Rebuild marks the initiator as authoritative: the responder replaces
+	// its partition content with the request's items and tombstones (sent to
+	// a replica that missed the initiator's tombstone-GC window).
+	Rebuild bool
+	// Pull asks only for the responder's content; the initiator sends
+	// nothing because it is itself stale and about to rebuild.
+	Pull bool
+	// Items and Tombstones are the initiator's content for the requested
+	// scope.
+	Items, Tombstones []replication.Item
+	// Replicas is the initiator's replica list for gossip.
+	Replicas []network.Addr
+}
+
+// WireSize implements network.WireSizer.
+func (r DeltaRequest) WireSize() int {
+	return messageBytes(len(r.Items)+len(r.Tombstones), 0) + 12*len(r.Prefixes) + 16*len(r.Replicas)
+}
+
+// DeltaResponse carries the responder's side of the content exchange.
+type DeltaResponse struct {
+	// Path is the responder's partition path.
+	Path keyspace.Path
+	// Clock is the responder's store clock after serving the request; the
+	// initiator records it as the new sync baseline.
+	Clock uint64
+	// Incomparable reports that the requested Since predates the responder's
+	// GC floor (a GC ran between the digest and delta rounds, or the
+	// initiator pushed content while stale): nothing was merged and the
+	// initiator must restart with a full sync.
+	Incomparable bool
+	// Applied is the number of pushed items and tombstones that changed the
+	// responder's store.
+	Applied int
+	// Items and Tombstones are the responder's content for the requested
+	// scope.
+	Items, Tombstones []replication.Item
+	// Replicas is the responder's replica list.
+	Replicas []network.Addr
+}
+
+// WireSize implements network.WireSizer.
+func (r DeltaResponse) WireSize() int {
+	return messageBytes(len(r.Items)+len(r.Tombstones), 0) + 16*len(r.Replicas)
+}
 
 // messageBytes approximates the wire size of a protocol message carrying
 // nItems data items and nRefs routing references: a fixed header plus ~24

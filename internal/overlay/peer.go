@@ -63,6 +63,25 @@ type Config struct {
 	// reported successful. 1 (the default) accepts the responsible peer
 	// alone; higher values trade write latency for durability under churn.
 	WriteQuorum int
+	// FullSyncAntiEntropy selects the legacy full-set anti-entropy exchange
+	// (every maintenance tick ships the partition's entire item and
+	// tombstone set) instead of the digest/delta protocol. It is the
+	// pre-digest baseline, kept for comparison benchmarks. The tombstone GC
+	// options are ignored in this mode (tombstones are kept forever, as the
+	// legacy protocol always did): a full-set merge cannot tell a stale
+	// live copy from a fresh write once the tombstone is pruned, so arming
+	// GC here would silently resurrect deletes.
+	FullSyncAntiEntropy bool
+	// TombstoneGCAge prunes delete tombstones older than this wall-clock
+	// age (Cassandra's gc_grace). Zero keeps tombstones forever. The
+	// horizon must comfortably exceed the maintenance interval: replicas
+	// that stay unreachable longer are rebuilt from an authoritative
+	// replica when they rejoin, discarding writes they never synced.
+	TombstoneGCAge time.Duration
+	// TombstoneGCVersions prunes tombstones once the local store clock has
+	// advanced this many versions past them — the horizon to use under
+	// virtual clocks (simulations). Zero disables the criterion.
+	TombstoneGCVersions uint64
 	// Seed drives the peer's local randomness.
 	Seed int64
 }
@@ -147,25 +166,42 @@ type Metrics struct {
 	// (Figure 8).
 	MaintenanceBytes stats.Counter
 	QueryBytes       stats.Counter
+	// SyncsInSync, SyncsDelta and SyncsFull classify completed anti-entropy
+	// syncs: root digests matched (nothing transferred), delta-proportional
+	// exchanges (exact deltas and digest walks), and full-set transfers
+	// (rebuilds and the legacy protocol). Together with MaintenanceBytes
+	// they quantify how much the digest protocol saves.
+	SyncsInSync stats.Counter
+	SyncsDelta  stats.Counter
+	SyncsFull   stats.Counter
+	// TombstonesPruned counts tombstones removed by the GC horizon.
+	TombstonesPruned stats.Counter
 }
 
 // Peer is one P-Grid node.
 type Peer struct {
-	cfg       Config
+	// The hot query path touches mu (concurrency knobs are read under it on
+	// every hop), table, store and transport; they lead the struct so their
+	// offsets — and cache lines — stay stable as the cold configuration and
+	// maintenance state below them grow.
+	mu        sync.Mutex
+	table     *routing.Table
+	store     *replication.Store
 	transport network.Transport
-	decider   core.Decider
+	rng       *rand.Rand
 
-	mu       sync.Mutex
-	table    *routing.Table
-	store    *replication.Store
+	cfg      Config
+	decider  core.Decider
 	replicas map[network.Addr]bool
 	idle     int
 	done     bool
-	rng      *rand.Rand
 	// mutSeen and mutLog deduplicate recently coordinated mutation IDs (the
 	// α-raced routing can deliver duplicates to several responsible peers).
 	mutSeen map[uint64]bool
 	mutLog  []uint64
+	// syncStates holds the per-replica anti-entropy baselines (the store
+	// clocks of the last completed digest/delta sync).
+	syncStates map[network.Addr]syncState
 
 	// Metrics are exported counters; they are updated without holding mu.
 	Metrics Metrics
@@ -186,6 +222,16 @@ func New(cfg Config, transport network.Transport) *Peer {
 		store:    replication.NewStore(),
 		replicas: make(map[network.Addr]bool),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	// The GC horizon is only armed with the digest/delta protocol: the
+	// legacy full-set exchange cannot tell a stale live copy from a fresh
+	// write once the tombstone is pruned, so combining them would silently
+	// resurrect deletes. The legacy mode keeps tombstones forever instead.
+	if (cfg.TombstoneGCAge > 0 || cfg.TombstoneGCVersions > 0) && !cfg.FullSyncAntiEntropy {
+		p.store.SetGCPolicy(replication.GCPolicy{
+			MinAge:      cfg.TombstoneGCAge,
+			MinVersions: cfg.TombstoneGCVersions,
+		})
 	}
 	p.table.SetOwner(transport.Addr())
 	transport.Handle(p.handle)
@@ -270,7 +316,10 @@ func (p *Peer) AddReplica(a network.Addr) {
 	p.addReplicaLocked(a)
 }
 
-// removeReplica forgets a replica that turned out to be unreachable.
+// removeReplica forgets a replica that turned out to be unreachable. Its
+// anti-entropy baseline is kept (compactSyncStates bounds the map): the
+// store clocks it records stay valid if the peer comes back, and losing the
+// baseline would turn the next sync into an incomparable first contact.
 func (p *Peer) removeReplica(a network.Addr) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -308,6 +357,12 @@ func (p *Peer) handle(ctx context.Context, from network.Addr, req any) (any, err
 		return p.handleInsert(ctx, m), nil
 	case DeleteRequest:
 		return p.handleDelete(ctx, m), nil
+	case DigestRequest, DeltaRequest:
+		// Dispatched behind one indirection on purpose: binding the
+		// protocol's comparatively large request/response structs here would
+		// grow handle's stack frame, and every α-raced query hop pays for
+		// the resulting goroutine stack growth.
+		return p.handleAntiEntropy(req)
 	case PingRequest:
 		return PingResponse{Path: p.Path(), Done: p.Done()}, nil
 	default:
@@ -347,8 +402,11 @@ func (p *Peer) addReplicaLocked(a network.Addr) {
 	p.replicas[a] = true
 }
 
-// clearReplicasLocked forgets the replica list, which becomes stale when the
-// peer's path changes (callers must hold p.mu).
+// clearReplicasLocked forgets the replica list, which becomes stale when
+// the peer's path changes (callers must hold p.mu). Anti-entropy baselines
+// survive: they are positions in each peer's monotonic store clock, and a
+// pre-split sync covered a superset of the new partition, so they remain
+// valid if a cleared peer is re-discovered as a replica.
 func (p *Peer) clearReplicasLocked() {
 	p.replicas = make(map[network.Addr]bool)
 }

@@ -22,7 +22,6 @@ func TestOverlayOverTCP(t *testing.T) {
 
 	cfg := Config{MaxKeys: 4, MinReplicas: 1, Seed: 1}
 	var peers []*Peer
-	var endpoints []*network.TCPEndpoint
 	for i := 0; i < 3; i++ {
 		ep, err := network.ListenTCP("127.0.0.1:0")
 		if err != nil {
@@ -32,7 +31,6 @@ func TestOverlayOverTCP(t *testing.T) {
 		pcfg := cfg
 		pcfg.Seed = int64(i + 1)
 		peers = append(peers, New(pcfg, ep))
-		endpoints = append(endpoints, ep)
 	}
 	// Load distinct uniform items on every peer, remembering each peer's
 	// own original items for the replication phase.
@@ -171,6 +169,104 @@ func TestMutationsAndBatchOverTCP(t *testing.T) {
 	}
 	if qres, err := origin.Query(ctx, key); err == nil && len(qres.Items) != 0 {
 		t.Errorf("deleted pair still returned over tcp: %v", qres.Items)
+	}
+}
+
+// TestDeltaSyncOverTCP drives the digest/delta anti-entropy protocol
+// end-to-end over the real TCP transport: a first-contact digest walk, a
+// steady-state in-sync round, an exact delta after divergence (including a
+// tombstone), and a post-GC stale rejoin that must rebuild instead of
+// resurrecting the deleted pair.
+func TestDeltaSyncOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration test")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cfg := Config{MaxKeys: 1 << 20, MinReplicas: 1, TombstoneGCVersions: 16}
+	var peers []*Peer
+	for i := 0; i < 2; i++ {
+		ep, err := network.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		pcfg := cfg
+		pcfg.Seed = int64(80 + i)
+		peers = append(peers, New(pcfg, ep))
+	}
+	a, b := peers[0], peers[1]
+	a.AddReplica(b.Addr())
+	b.AddReplica(a.Addr())
+
+	// Mostly shared content with a few divergent pairs: first contact must
+	// run a digest walk and converge.
+	for i := 0; i < 60; i++ {
+		it := replication.Item{Key: keyspace.MustFromFloat(float64(i)/60, 32), Value: fmt.Sprintf("tcp-%d", i)}
+		a.Store().Add(it)
+		b.Store().Add(it)
+	}
+	b.Store().Insert(replication.Item{Key: keyspace.MustFromFloat(0.515, 32), Value: "only-b"})
+	rep, err := a.SyncReplica(ctx, b.Addr())
+	if err != nil {
+		t.Fatalf("first sync over tcp: %v", err)
+	}
+	if rep.Kind != SyncWalk {
+		t.Errorf("first tcp sync kind = %q, want walk", rep.Kind)
+	}
+	if !a.Store().Live(keyspace.MustFromFloat(0.515, 32), "only-b") {
+		t.Error("walk over tcp did not transfer the divergent pair")
+	}
+
+	// Steady state: one cheap digest round trip.
+	if rep, err = a.SyncReplica(ctx, b.Addr()); err != nil || rep.Kind != SyncInSync {
+		t.Fatalf("steady-state sync over tcp: %v %+v", err, rep)
+	}
+
+	// Diverge with an insert and a delete; the next sync must be an exact
+	// delta that moves the tombstone without resurrecting the pair.
+	doomedKey := keyspace.MustFromFloat(10.0/60, 32)
+	b.Store().Insert(replication.Item{Key: keyspace.MustFromFloat(0.717, 32), Value: "late-b"})
+	b.Store().Delete(doomedKey, "tcp-10")
+	rep, err = a.SyncReplica(ctx, b.Addr())
+	if err != nil {
+		t.Fatalf("delta sync over tcp: %v", err)
+	}
+	if rep.Kind != SyncDelta {
+		t.Errorf("post-baseline tcp sync kind = %q, want delta", rep.Kind)
+	}
+	if rep.Received != 2 {
+		t.Errorf("tcp delta received %d changes, want 2 (insert + tombstone)", rep.Received)
+	}
+	if a.Store().Live(doomedKey, "tcp-10") {
+		t.Error("tcp delta sync resurrected the deleted pair")
+	}
+
+	// Post-GC stale rejoin: b deletes, keeps writing, prunes the tombstone;
+	// a has not synced since, so its next sync must rebuild, not merge.
+	zombieKey := keyspace.MustFromFloat(20.0/60, 32)
+	b.Store().Delete(zombieKey, "tcp-20")
+	for i := 0; i < 20; i++ {
+		b.Store().Insert(replication.Item{Key: keyspace.MustFromFloat(0.9+float64(i)/1000, 32), Value: fmt.Sprintf("fill-%d", i)})
+	}
+	if n := b.Store().CompactTombstones(); n == 0 {
+		t.Fatal("setup: tcp tombstone not pruned")
+	}
+	rep, err = a.SyncReplica(ctx, b.Addr())
+	if err != nil {
+		t.Fatalf("rejoin sync over tcp: %v", err)
+	}
+	if rep.Kind != SyncRebuildPull {
+		t.Errorf("post-GC rejoin tcp sync kind = %q, want rebuild-pull", rep.Kind)
+	}
+	if a.Store().Live(zombieKey, "tcp-20") {
+		t.Error("post-GC rejoin over tcp resurrected the deleted pair")
+	}
+	ha, _ := a.Store().Digest(keyspace.Root)
+	hb, _ := b.Store().Digest(keyspace.Root)
+	if ha != hb {
+		t.Error("replicas not identical after tcp rebuild")
 	}
 }
 

@@ -8,7 +8,9 @@ package replication
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"pgrid/internal/keyspace"
 )
@@ -27,6 +29,68 @@ type Item struct {
 	Gen uint64 `json:",omitempty"`
 }
 
+// DigestDepth is the deepest key-bit prefix bucket the anti-entropy digest
+// walk recurses into — which is what bounds its round count.
+const DigestDepth = 20
+
+// digestDenseDepth is the deepest prefix for which the digest tree keeps
+// incrementally maintained cells. Shallower digests — including the
+// whole-partition digest the steady-state sync compares every tick — are
+// O(1) reads; deeper bucket digests are computed by scanning the bucket,
+// which only happens during walk rounds between diverged replicas and costs
+// a fraction of the partition scan. Keeping the dense tree shallow caps the
+// write amplification (9 cell updates per mutation) and, more importantly,
+// the live heap the GC re-scans on every cycle.
+const digestDenseDepth = 8
+
+// GCPolicy is a Cassandra-style gc_grace horizon for delete tombstones: a
+// tombstone is pruned once it is old enough that every replica syncing at the
+// configured maintenance cadence must have seen it. Peers that stay silent
+// longer than the horizon are detected through the store clock (see GCFloor)
+// and rebuilt from an authoritative replica instead of being delta-merged, so
+// a pruned delete can never be resurrected by a stale live copy.
+type GCPolicy struct {
+	// MinAge prunes a tombstone once its local wall-clock age exceeds this
+	// duration. Zero disables the age criterion.
+	MinAge time.Duration
+	// MinVersions prunes a tombstone once the store clock has advanced by
+	// more than this many versions since the tombstone was recorded. This is
+	// the criterion to use under virtual clocks (simulations), where wall
+	// time does not advance. Zero disables the version criterion.
+	MinVersions uint64
+}
+
+// Enabled reports whether any pruning criterion is configured.
+func (p GCPolicy) Enabled() bool { return p.MinAge > 0 || p.MinVersions > 0 }
+
+// BucketDigest is the digest of one key-prefix bucket, exchanged during the
+// anti-entropy digest walk.
+type BucketDigest struct {
+	// Prefix is the key-bit prefix the bucket covers.
+	Prefix keyspace.Path
+	// Hash is the order-independent XOR digest over every (key, value, gen,
+	// live/tombstoned) pair under Prefix. Two replicas hold identical state
+	// under the prefix exactly when their hashes match.
+	Hash uint64
+	// Count is the number of pairs (live plus tombstoned) under Prefix.
+	Count int
+}
+
+// tombstone is the store-local record of a deleted pair: the generation that
+// orders it against live copies, plus the local clock/time of its recording
+// used by the GC horizon.
+type tombstone struct {
+	gen  uint64
+	born uint64    // store clock when the tombstone was recorded locally
+	at   time.Time // local wall-clock time of the recording
+}
+
+// digestCell is one node of the incremental digest tree.
+type digestCell struct {
+	hash uint64
+	n    int
+}
+
 // Store is a peer's local data store. It is safe for concurrent use.
 //
 // Deletions are remembered as generation-stamped tombstones: a deleted
@@ -34,53 +98,309 @@ type Item struct {
 // higher generation — replication of a stale live copy is refused, so a
 // delete that reached one replica cannot be undone by anti-entropy, while a
 // deliberate re-insert (which bumps the generation above the tombstone's)
-// propagates and wins everywhere. Tombstones are exchanged during
-// reconciliation like items. They are currently kept forever — safe, but
-// memory and reconciliation cost grow with lifetime deletes; see the
-// tombstone-GC item in ROADMAP.md.
+// propagates and wins everywhere.
+//
+// The store additionally maintains, incrementally on every mutation:
+//
+//   - a logical clock (Clock) that stamps each pair's last local
+//     modification, so replicas can pull exact deltas (DeltaSince) instead
+//     of full sets;
+//   - a Merkle-style digest tree over key-bit prefixes (Digest,
+//     DigestChildren), so replicas can find the few differing buckets by
+//     comparing O(log n) hashes;
+//   - a GC horizon (SetGCPolicy, CompactTombstones) that prunes tombstones
+//     and their per-pair version metadata once every replica syncing at the
+//     maintenance cadence must have seen them. GCFloor reports the clock of
+//     the latest prune: deltas reaching further back are incomparable and
+//     callers must fall back to a full sync/rebuild.
 type Store struct {
-	mu    sync.RWMutex
-	items map[string][]Item            // live items by key bit string
-	tombs map[string]map[string]uint64 // key bit string -> value -> tombstone generation
-	count int
+	mu      sync.RWMutex
+	items   map[string][]Item               // live items by key bit string
+	tombs   map[string]map[string]tombstone // key bit string -> value -> tombstone
+	vers    map[string]map[string]uint64    // key bit string -> value -> last-modified clock
+	dig     map[string]digestCell           // key-bit prefix (len <= DigestDepth) -> digest
+	count   int
+	clock   uint64
+	gcFloor uint64
+	gc      GCPolicy
+	now     func() time.Time
+
+	// deepMu guards deep, the one-entry cache of the last digest computed
+	// for a prefix below the dense tree. The steady-state sync reads the
+	// whole-partition digest every tick; for partitions deeper than the
+	// dense tree that read would otherwise re-scan the store each time. The
+	// cache is validated against the clock, which every digest-changing
+	// mutation (including tombstone GC) advances.
+	deepMu sync.Mutex
+	deep   struct {
+		prefix string
+		hash   uint64
+		n      int
+		clock  uint64
+		ok     bool
+	}
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{items: make(map[string][]Item), tombs: make(map[string]map[string]uint64)}
+	return &Store{
+		items: make(map[string][]Item),
+		tombs: make(map[string]map[string]tombstone),
+		vers:  make(map[string]map[string]uint64),
+		dig:   make(map[string]digestCell),
+		now:   time.Now,
+	}
 }
 
-// tombGenLocked returns the tombstone generation for the pair (callers must
-// hold mu).
-func (s *Store) tombGenLocked(ks, value string) (uint64, bool) {
-	g, ok := s.tombs[ks][value]
-	return g, ok
+// SetTimeSource replaces the wall-clock source used to age tombstones
+// (virtual clocks in simulations, frozen clocks in tests).
+func (s *Store) SetTimeSource(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now != nil {
+		s.now = now
+	}
 }
 
-// clearTombLocked removes the pair's tombstone (callers must hold mu).
-func (s *Store) clearTombLocked(ks, value string) {
-	if vals, ok := s.tombs[ks]; ok {
-		delete(vals, value)
+// SetGCPolicy installs the tombstone GC horizon applied by
+// CompactTombstones.
+func (s *Store) SetGCPolicy(p GCPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gc = p
+}
+
+// Clock returns the store's logical clock: it advances on every visible
+// local mutation, and each pair remembers the clock value of its last
+// change, which is what DeltaSince keys on.
+func (s *Store) Clock() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock
+}
+
+// GCFloor returns the highest last-modified version among ever-pruned
+// tombstones (0 when nothing was ever pruned). A replica that last
+// synchronised before the floor may have missed a pruned delete entirely,
+// so deltas from before the floor are incomparable and such replicas must
+// be resynchronised with a full exchange; replicas that synced during the
+// pruned tombstones' lifetime stay comparable.
+func (s *Store) GCFloor() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gcFloor
+}
+
+// TombstoneCount returns the number of tombstoned pairs currently held.
+func (s *Store) TombstoneCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, vals := range s.tombs {
+		n += len(vals)
+	}
+	return n
+}
+
+// CompactTombstones prunes every tombstone past the GC horizon together with
+// its per-pair version metadata, advances the GC floor, and returns the
+// number of tombstones pruned. It is a no-op when no GC policy is set.
+func (s *Store) CompactTombstones() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.gc.Enabled() {
+		return 0
+	}
+	now := s.now()
+	pruned := 0
+	for ks, vals := range s.tombs {
+		for v, t := range vals {
+			expired := false
+			if s.gc.MinAge > 0 && now.Sub(t.at) >= s.gc.MinAge {
+				expired = true
+			}
+			if s.gc.MinVersions > 0 && s.clock-t.born >= s.gc.MinVersions {
+				expired = true
+			}
+			if !expired {
+				continue
+			}
+			// The floor must cover the pruned tombstone's last-modified
+			// version, not the prune-time clock: a replica that synced any
+			// time during the tombstone's lifetime has seen it and remains
+			// delta-comparable; only replicas that missed the whole window
+			// (offline longer than the horizon) must rebuild.
+			if ver := s.vers[ks][v]; ver > s.gcFloor {
+				s.gcFloor = ver
+			}
+			s.digestXorLocked(ks, tombHash(ks, v, t.gen), -1)
+			delete(vals, v)
+			s.clearVerLocked(ks, v)
+			pruned++
+		}
 		if len(vals) == 0 {
 			delete(s.tombs, ks)
 		}
 	}
-}
-
-// setTombLocked records a tombstone generation (callers must hold mu).
-func (s *Store) setTombLocked(ks, value string, gen uint64) {
-	if s.tombs[ks] == nil {
-		s.tombs[ks] = make(map[string]uint64)
+	if pruned > 0 {
+		// A prune changes the digest without touching any pair's version;
+		// advance the clock so clock-validated digest caches notice.
+		s.clock++
 	}
-	s.tombs[ks][value] = gen
+	return pruned
 }
 
-// removeLiveLocked drops the live copy of the pair if present (callers must
-// hold mu). It returns whether a copy was removed.
+// FNV-1a constants for the pair digests.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// pairHash digests one pair state. Live copies and tombstones of the same
+// pair and generation hash differently, so replicas disagreeing only on
+// liveness still show a digest mismatch.
+func pairHash(ks, value string, gen uint64, live bool) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(ks); i++ {
+		h = (h ^ uint64(ks[i])) * fnvPrime
+	}
+	h = (h ^ 0x1f) * fnvPrime
+	for i := 0; i < len(value); i++ {
+		h = (h ^ uint64(value[i])) * fnvPrime
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (gen >> (8 * i) & 0xff)) * fnvPrime
+	}
+	if live {
+		h = (h ^ 1) * fnvPrime
+	} else {
+		h = (h ^ 2) * fnvPrime
+	}
+	return h
+}
+
+func liveHash(ks, value string, gen uint64) uint64 { return pairHash(ks, value, gen, true) }
+func tombHash(ks, value string, gen uint64) uint64 { return pairHash(ks, value, gen, false) }
+
+// digestPad supplies the zero bits a short key is padded with for bucket
+// membership.
+const digestPad = "00000000000000000000000000000000"
+
+// digestKey returns the key bit string zero-padded to the digest depth:
+// for bucketing purposes a key shorter than a bucket's depth is treated as
+// its dyadic lower edge, so every pair belongs to exactly one bucket at
+// every depth and two replicas always bucketise identically — a pair can
+// never fall between the child buckets of a digest walk.
+func digestKey(ks string) string {
+	if len(ks) >= digestDenseDepth {
+		return ks
+	}
+	return ks + digestPad[:digestDenseDepth-len(ks)]
+}
+
+// underDigest reports whether the (possibly short) key bit string belongs
+// to the digest bucket of the prefix, under the zero-padding rule.
+func underDigest(ks, prefix string) bool {
+	if len(ks) >= len(prefix) {
+		return strings.HasPrefix(ks, prefix)
+	}
+	if !strings.HasPrefix(prefix, ks) {
+		return false
+	}
+	for i := len(ks); i < len(prefix); i++ {
+		if prefix[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// digestXorLocked folds a pair-state hash into the digest cells of every
+// tracked prefix of the (padded) key, adjusting the pair count by dn (+1
+// when the pair state appears, -1 when it disappears, 0 when it is
+// replaced — callers fold the old and the new hash separately). Callers
+// must hold mu.
+func (s *Store) digestXorLocked(ks string, h uint64, dn int) {
+	kp := digestKey(ks)
+	for d := 0; d <= digestDenseDepth; d++ {
+		p := kp[:d]
+		cell := s.dig[p]
+		cell.hash ^= h
+		cell.n += dn
+		if cell.hash == 0 && cell.n == 0 {
+			delete(s.dig, p)
+		} else {
+			s.dig[p] = cell
+		}
+	}
+}
+
+// touchLocked advances the clock and stamps the pair's last-modified
+// version. Callers must hold mu.
+func (s *Store) touchLocked(ks, value string) {
+	s.clock++
+	if s.vers[ks] == nil {
+		s.vers[ks] = make(map[string]uint64)
+	}
+	s.vers[ks][value] = s.clock
+}
+
+// clearVerLocked forgets the pair's version metadata (callers must hold mu).
+func (s *Store) clearVerLocked(ks, value string) {
+	if vals, ok := s.vers[ks]; ok {
+		delete(vals, value)
+		if len(vals) == 0 {
+			delete(s.vers, ks)
+		}
+	}
+}
+
+// tombLocked returns the pair's tombstone (callers must hold mu).
+func (s *Store) tombLocked(ks, value string) (tombstone, bool) {
+	t, ok := s.tombs[ks][value]
+	return t, ok
+}
+
+// clearTombLocked removes the pair's tombstone, maintaining the digest
+// (callers must hold mu).
+func (s *Store) clearTombLocked(ks, value string) {
+	if vals, ok := s.tombs[ks]; ok {
+		if t, ok := vals[value]; ok {
+			s.digestXorLocked(ks, tombHash(ks, value, t.gen), -1)
+			delete(vals, value)
+			if len(vals) == 0 {
+				delete(s.tombs, ks)
+			}
+		}
+	}
+}
+
+// setTombLocked records or re-stamps a tombstone, maintaining the digest
+// (callers must hold mu).
+func (s *Store) setTombLocked(ks, value string, gen uint64) {
+	if old, ok := s.tombs[ks][value]; ok {
+		if old.gen == gen {
+			return
+		}
+		s.digestXorLocked(ks, tombHash(ks, value, old.gen), 0)
+		s.digestXorLocked(ks, tombHash(ks, value, gen), 0)
+		s.tombs[ks][value] = tombstone{gen: gen, born: old.born, at: old.at}
+		return
+	}
+	if s.tombs[ks] == nil {
+		s.tombs[ks] = make(map[string]tombstone)
+	}
+	s.digestXorLocked(ks, tombHash(ks, value, gen), 1)
+	s.tombs[ks][value] = tombstone{gen: gen, born: s.clock, at: s.now()}
+}
+
+// removeLiveLocked drops the live copy of the pair if present, maintaining
+// the digest (callers must hold mu). It returns whether a copy was removed.
 func (s *Store) removeLiveLocked(ks, value string) bool {
 	its := s.items[ks]
 	for i, it := range its {
 		if it.Value == value {
+			s.digestXorLocked(ks, liveHash(ks, value, it.Gen), -1)
 			its[i] = its[len(its)-1]
 			its = its[:len(its)-1]
 			if len(its) == 0 {
@@ -93,6 +413,14 @@ func (s *Store) removeLiveLocked(ks, value string) bool {
 		}
 	}
 	return false
+}
+
+// appendLiveLocked stores a new live copy, maintaining the digest (callers
+// must hold mu; the pair must not be present).
+func (s *Store) appendLiveLocked(ks string, it Item) {
+	s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), 1)
+	s.items[ks] = append(s.items[ks], it)
+	s.count++
 }
 
 // Add inserts a replicated item. Duplicate (key, value) pairs are ignored so
@@ -108,8 +436,8 @@ func (s *Store) Add(it Item) bool {
 }
 
 func (s *Store) addLocked(ks string, it Item) bool {
-	if tg, ok := s.tombGenLocked(ks, it.Value); ok {
-		if it.Gen <= tg {
+	if t, ok := s.tombLocked(ks, it.Value); ok {
+		if it.Gen <= t.gen {
 			return false
 		}
 		s.clearTombLocked(ks, it.Value)
@@ -117,13 +445,16 @@ func (s *Store) addLocked(ks string, it Item) bool {
 	for i, existing := range s.items[ks] {
 		if existing.Value == it.Value {
 			if it.Gen > existing.Gen {
+				s.digestXorLocked(ks, liveHash(ks, it.Value, existing.Gen), 0)
+				s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), 0)
 				s.items[ks][i].Gen = it.Gen
+				s.touchLocked(ks, it.Value)
 			}
 			return false
 		}
 	}
-	s.items[ks] = append(s.items[ks], it)
-	s.count++
+	s.appendLiveLocked(ks, it)
+	s.touchLocked(ks, it.Value)
 	return true
 }
 
@@ -139,22 +470,25 @@ func (s *Store) Insert(it Item) Item {
 	if gen == 0 {
 		gen = 1 // a live write is always stamped above never-mutated data
 	}
-	if tg, ok := s.tombGenLocked(ks, it.Value); ok && tg >= gen {
-		gen = tg + 1
+	if t, ok := s.tombLocked(ks, it.Value); ok && t.gen >= gen {
+		gen = t.gen + 1
 	}
 	for i, existing := range s.items[ks] {
 		if existing.Value == it.Value {
 			if existing.Gen >= gen {
 				gen = existing.Gen + 1
 			}
+			s.digestXorLocked(ks, liveHash(ks, it.Value, existing.Gen), 0)
+			s.digestXorLocked(ks, liveHash(ks, it.Value, gen), 0)
 			s.items[ks][i].Gen = gen
+			s.touchLocked(ks, it.Value)
 			return Item{Key: it.Key, Value: it.Value, Gen: gen}
 		}
 	}
 	s.clearTombLocked(ks, it.Value)
 	stamped := Item{Key: it.Key, Value: it.Value, Gen: gen}
-	s.items[ks] = append(s.items[ks], stamped)
-	s.count++
+	s.appendLiveLocked(ks, stamped)
+	s.touchLocked(ks, it.Value)
 	return stamped
 }
 
@@ -187,8 +521,8 @@ func (s *Store) deleteStamped(key keyspace.Key, value string, floor uint64) (Ite
 	// tombstone is stale (e.g. it missed a re-insert that happened
 	// elsewhere).
 	gen := floor
-	if tg, ok := s.tombGenLocked(ks, value); ok && tg > gen {
-		gen = tg
+	if t, ok := s.tombLocked(ks, value); ok && t.gen > gen {
+		gen = t.gen
 	}
 	changed := false
 	for _, it := range s.items[ks] {
@@ -202,11 +536,12 @@ func (s *Store) deleteStamped(key keyspace.Key, value string, floor uint64) (Ite
 	if s.removeLiveLocked(ks, value) {
 		changed = true
 	}
-	if _, ok := s.tombGenLocked(ks, value); !ok {
+	if _, ok := s.tombLocked(ks, value); !ok {
 		changed = true
 	}
 	gen++
 	s.setTombLocked(ks, value, gen)
+	s.touchLocked(ks, value)
 	return Item{Key: key, Value: value, Gen: gen}, changed
 }
 
@@ -214,7 +549,7 @@ func (s *Store) deleteStamped(key keyspace.Key, value string, floor uint64) (Ite
 func (s *Store) Deleted(key keyspace.Key, value string) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, ok := s.tombGenLocked(key.String(), value)
+	_, ok := s.tombLocked(key.String(), value)
 	return ok
 }
 
@@ -237,8 +572,8 @@ func (s *Store) PairGen(key keyspace.Key, value string) uint64 {
 	ks := key.String()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if tg, ok := s.tombGenLocked(ks, value); ok {
-		return tg
+	if t, ok := s.tombLocked(ks, value); ok {
+		return t.gen
 	}
 	for _, it := range s.items[ks] {
 		if it.Value == value {
@@ -249,37 +584,33 @@ func (s *Store) PairGen(key keyspace.Key, value string) uint64 {
 }
 
 // Tombstones returns the deleted (key, value) pairs as generation-stamped
-// items, ordered by key then value, for exchange during anti-entropy.
+// items, ordered by key then value, for exchange during anti-entropy. The
+// returned slice is freshly allocated and shares no memory with the store.
 func (s *Store) Tombstones() []Item {
 	return s.tombstones(nil)
 }
 
 // TombstonesWithPrefix returns the tombstones whose keys start with the path.
 func (s *Store) TombstonesWithPrefix(p keyspace.Path) []Item {
-	return s.tombstones(func(k keyspace.Key) bool { return k.HasPrefix(p) })
+	return s.tombstones(func(ks string) bool { return strings.HasPrefix(ks, string(p)) })
 }
 
-// tombstones collects tombstones whose keys pass the filter (nil = all).
-func (s *Store) tombstones(keep func(keyspace.Key) bool) []Item {
+// tombstones collects tombstones whose key bit strings pass the filter
+// (nil = all).
+func (s *Store) tombstones(keep func(string) bool) []Item {
 	s.mu.RLock()
 	var out []Item
 	for ks, vals := range s.tombs {
-		k := keyspace.MustFromString(ks)
-		if keep != nil && !keep(k) {
+		if keep != nil && !keep(ks) {
 			continue
 		}
-		for v, g := range vals {
-			out = append(out, Item{Key: k, Value: v, Gen: g})
+		k := keyspace.MustFromString(ks)
+		for v, t := range vals {
+			out = append(out, Item{Key: k, Value: v, Gen: t.gen})
 		}
 	}
 	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		c := out[i].Key.Compare(out[j].Key)
-		if c != 0 {
-			return c < 0
-		}
-		return out[i].Value < out[j].Value
-	})
+	sortItems(out)
 	return out
 }
 
@@ -294,9 +625,10 @@ func (s *Store) AddTombstones(items []Item) int {
 	n := 0
 	for _, it := range items {
 		ks := it.Key.String()
-		if tg, ok := s.tombGenLocked(ks, it.Value); ok {
-			if it.Gen > tg {
+		if t, ok := s.tombLocked(ks, it.Value); ok {
+			if it.Gen > t.gen {
 				s.setTombLocked(ks, it.Value, it.Gen)
+				s.touchLocked(ks, it.Value)
 			}
 			continue
 		}
@@ -312,6 +644,7 @@ func (s *Store) AddTombstones(items []Item) int {
 		}
 		s.removeLiveLocked(ks, it.Value)
 		s.setTombLocked(ks, it.Value, it.Gen)
+		s.touchLocked(ks, it.Value)
 		n++
 	}
 	return n
@@ -347,25 +680,20 @@ func (s *Store) Keys() keyspace.Keys {
 	return out
 }
 
-// Items returns all items ordered by key.
+// Items returns all items ordered by key. The slice is freshly allocated.
 func (s *Store) Items() []Item {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]Item, 0, s.count)
 	for _, its := range s.items {
 		out = append(out, its...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		c := out[i].Key.Compare(out[j].Key)
-		if c != 0 {
-			return c < 0
-		}
-		return out[i].Value < out[j].Value
-	})
+	s.mu.RUnlock()
+	sortItems(out)
 	return out
 }
 
-// Lookup returns the items stored under the exact key.
+// Lookup returns the items stored under the exact key. The slice is freshly
+// allocated.
 func (s *Store) Lookup(k keyspace.Key) []Item {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -375,13 +703,13 @@ func (s *Store) Lookup(k keyspace.Key) []Item {
 // ItemsWithPrefix returns the items whose keys start with the given path.
 func (s *Store) ItemsWithPrefix(p keyspace.Path) []Item {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Item
 	for ks, its := range s.items {
-		if keyspace.MustFromString(ks).HasPrefix(p) {
+		if strings.HasPrefix(ks, string(p)) {
 			out = append(out, its...)
 		}
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
 	return out
 }
@@ -389,13 +717,13 @@ func (s *Store) ItemsWithPrefix(p keyspace.Path) []Item {
 // ItemsInRange returns the items whose keys fall into the range.
 func (s *Store) ItemsInRange(r keyspace.Range) []Item {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Item
 	for ks, its := range s.items {
 		if r.ContainsKey(keyspace.MustFromString(ks)) {
 			out = append(out, its...)
 		}
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
 	return out
 }
@@ -406,7 +734,7 @@ func (s *Store) CountWithPrefix(p keyspace.Path) int {
 	defer s.mu.RUnlock()
 	n := 0
 	for ks, its := range s.items {
-		if keyspace.MustFromString(ks).HasPrefix(p) {
+		if strings.HasPrefix(ks, string(p)) {
 			n += len(its)
 		}
 	}
@@ -418,15 +746,22 @@ func (s *Store) CountWithPrefix(p keyspace.Path) int {
 // a split).
 func (s *Store) RemovePrefix(p keyspace.Path) []Item {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var removed []Item
 	for ks, its := range s.items {
-		if keyspace.MustFromString(ks).HasPrefix(p) {
+		if strings.HasPrefix(ks, string(p)) {
+			for _, it := range its {
+				s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), -1)
+				s.clearVerLocked(ks, it.Value)
+			}
 			removed = append(removed, its...)
 			s.count -= len(its)
 			delete(s.items, ks)
 		}
 	}
+	if len(removed) > 0 {
+		s.clock++
+	}
+	s.mu.Unlock()
 	sort.Slice(removed, func(i, j int) bool { return removed[i].Key.Compare(removed[j].Key) < 0 })
 	return removed
 }
@@ -438,16 +773,274 @@ func (s *Store) RetainPrefix(p keyspace.Path) []Item {
 	defer s.mu.Unlock()
 	var removed []Item
 	for ks, its := range s.items {
-		if !keyspace.MustFromString(ks).HasPrefix(p) {
+		if !strings.HasPrefix(ks, string(p)) {
+			for _, it := range its {
+				s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), -1)
+				s.clearVerLocked(ks, it.Value)
+			}
 			removed = append(removed, its...)
 			s.count -= len(its)
 			delete(s.items, ks)
 		}
 	}
+	if len(removed) > 0 {
+		s.clock++
+	}
 	return removed
 }
 
-// Clone returns a deep copy of the store, including tombstones.
+// Digest returns the XOR digest and pair count (live plus tombstoned) of the
+// key-prefix bucket. Shallow prefixes (up to the dense tree depth) are
+// served from the incrementally maintained cells in O(1); deeper buckets
+// are scanned on demand, with the most recent result cached per clock so
+// the steady-state root comparison of a deep partition stays O(1) between
+// mutations.
+func (s *Store) Digest(prefix keyspace.Path) (uint64, int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(prefix) <= digestDenseDepth {
+		cell := s.dig[string(prefix)]
+		return cell.hash, cell.n
+	}
+	s.deepMu.Lock()
+	if s.deep.ok && s.deep.prefix == string(prefix) && s.deep.clock == s.clock {
+		h, n := s.deep.hash, s.deep.n
+		s.deepMu.Unlock()
+		return h, n
+	}
+	s.deepMu.Unlock()
+	h, n := s.digestLocked(prefix)
+	s.deepMu.Lock()
+	s.deep.prefix, s.deep.hash, s.deep.n, s.deep.clock, s.deep.ok = string(prefix), h, n, s.clock, true
+	s.deepMu.Unlock()
+	return h, n
+}
+
+// digestLocked computes a bucket digest below the dense tree with one pass
+// over the store's maps, filtered by the padded-prefix membership rule
+// (callers must hold mu; shallow prefixes are served by the dense cells).
+func (s *Store) digestLocked(prefix keyspace.Path) (uint64, int) {
+	if len(prefix) <= digestDenseDepth {
+		cell := s.dig[string(prefix)]
+		return cell.hash, cell.n
+	}
+	var h uint64
+	n := 0
+	for ks, its := range s.items {
+		if underDigest(ks, string(prefix)) {
+			for _, it := range its {
+				h ^= liveHash(ks, it.Value, it.Gen)
+				n++
+			}
+		}
+	}
+	for ks, vals := range s.tombs {
+		if underDigest(ks, string(prefix)) {
+			for v, t := range vals {
+				h ^= tombHash(ks, v, t.gen)
+				n++
+			}
+		}
+	}
+	return h, n
+}
+
+// DigestChildren returns the digests of all 2^width extensions of the
+// prefix, including empty ones, so two replicas can compare the same bucket
+// set during the anti-entropy digest walk. Bucket membership follows the
+// zero-padding rule (see digestKey), so the children exactly partition the
+// parent even in the presence of keys shorter than the child depth.
+func (s *Store) DigestChildren(prefix keyspace.Path, width int) []BucketDigest {
+	if width < 1 {
+		width = 1
+	}
+	childDepth := len(prefix) + width
+	out := make([]BucketDigest, 1<<width)
+	for i := range out {
+		b := make([]byte, 0, childDepth)
+		b = append(b, prefix...)
+		for d := width - 1; d >= 0; d-- {
+			if i>>uint(d)&1 == 1 {
+				b = append(b, '1')
+			} else {
+				b = append(b, '0')
+			}
+		}
+		out[i].Prefix = keyspace.Path(b)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if childDepth <= digestDenseDepth {
+		for i := range out {
+			cell := s.dig[string(out[i].Prefix)]
+			out[i].Hash, out[i].Count = cell.hash, cell.n
+		}
+		return out
+	}
+	// Below the dense tree: one pass over the store bucketises every pair
+	// into its child by the (zero-padded) key bits at the child depth,
+	// instead of 2^width independent scans.
+	bucket := func(ks string) int {
+		if !underDigest(ks, string(prefix)) {
+			return -1
+		}
+		idx := 0
+		for d := len(prefix); d < childDepth; d++ {
+			idx <<= 1
+			if d < len(ks) && ks[d] == '1' {
+				idx |= 1
+			}
+		}
+		return idx
+	}
+	for ks, its := range s.items {
+		if idx := bucket(ks); idx >= 0 {
+			for _, it := range its {
+				out[idx].Hash ^= liveHash(ks, it.Value, it.Gen)
+				out[idx].Count++
+			}
+		}
+	}
+	for ks, vals := range s.tombs {
+		if idx := bucket(ks); idx >= 0 {
+			for v, t := range vals {
+				out[idx].Hash ^= tombHash(ks, v, t.gen)
+				out[idx].Count++
+			}
+		}
+	}
+	return out
+}
+
+// DeltaSince returns every pair modified after the given store clock value —
+// live items and tombstones separately — together with ok reporting whether
+// the delta is complete: when since predates the GC floor, pruned tombstones
+// can no longer be reproduced and the caller must fall back to a full
+// exchange.
+func (s *Store) DeltaSince(since uint64) (items, tombs []Item, ok bool) {
+	return s.DeltaSinceWithPrefix(keyspace.Root, since)
+}
+
+// DeltaSinceWithPrefix is DeltaSince restricted to keys under the path
+// (padded-membership, matching the digest machinery).
+func (s *Store) DeltaSinceWithPrefix(p keyspace.Path, since uint64) (items, tombs []Item, ok bool) {
+	s.mu.RLock()
+	if since < s.gcFloor {
+		s.mu.RUnlock()
+		return nil, nil, false
+	}
+	for ks, vals := range s.vers {
+		if !underDigest(ks, string(p)) {
+			continue
+		}
+		var key keyspace.Key
+		parsed := false
+		for v, ver := range vals {
+			if ver <= since {
+				continue
+			}
+			if !parsed {
+				key = keyspace.MustFromString(ks)
+				parsed = true
+			}
+			if t, isTomb := s.tombs[ks][v]; isTomb {
+				tombs = append(tombs, Item{Key: key, Value: v, Gen: t.gen})
+				continue
+			}
+			for _, it := range s.items[ks] {
+				if it.Value == v {
+					items = append(items, it)
+					break
+				}
+			}
+		}
+	}
+	s.mu.RUnlock()
+	sortItems(items)
+	sortItems(tombs)
+	return items, tombs, true
+}
+
+// ContentWithin returns the live items and tombstones under any of the given
+// prefixes (used to exchange the differing buckets found by a digest walk).
+// Membership follows the digest machinery's zero-padding rule, so whatever
+// a bucket digest covers is exactly what the bucket exchange transfers. The
+// prefixes are expected to be non-overlapping.
+func (s *Store) ContentWithin(prefixes []keyspace.Path) (items, tombs []Item) {
+	s.mu.RLock()
+	for ks, its := range s.items {
+		if underAnyDigest(ks, prefixes) {
+			items = append(items, its...)
+		}
+	}
+	for ks, vals := range s.tombs {
+		if underAnyDigest(ks, prefixes) {
+			k := keyspace.MustFromString(ks)
+			for v, t := range vals {
+				tombs = append(tombs, Item{Key: k, Value: v, Gen: t.gen})
+			}
+		}
+	}
+	s.mu.RUnlock()
+	sortItems(items)
+	sortItems(tombs)
+	return items, tombs
+}
+
+// ReplaceWithin atomically replaces the store's content under the path with
+// the given live items and tombstones: a rebuild from an authoritative
+// replica after the local copy went stale past the replica's GC horizon.
+// Local live copies, tombstones and version metadata under the path are
+// dropped first, so a stale pair that was deleted-and-pruned elsewhere
+// cannot survive the rebuild. It returns the store clock after the
+// replacement, taken atomically with it, so callers can record a sync
+// baseline that provably covers the installed content and nothing newer.
+func (s *Store) ReplaceWithin(p keyspace.Path, items, tombs []Item) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ks, its := range s.items {
+		if !underDigest(ks, string(p)) {
+			continue
+		}
+		for _, it := range its {
+			s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), -1)
+			s.clearVerLocked(ks, it.Value)
+		}
+		s.count -= len(its)
+		delete(s.items, ks)
+	}
+	for ks, vals := range s.tombs {
+		if !underDigest(ks, string(p)) {
+			continue
+		}
+		for v, t := range vals {
+			s.digestXorLocked(ks, tombHash(ks, v, t.gen), -1)
+			s.clearVerLocked(ks, v)
+		}
+		delete(s.tombs, ks)
+	}
+	s.clock++
+	for _, it := range tombs {
+		ks := it.Key.String()
+		if !underDigest(ks, string(p)) {
+			continue
+		}
+		s.setTombLocked(ks, it.Value, it.Gen)
+		s.touchLocked(ks, it.Value)
+	}
+	for _, it := range items {
+		ks := it.Key.String()
+		if !underDigest(ks, string(p)) {
+			continue
+		}
+		s.addLocked(ks, it)
+	}
+	return s.clock
+}
+
+// Clone returns a deep copy of the store's logical content (items and
+// tombstones; the clone's clock, digests and tombstone ages are rebuilt
+// fresh).
 func (s *Store) Clone() *Store {
 	c := NewStore()
 	c.AddAll(s.Items())
@@ -479,7 +1072,9 @@ func (s *Store) Diff(other *Store) []Item {
 // with the union of their items minus the union of their tombstones (deletes
 // win over stale live copies, so a removed item cannot be resurrected). It
 // returns the number of items transferred in each direction (for bandwidth
-// accounting).
+// accounting). This is the full-set exchange; the overlay's maintenance loop
+// uses the digest/delta protocol instead and keeps Reconcile as the
+// baseline.
 func Reconcile(a, b *Store) (toA, toB int) {
 	b.AddTombstones(a.Tombstones())
 	a.AddTombstones(b.Tombstones())
@@ -488,6 +1083,28 @@ func Reconcile(a, b *Store) (toA, toB int) {
 	toB = b.AddAll(missingInB)
 	toA = a.AddAll(missingInA)
 	return toA, toB
+}
+
+// sortItems orders items by key then value.
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		c := items[i].Key.Compare(items[j].Key)
+		if c != 0 {
+			return c < 0
+		}
+		return items[i].Value < items[j].Value
+	})
+}
+
+// underAnyDigest reports whether the key bit string belongs to any of the
+// digest buckets, under the zero-padding membership rule.
+func underAnyDigest(ks string, prefixes []keyspace.Path) bool {
+	for _, p := range prefixes {
+		if underDigest(ks, string(p)) {
+			return true
+		}
+	}
+	return false
 }
 
 // OverlapCount returns the number of distinct keys two key sets share.

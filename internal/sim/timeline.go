@@ -103,6 +103,17 @@ type TimelineResult struct {
 	// query read back — the timeline's convergence signal for live writes
 	// under churn.
 	ReadYourWrites float64
+	// InSyncRounds, DeltaSyncs and FullSyncs classify the anti-entropy
+	// rounds the maintenance ticks ran: root digests matched (nothing
+	// moved), delta-proportional exchanges, and full-set transfers
+	// (rebuilds or the legacy protocol). With the digest protocol the vast
+	// majority of rounds should land in the first bucket.
+	InSyncRounds, DeltaSyncs, FullSyncs float64
+	// TombstonesPruned is the total number of tombstones the GC horizon
+	// removed, and TombstonesHeld the number still held at the end of the
+	// run (bounded when GC is on, growing with lifetime deletes otherwise).
+	TombstonesPruned float64
+	TombstonesHeld   int
 }
 
 // RunTimeline replays the full experiment timeline.
@@ -361,6 +372,13 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 	if readbackN > 0 {
 		res.ReadYourWrites = readbackOK / readbackN
 	}
+	for _, p := range e.Peers {
+		res.InSyncRounds += p.Metrics.SyncsInSync.Value()
+		res.DeltaSyncs += p.Metrics.SyncsDelta.Value()
+		res.FullSyncs += p.Metrics.SyncsFull.Value()
+		res.TombstonesPruned += p.Metrics.TombstonesPruned.Value()
+		res.TombstonesHeld += p.Store().TombstoneCount()
+	}
 	return res, nil
 }
 
@@ -381,6 +399,10 @@ func (r *TimelineResult) Summary() string {
 	if r.WriteSuccessBeforeChurn > 0 || r.WriteSuccessDuringChurn > 0 {
 		fmt.Fprintf(&b, "write success before churn: %.2f during churn: %.2f read-your-writes: %.2f\n",
 			r.WriteSuccessBeforeChurn, r.WriteSuccessDuringChurn, r.ReadYourWrites)
+	}
+	if r.InSyncRounds+r.DeltaSyncs+r.FullSyncs > 0 {
+		fmt.Fprintf(&b, "anti-entropy rounds: %.0f in-sync, %.0f delta, %.0f full; tombstones pruned: %.0f held: %d\n",
+			r.InSyncRounds, r.DeltaSyncs, r.FullSyncs, r.TombstonesPruned, r.TombstonesHeld)
 	}
 	lat := r.QueryLatency.Buckets()
 	if len(lat) > 0 {

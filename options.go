@@ -115,6 +115,33 @@ func WithMaintenanceInterval(d time.Duration) Option {
 	}
 }
 
+// WithTombstoneGC bounds the lifetime of delete tombstones (Cassandra-style
+// gc_grace): a tombstone is pruned once it is older than age (wall clock) or
+// once the peer's store clock has advanced by more than versions since it
+// was recorded — whichever criterion is configured and met first; a zero
+// disables that criterion. The horizon must comfortably exceed the
+// maintenance interval: the digest/delta anti-entropy protocol detects
+// replicas that stayed away longer and rebuilds them from an authoritative
+// replica instead of merging (which could resurrect pruned deletes), at the
+// cost of discarding whatever the stale replica never synced out. Without
+// this option tombstones are kept forever.
+func WithTombstoneGC(age time.Duration, versions uint64) Option {
+	return func(o *options) {
+		o.overlay.TombstoneGCAge = age
+		o.overlay.TombstoneGCVersions = versions
+	}
+}
+
+// WithFullSyncAntiEntropy restores the legacy full-set anti-entropy
+// exchange, in which every maintenance tick ships the partition's entire
+// item and tombstone set to the chosen replica. It exists as the baseline
+// for benchmarking the digest/delta protocol (the default) and should not be
+// combined with WithTombstoneGC: a full-set merge cannot tell a stale live
+// copy from a fresh write once the tombstone is pruned.
+func WithFullSyncAntiEntropy() Option {
+	return func(o *options) { o.overlay.FullSyncAntiEntropy = true }
+}
+
 // WithBootstrapDegree sets the degree of the unstructured bootstrap
 // overlay.
 func WithBootstrapDegree(d int) Option { return func(o *options) { o.degree = d } }

@@ -12,6 +12,7 @@
 //	pgridbench -fig t2         # eager vs autonomous analytic cost
 //	pgridbench -fig q          # concurrent query engine: α / fan-out sweep
 //	pgridbench -fig w          # live mutations: mixed read/write workload
+//	pgridbench -fig dur        # durability: WAL append / checkpoint / recovery
 //	pgridbench -fig all        # everything
 //
 // The -quick flag shrinks populations and repetition counts so a full run
@@ -31,6 +32,7 @@ import (
 	"pgrid"
 	"pgrid/internal/churn"
 	"pgrid/internal/core"
+	"pgrid/internal/replication"
 	"pgrid/internal/routing"
 	"pgrid/internal/sim"
 	"pgrid/internal/stats"
@@ -38,14 +40,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6a,6b,6c,6d,6e,6f,7,8,9,t1,t2,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6a,6b,6c,6d,6e,6f,7,8,9,t1,t2,q,w,ae,dur,all")
 	quick := flag.Bool("quick", true, "use reduced sizes for fast runs")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
 	targets := strings.Split(*fig, ",")
 	if *fig == "all" {
-		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2", "q", "w", "ae"}
+		targets = []string{"3", "4", "5", "6a", "6b", "6c", "6d", "6e", "6f", "7", "8", "9", "t1", "t2", "q", "w", "ae", "dur"}
 	}
 	for _, t := range targets {
 		if err := run(strings.TrimSpace(t), *quick, *seed); err != nil {
@@ -83,6 +85,8 @@ func run(fig string, quick bool, seed int64) error {
 		return liveWorkload(quick, seed)
 	case "ae":
 		return antiEntropy(quick, seed)
+	case "dur":
+		return durability(quick, seed)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -746,5 +750,115 @@ func table2() error {
 		}
 		fmt.Printf("%8.2f %16.4f\n", p, t)
 	}
+	return nil
+}
+
+// durability prints the costs of the persistence subsystem: WAL append
+// latency on the write path, checkpoint (snapshot + WAL truncation) cost,
+// and crash-recovery time as the store grows — plus a cluster restart
+// demonstrating that recovered peers rejoin through the in-sync/delta
+// anti-entropy paths.
+func durability(quick bool, seed int64) error {
+	header("Durability: WAL append / checkpoint / recovery (beyond the paper)")
+	sizes := []int{1000, 10000, 100000}
+	if quick {
+		sizes = []int{1000, 10000}
+	}
+	fmt.Printf("%10s %18s %16s %16s\n", "pairs", "WAL append µs/op", "checkpoint ms", "recovery ms")
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "pgridbench-dur-*")
+		if err != nil {
+			return err
+		}
+		s, err := replication.OpenStore(dir, replication.PersistOptions{})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			s.Insert(replication.Item{
+				Key:   pgrid.FloatKey(float64(i%65536) / 65536),
+				Value: fmt.Sprintf("v%d", i),
+			})
+		}
+		appendUS := float64(time.Since(start).Microseconds()) / float64(n)
+		start = time.Now()
+		if err := s.Checkpoint(); err != nil {
+			return err
+		}
+		checkpointMS := float64(time.Since(start).Microseconds()) / 1000
+		// Half the pairs mutate again so recovery replays a WAL tail on
+		// top of the snapshot, like a real crash between checkpoints.
+		for i := 0; i < n/2; i++ {
+			s.Insert(replication.Item{
+				Key:   pgrid.FloatKey(float64(i%65536) / 65536),
+				Value: fmt.Sprintf("v%d", i),
+			})
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+		start = time.Now()
+		r, err := replication.OpenStore(dir, replication.PersistOptions{})
+		if err != nil {
+			return err
+		}
+		recoveryMS := float64(time.Since(start).Microseconds()) / 1000
+		if r.Len() != s.Len() {
+			return fmt.Errorf("recovery diverged: %d pairs, want %d", r.Len(), s.Len())
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+		os.RemoveAll(dir)
+		fmt.Printf("%10d %18.2f %16.2f %16.2f\n", n, appendUS, checkpointMS, recoveryMS)
+	}
+
+	// Cluster restart: a quarter of the peers crash and recover; their
+	// post-restart anti-entropy must run through the cheap paths.
+	dir, err := os.MkdirTemp("", "pgridbench-dur-cluster-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cluster, err := pgrid.NewCluster(
+		pgrid.WithPeers(16), pgrid.WithSeed(seed),
+		pgrid.WithPersistence(dir), pgrid.WithMinReplicas(2), pgrid.WithMaxKeys(10),
+	)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		if err := cluster.IndexFloat(float64(i)/64, fmt.Sprintf("doc-%d", i)); err != nil {
+			return err
+		}
+	}
+	if _, err := cluster.Build(ctx); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		cluster.MaintenanceRound(ctx)
+	}
+	start := time.Now()
+	for _, i := range []int{1, 5, 9, 13} {
+		if err := cluster.RestartPeer(i); err != nil {
+			return err
+		}
+	}
+	restartMS := float64(time.Since(start).Microseconds()) / 1000
+	for i := 0; i < 3; i++ {
+		cluster.MaintenanceRound(ctx)
+	}
+	var insync, delta, full float64
+	for _, i := range []int{1, 5, 9, 13} {
+		m := &cluster.Peer(i).Metrics
+		insync += m.SyncsInSync.Value()
+		delta += m.SyncsDelta.Value()
+		full += m.SyncsFull.Value()
+	}
+	fmt.Printf("\ncluster restart (4/16 peers): %.1f ms; post-restart syncs: %.0f in-sync, %.0f delta, %.0f full\n",
+		restartMS, insync, delta, full)
 	return nil
 }

@@ -13,7 +13,18 @@
 //	          -put "datalog=doc-3" -interactions 8 -get database
 //
 // The node keeps serving incoming protocol messages until the -serve
-// duration elapses (0 means exit right after the local work is done).
+// duration elapses (0 means exit right after the local work is done);
+// -maintain additionally runs the background maintenance loop while
+// serving.
+//
+// With -data-dir the node's replica state is durable: items, delete
+// tombstones, the partition path and the anti-entropy sync baselines are
+// captured by a write-ahead log plus snapshots, and a restarted node
+// recovers them and rejoins its replica set through the cheap exact-delta
+// sync path:
+//
+//	pgridnode -listen 127.0.0.1:7002 -join 127.0.0.1:7001 \
+//	          -data-dir /var/lib/pgrid/node2 -serve 1h -maintain 1s
 package main
 
 import (
@@ -45,26 +56,36 @@ func main() {
 		nmin         = flag.Int("nmin", 2, "minimal replication factor")
 		dmax         = flag.Int("dmax", 20, "maximal storage load per partition")
 		serve        = flag.Duration("serve", 0, "keep serving for this duration after local work finishes")
+		dataDir      = flag.String("data-dir", "", "directory for durable replica state (WAL + snapshots); restarts recover items, tombstones, path and sync baselines from it")
+		maintain     = flag.Duration("maintain", 0, "run background maintenance (anti-entropy, routing probes) at this interval while serving; 0 disables")
 	)
 	flag.Var(&puts, "put", "index an entry of the form term=value (repeatable)")
 	flag.Var(&gets, "get", "query a term after construction (repeatable)")
 	flag.Parse()
 
-	if err := run(*listen, *join, puts, gets, *interactions, *nmin, *dmax, *serve); err != nil {
+	if err := run(*listen, *join, puts, gets, *interactions, *nmin, *dmax, *serve, *dataDir, *maintain); err != nil {
 		fmt.Fprintln(os.Stderr, "pgridnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, join string, puts, gets []string, interactions, nmin, dmax int, serve time.Duration) error {
+func run(listen, join string, puts, gets []string, interactions, nmin, dmax int, serve time.Duration, dataDir string, maintain time.Duration) error {
 	ep, err := network.ListenTCP(listen)
 	if err != nil {
 		return err
 	}
 	defer ep.Close()
-	cfg := overlay.Config{MaxKeys: dmax, MinReplicas: nmin, Seed: time.Now().UnixNano()}
-	peer := overlay.New(cfg, ep)
+	cfg := overlay.Config{MaxKeys: dmax, MinReplicas: nmin, Seed: time.Now().UnixNano(), DataDir: dataDir}
+	peer, err := overlay.NewPersistent(cfg, ep)
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
 	fmt.Printf("pgridnode listening on %s\n", ep.Addr())
+	if dataDir != "" {
+		fmt.Printf("recovered durable state from %s: path %q, %d items, %d known replicas\n",
+			dataDir, peer.Path(), peer.Store().Len(), len(peer.Replicas()))
+	}
 
 	// Index the local entries.
 	var items []replication.Item
@@ -114,6 +135,10 @@ func run(listen, join string, puts, gets []string, interactions, nmin, dmax int,
 	}
 
 	if serve > 0 {
+		if maintain > 0 {
+			stop := peer.StartMaintenance(overlay.MaintenanceOptions{Interval: maintain})
+			defer stop()
+		}
 		fmt.Printf("serving for %v (path %s, %d items)\n", serve, peer.Path(), peer.Store().Len())
 		time.Sleep(serve)
 	}

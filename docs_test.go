@@ -1,0 +1,91 @@
+package pgrid
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLinkRE matches inline markdown links [text](target).
+var mdLinkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// mdHeadingRE matches ATX headings.
+var mdHeadingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// slugify renders a heading as a GitHub-style anchor.
+func slugify(h string) string {
+	h = strings.ToLower(h)
+	// Inline code/emphasis markers disappear from anchors.
+	h = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(h)
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf returns the heading anchors of a markdown file.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	anchors := make(map[string]bool)
+	for _, m := range mdHeadingRE.FindAllStringSubmatch(string(data), -1) {
+		anchors[slugify(m[1])] = true
+	}
+	return anchors
+}
+
+// TestMarkdownLinks validates the repository documentation: every relative
+// link in README.md, ROADMAP.md and docs/ must point at an existing file
+// (or directory), and every fragment must resolve to a heading anchor in
+// its target. External links are left to reviewers — this guard is about
+// the docs never rotting against the repo itself.
+func TestMarkdownLinks(t *testing.T) {
+	files := []string{"README.md", "ROADMAP.md"}
+	docEntries, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docEntries...)
+	if len(docEntries) == 0 {
+		t.Error("docs/ holds no markdown files; the architecture documentation went missing")
+	}
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		for _, m := range mdLinkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			rel, frag, _ := strings.Cut(target, "#")
+			resolved := file // pure-fragment links resolve within the same file
+			if rel != "" {
+				resolved = filepath.Join(filepath.Dir(file), rel)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken relative link %q (%v)", file, target, err)
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchorsOf(t, resolved)[frag] {
+					t.Errorf("%s: link %q points at a missing anchor #%s in %s", file, target, frag, resolved)
+				}
+			}
+		}
+	}
+}

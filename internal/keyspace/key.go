@@ -233,9 +233,14 @@ func (k Key) Path(n int) Path {
 // Keys is a sortable slice of keys.
 type Keys []Key
 
-func (s Keys) Len() int           { return len(s) }
+// Len implements sort.Interface.
+func (s Keys) Len() int { return len(s) }
+
+// Less implements sort.Interface (ascending key order).
 func (s Keys) Less(i, j int) bool { return s[i].Compare(s[j]) < 0 }
-func (s Keys) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// Swap implements sort.Interface.
+func (s Keys) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
 
 // Sort sorts the keys in ascending order.
 func (s Keys) Sort() { sort.Sort(s) }

@@ -158,9 +158,14 @@ func (p Path) String() string {
 // Paths is a sortable slice of paths (lexicographic order).
 type Paths []Path
 
-func (s Paths) Len() int           { return len(s) }
+// Len implements sort.Interface.
+func (s Paths) Len() int { return len(s) }
+
+// Less implements sort.Interface (lexicographic path order).
 func (s Paths) Less(i, j int) bool { return s[i] < s[j] }
-func (s Paths) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// Swap implements sort.Interface.
+func (s Paths) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
 
 // CoversKeySpace reports whether the set of paths forms a complete
 // partitioning of the key space: every infinite bit string has exactly one

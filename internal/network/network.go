@@ -4,7 +4,7 @@
 //   - Sim, an in-process simulated network where every peer endpoint is
 //     served by goroutines and messages experience configurable latency and
 //     loss. This stands in for the PlanetLab deployment of Section 5 (see
-//     DESIGN.md, "Substitutions") and supports taking peers offline to model
+//     docs/ARCHITECTURE.md) and supports taking peers offline to model
 //     churn.
 //   - TCP, a real transport over net.Conn with a length-prefixed JSON codec,
 //     used by the cmd/pgridnode binary to run an actual distributed

@@ -112,14 +112,20 @@ func (p *Peer) syncStateOf(addr network.Addr) syncState {
 	return p.syncStates[addr]
 }
 
-// noteSync records a completed sync baseline.
+// noteSync records a completed sync baseline, durably when the store is
+// persistent — which is what lets a restarted peer resume exact-delta
+// syncs instead of degrading to a first-contact walk (or, after a GC
+// prune, to a rebuild).
 func (p *Peer) noteSync(addr network.Addr, st syncState) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.syncStates == nil {
 		p.syncStates = make(map[network.Addr]syncState)
 	}
 	p.syncStates[addr] = st
+	p.mu.Unlock()
+	if p.store.Persistent() {
+		p.store.RecordBaseline(string(addr), replication.Baseline{Mine: st.mine, Theirs: st.theirs})
+	}
 }
 
 // compactSyncStates bounds the per-replica baseline metadata. Baselines of
@@ -131,13 +137,21 @@ func (p *Peer) noteSync(addr network.Addr, st syncState) {
 // pruned.
 func (p *Peer) compactSyncStates() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.syncStates) <= 4*(len(p.replicas)+4) {
-		return
+	var dropped []network.Addr
+	if len(p.syncStates) > 4*(len(p.replicas)+4) {
+		for addr := range p.syncStates {
+			if !p.replicas[addr] {
+				delete(p.syncStates, addr)
+				dropped = append(dropped, addr)
+			}
+		}
 	}
-	for addr := range p.syncStates {
-		if !p.replicas[addr] {
-			delete(p.syncStates, addr)
+	p.mu.Unlock()
+	if len(dropped) > 0 && p.store.Persistent() {
+		// Mirror the compaction into the durable baselines so the
+		// persistence map stays bounded under long-term churn too.
+		for _, addr := range dropped {
+			p.store.RecordBaseline(string(addr), replication.Baseline{})
 		}
 	}
 }

@@ -132,6 +132,7 @@ func (p *Peer) interact(ctx context.Context, partner network.Addr, referralsLeft
 	}
 	p.Metrics.MaintenanceBytes.Add(float64(resp.WireSize()))
 	action := p.applyExchange(req, resp)
+	p.persistPathMeta() // the exchange may have moved the path
 
 	// Follow a referral to a peer with a better path match, which is how
 	// peers from foreign partitions route each other towards useful

@@ -68,6 +68,10 @@ type TickReport struct {
 	// ReplicaDiscovered reports that the tick re-discovered a replica by
 	// self-lookup after the replica set had run dry.
 	ReplicaDiscovered bool
+	// PersistenceErr is the store's sticky persistence failure, if any:
+	// mutations applied after it are not durable and the peer should be
+	// failed over (see replication.Store.PersistenceErr).
+	PersistenceErr error
 }
 
 // MaintainTick runs one maintenance step: one round of anti-entropy with a
@@ -94,6 +98,24 @@ func (p *Peer) MaintainTick(ctx context.Context, opts MaintenanceOptions) TickRe
 		p.Metrics.TombstonesPruned.Add(float64(n))
 	}
 	p.compactSyncStates()
+
+	// Durable overlay state: re-record the partition path (no-op when
+	// unchanged) and compact the WAL into a snapshot once it outgrew the
+	// threshold. Persistence failures do not abort the tick — the peer
+	// keeps serving from memory — but they are surfaced on the report and
+	// counted, because once the WAL is broken every later mutation is
+	// silently non-durable and the operator must fail the peer over.
+	if p.store.Persistent() {
+		p.persistOverlayState()
+		if _, err := p.store.CheckpointIfNeeded(); err != nil {
+			rep.PersistenceErr = err
+		} else if err := p.store.PersistenceErr(); err != nil {
+			rep.PersistenceErr = err
+		}
+		if rep.PersistenceErr != nil {
+			p.Metrics.PersistenceErrors.Add(1)
+		}
+	}
 
 	// Re-discover replicas whenever the set ran dry, and occasionally even
 	// when it did not: after churn a group of returning peers can hold only

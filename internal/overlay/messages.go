@@ -1,8 +1,3 @@
-// Package overlay implements the P-Grid peer: the trie-structured overlay
-// node with its routing table and data store, the decentralized construction
-// protocol driven by random peer encounters (exchange/split, replicate,
-// refer — Figure 2 of the paper), and exact-match plus range query
-// processing on the constructed overlay.
 package overlay
 
 import (

@@ -2,9 +2,11 @@ package overlay
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -82,6 +84,26 @@ type Config struct {
 	// advanced this many versions past them — the horizon to use under
 	// virtual clocks (simulations). Zero disables the criterion.
 	TombstoneGCVersions uint64
+	// DataDir enables durable replica state: the peer's store is backed by
+	// a write-ahead log plus periodic snapshots rooted at this directory,
+	// and a restarted peer recovers its items, tombstones, logical clock,
+	// GC floor, partition path and per-replica sync baselines from it — so
+	// it re-enters anti-entropy through the cheap exact-delta path instead
+	// of a first-contact walk. Empty (the default) keeps the store in
+	// memory. Only NewPersistent reports persistence errors; New panics on
+	// them.
+	DataDir string
+	// WALSyncInterval batches WAL fsyncs: appends flush immediately but
+	// fsync at most once per interval
+	// (replication.DefaultWALSyncInterval when zero).
+	WALSyncInterval time.Duration
+	// WALSyncAlways fsyncs the WAL on every mutation, trading write
+	// latency for a zero crash-loss window.
+	WALSyncAlways bool
+	// SnapshotThreshold is the number of WAL records after which a
+	// maintenance tick compacts the log into a snapshot
+	// (replication.DefaultSnapshotThreshold when zero).
+	SnapshotThreshold int
 	// Seed drives the peer's local randomness.
 	Seed int64
 }
@@ -176,6 +198,10 @@ type Metrics struct {
 	SyncsFull   stats.Counter
 	// TombstonesPruned counts tombstones removed by the GC horizon.
 	TombstonesPruned stats.Counter
+	// PersistenceErrors counts maintenance ticks that observed a sticky
+	// persistence failure (WAL append/rotation error): the peer keeps
+	// serving from memory but its mutations are no longer durable.
+	PersistenceErrors stats.Counter
 }
 
 // Peer is one P-Grid node.
@@ -207,9 +233,58 @@ type Peer struct {
 	Metrics Metrics
 }
 
-// New creates a peer bound to the given transport.
+// New creates a peer bound to the given transport. It panics when
+// cfg.DataDir is set but the persistence directory cannot be opened — use
+// NewPersistent to handle that error.
 func New(cfg Config, transport network.Transport) *Peer {
+	p, err := NewPersistent(cfg, transport)
+	if err != nil {
+		panic(fmt.Sprintf("overlay: open persistent peer: %v", err))
+	}
+	return p
+}
+
+// Store-metadata keys the overlay records its durable state under: the
+// partition path, the routing references and the replica set. The path
+// keeps a restarted peer in its partition; the references let it route
+// (and answer) queries immediately; the replica addresses let its first
+// maintenance tick reach a replica even when no sync baseline was ever
+// completed.
+const (
+	metaPathKey     = "overlay.path"
+	metaRefsKey     = "overlay.refs"
+	metaReplicasKey = "overlay.replicas"
+)
+
+// metaRef is the JSON shape of one persisted routing reference.
+type metaRef struct {
+	Level int    `json:"l"`
+	Addr  string `json:"a"`
+	Path  string `json:"p"`
+}
+
+// NewPersistent creates a peer bound to the given transport, recovering
+// durable replica state from cfg.DataDir when it is set: the store's items,
+// tombstones, clock and GC floor are replayed from the WAL and snapshots,
+// the partition path is restored, and the recovered per-replica sync
+// baselines seed both the replica set and the anti-entropy sync states —
+// so the first maintenance tick after a restart syncs via an exact delta
+// rather than a first-contact walk. With an empty DataDir it behaves
+// exactly like New.
+func NewPersistent(cfg Config, transport network.Transport) (*Peer, error) {
 	cfg = cfg.normalize()
+	store := replication.NewStore()
+	if cfg.DataDir != "" {
+		var err error
+		store, err = replication.OpenStore(cfg.DataDir, replication.PersistOptions{
+			SyncInterval:      cfg.WALSyncInterval,
+			SyncAlways:        cfg.WALSyncAlways,
+			SnapshotThreshold: cfg.SnapshotThreshold,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	p := &Peer{
 		cfg:       cfg,
 		transport: transport,
@@ -219,7 +294,7 @@ func New(cfg Config, transport network.Transport) *Peer {
 			UseHeuristic:  cfg.UseHeuristic,
 		},
 		table:    routing.New(cfg.MaxRefs, cfg.Seed),
-		store:    replication.NewStore(),
+		store:    store,
 		replicas: make(map[network.Addr]bool),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -234,8 +309,114 @@ func New(cfg Config, transport network.Transport) *Peer {
 		})
 	}
 	p.table.SetOwner(transport.Addr())
+	if store.Persistent() {
+		p.recoverOverlayState()
+	}
 	transport.Handle(p.handle)
-	return p
+	return p, nil
+}
+
+// recoverOverlayState restores the overlay-level durable state from the
+// recovered store: the partition path, the routing references, the replica
+// set, and the per-replica sync baselines (whose addresses also re-seed
+// the replica set). Runs before the transport handler is installed, so no
+// locking is needed.
+func (p *Peer) recoverOverlayState() {
+	if path := p.store.Meta(metaPathKey); path != "" && validPath(path) {
+		p.table.SetPath(keyspace.Path(path))
+	}
+	var refs []metaRef
+	if raw := p.store.Meta(metaRefsKey); raw != "" {
+		if err := json.Unmarshal([]byte(raw), &refs); err == nil {
+			for _, r := range refs {
+				if validPath(r.Path) {
+					p.table.Add(r.Level, routing.Ref{Addr: network.Addr(r.Addr), Path: keyspace.Path(r.Path)})
+				}
+			}
+		}
+	}
+	var replicas []string
+	if raw := p.store.Meta(metaReplicasKey); raw != "" {
+		if err := json.Unmarshal([]byte(raw), &replicas); err == nil {
+			for _, a := range replicas {
+				p.addReplicaLocked(network.Addr(a))
+			}
+		}
+	}
+	for addr, b := range p.store.Baselines() {
+		a := network.Addr(addr)
+		if a == "" || a == p.Addr() {
+			continue
+		}
+		if p.syncStates == nil {
+			p.syncStates = make(map[network.Addr]syncState)
+		}
+		p.syncStates[a] = syncState{mine: b.Mine, theirs: b.Theirs}
+		p.replicas[a] = true
+	}
+}
+
+// validPath reports whether a recovered metadata string is a well-formed
+// partition path (binary digits only).
+func validPath(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' && s[i] != '1' {
+			return false
+		}
+	}
+	return true
+}
+
+// persistPathMeta records just the partition path — one string compare
+// under the store lock in the unchanged case, cheap enough for the
+// construction hot path, where exchanges are frequent and the path is the
+// only overlay state that must never lag a split. The routing references
+// and replica set are persisted by the periodic maintenance tick
+// (persistOverlayState).
+func (p *Peer) persistPathMeta() {
+	if !p.store.Persistent() {
+		return
+	}
+	p.store.SetMeta(metaPathKey, string(p.Path()))
+}
+
+// persistOverlayState records the peer's partition path, routing
+// references and replica set into the store's durable metadata, so a
+// restarted peer rejoins its partition with a working routing table. It is
+// a no-op for in-memory stores and for unchanged values (SetMeta
+// compares); because it deep-copies and marshals the routing table it runs
+// on the maintenance tick, not per message.
+func (p *Peer) persistOverlayState() {
+	if !p.store.Persistent() {
+		return
+	}
+	path, levels := p.table.Snapshot()
+	p.store.SetMeta(metaPathKey, string(path))
+	var refs []metaRef
+	for level, rs := range levels {
+		for _, r := range rs {
+			refs = append(refs, metaRef{Level: level, Addr: string(r.Addr), Path: string(r.Path)})
+		}
+	}
+	if data, err := json.Marshal(refs); err == nil {
+		p.store.SetMeta(metaRefsKey, string(data))
+	}
+	replicas := p.Replicas()
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i] < replicas[j] })
+	addrs := make([]string, len(replicas))
+	for i, a := range replicas {
+		addrs[i] = string(a)
+	}
+	if data, err := json.Marshal(addrs); err == nil {
+		p.store.SetMeta(metaReplicasKey, string(data))
+	}
+}
+
+// Close flushes and closes the peer's persistent store (a no-op for
+// in-memory peers). Stop maintenance and stop serving the transport before
+// closing; the peer must not be used afterwards.
+func (p *Peer) Close() error {
+	return p.store.Close()
 }
 
 // Addr returns the peer's network address.
@@ -344,7 +525,9 @@ func (p *Peer) AddItems(items []replication.Item) {
 func (p *Peer) handle(ctx context.Context, from network.Addr, req any) (any, error) {
 	switch m := req.(type) {
 	case ExchangeRequest:
-		return p.handleExchange(m), nil
+		resp := p.handleExchange(m)
+		p.persistPathMeta() // the exchange may have moved the path
+		return resp, nil
 	case QueryRequest:
 		return p.handleQuery(ctx, m), nil
 	case BatchQueryRequest:

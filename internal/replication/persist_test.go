@@ -1,0 +1,402 @@
+package replication
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"pgrid/internal/keyspace"
+)
+
+// testKey returns a short deterministic key from a small pool so pairs
+// collide across operations.
+func testKey(i int) keyspace.Key {
+	return keyspace.MustFromFloat(float64(i%16)/16, 8)
+}
+
+// assertSameState fails unless the two stores agree on every piece of
+// observable durable state.
+func assertSameState(t *testing.T, got, want *Store) {
+	t.Helper()
+	if g, w := got.Clock(), want.Clock(); g != w {
+		t.Errorf("clock: got %d want %d", g, w)
+	}
+	if g, w := got.GCFloor(), want.GCFloor(); g != w {
+		t.Errorf("gc floor: got %d want %d", g, w)
+	}
+	if g, w := got.Len(), want.Len(); g != w {
+		t.Errorf("len: got %d want %d", g, w)
+	}
+	if g, w := got.TombstoneCount(), want.TombstoneCount(); g != w {
+		t.Errorf("tombstones: got %d want %d", g, w)
+	}
+	if g, w := got.Items(), want.Items(); !reflect.DeepEqual(g, w) {
+		t.Errorf("items: got %v want %v", g, w)
+	}
+	if g, w := got.Tombstones(), want.Tombstones(); !reflect.DeepEqual(g, w) {
+		t.Errorf("tombstone set: got %v want %v", g, w)
+	}
+	gh, gn := got.Digest(keyspace.Root)
+	wh, wn := want.Digest(keyspace.Root)
+	if gh != wh || gn != wn {
+		t.Errorf("root digest: got (%x,%d) want (%x,%d)", gh, gn, wh, wn)
+	}
+	// The per-pair version index must survive too: identical deltas since
+	// an arbitrary common point.
+	mid := want.Clock() / 2
+	gi, gt, gok := got.DeltaSince(mid)
+	wi, wt, wok := want.DeltaSince(mid)
+	if gok != wok || !reflect.DeepEqual(gi, wi) || !reflect.DeepEqual(gt, wt) {
+		t.Errorf("delta since %d diverged: got (%v,%v,%v) want (%v,%v,%v)", mid, gi, gt, gok, wi, wt, wok)
+	}
+}
+
+// reopen closes the store and recovers it from its directory.
+func reopen(t *testing.T, s *Store, dir string, opts PersistOptions) *Store {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	r, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return r
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := NewStore()
+
+	for i := 0; i < 20; i++ {
+		it := Item{Key: testKey(i), Value: "v"}
+		s.Insert(it)
+		shadow.Insert(it)
+	}
+	s.Delete(testKey(3), "v")
+	shadow.Delete(testKey(3), "v")
+	s.AddTombstones([]Item{{Key: testKey(5), Value: "v", Gen: 9}})
+	shadow.AddTombstones([]Item{{Key: testKey(5), Value: "v", Gen: 9}})
+	s.RecordBaseline("peer-1", Baseline{Mine: 7, Theirs: 12})
+	s.SetMeta("path", "0101")
+
+	r := reopen(t, s, dir, PersistOptions{})
+	defer r.Close()
+	assertSameState(t, r, shadow)
+	if b := r.Baselines()["peer-1"]; b != (Baseline{Mine: 7, Theirs: 12}) {
+		t.Errorf("baseline not recovered: %+v", b)
+	}
+	if p := r.Meta("path"); p != "0101" {
+		t.Errorf("meta not recovered: %q", p)
+	}
+}
+
+func TestPersistRecoveredStoreKeepsLogging(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := NewStore()
+	s.Insert(Item{Key: testKey(1), Value: "a"})
+	shadow.Insert(Item{Key: testKey(1), Value: "a"})
+
+	s = reopen(t, s, dir, PersistOptions{})
+	s.Insert(Item{Key: testKey(2), Value: "b"})
+	shadow.Insert(Item{Key: testKey(2), Value: "b"})
+
+	r := reopen(t, s, dir, PersistOptions{})
+	defer r.Close()
+	assertSameState(t, r, shadow)
+}
+
+func TestPersistTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	opts := PersistOptions{SyncAlways: true}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := NewStore()
+	for i := 0; i < 8; i++ {
+		s.Insert(Item{Key: testKey(i), Value: "v"})
+		if i < 7 {
+			shadow.Insert(Item{Key: testKey(i), Value: "v"})
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record (the 8th insert): chop a few bytes off the
+	// segment tail, as an interrupted append would.
+	seg := filepath.Join(dir, segmentName(0))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatalf("recovery with torn tail: %v", err)
+	}
+	assertSameState(t, r, shadow)
+
+	// The writer must have truncated the torn tail: new appends recover.
+	r.Insert(Item{Key: testKey(7), Value: "v2"})
+	shadow.Insert(Item{Key: testKey(7), Value: "v2"})
+	r2 := reopen(t, r, dir, opts)
+	defer r2.Close()
+	assertSameState(t, r2, shadow)
+}
+
+func TestPersistCorruptFinalRecordCRC(t *testing.T) {
+	dir := t.TempDir()
+	opts := PersistOptions{SyncAlways: true}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := NewStore()
+	for i := 0; i < 4; i++ {
+		s.Insert(Item{Key: testKey(i), Value: "v"})
+		if i < 3 {
+			shadow.Insert(Item{Key: testKey(i), Value: "v"})
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the final record's payload.
+	seg := filepath.Join(dir, segmentName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatalf("recovery with corrupt CRC: %v", err)
+	}
+	defer r.Close()
+	assertSameState(t, r, shadow)
+}
+
+func TestPersistCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := PersistOptions{SnapshotThreshold: 10}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := NewStore()
+	for i := 0; i < 25; i++ {
+		it := Item{Key: testKey(i), Value: "v"}
+		s.Insert(it)
+		shadow.Insert(it)
+	}
+	if s.WALRecords() < 10 {
+		t.Fatalf("expected >=10 WAL records, got %d", s.WALRecords())
+	}
+	did, err := s.CheckpointIfNeeded()
+	if err != nil || !did {
+		t.Fatalf("checkpoint: did=%v err=%v", did, err)
+	}
+	if n := s.WALRecords(); n != 0 {
+		t.Errorf("WAL not truncated: %d records", n)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != 1 {
+		t.Errorf("expected only segment 1 after checkpoint, got %v", segs)
+	}
+	// A second checkpoint cycle with fresh writes must also recover.
+	s.Delete(testKey(2), "v")
+	shadow.Delete(testKey(2), "v")
+	r := reopen(t, s, dir, opts)
+	defer r.Close()
+	assertSameState(t, r, shadow)
+}
+
+func TestPersistGCStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := PersistOptions{}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGCPolicy(GCPolicy{MinVersions: 2})
+	s.Insert(Item{Key: testKey(1), Value: "doomed"})
+	s.Delete(testKey(1), "doomed")
+	for i := 0; i < 4; i++ {
+		s.Insert(Item{Key: testKey(2 + i), Value: "filler"})
+	}
+	if n := s.CompactTombstones(); n != 1 {
+		t.Fatalf("expected 1 pruned tombstone, got %d", n)
+	}
+	floor := s.GCFloor()
+	if floor == 0 {
+		t.Fatal("GC floor not advanced")
+	}
+
+	r := reopen(t, s, dir, opts)
+	defer r.Close()
+	if got := r.GCFloor(); got != floor {
+		t.Errorf("GC floor not recovered: got %d want %d", got, floor)
+	}
+	if r.TombstoneCount() != 0 {
+		t.Errorf("pruned tombstone resurrected: %v", r.Tombstones())
+	}
+	// Deltas from before the floor must stay incomparable after restart —
+	// the protocol-level no-resurrect guarantee depends on it.
+	if _, _, ok := r.DeltaSince(floor - 1); ok {
+		t.Error("delta from before the recovered GC floor reported comparable")
+	}
+}
+
+// TestPersistEquivalenceRandomOps drives an identical random operation
+// sequence against a persistent store (with random checkpoints and random
+// crash-reopens) and an in-memory shadow, and requires identical observable
+// state at every reopen. This is the snapshot+WAL-replay-equals-live-store
+// property.
+func TestPersistEquivalenceRandomOps(t *testing.T) {
+	const seed = 20260726
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("seed %d", seed)
+
+	dir := t.TempDir()
+	opts := PersistOptions{SyncAlways: true, SnapshotThreshold: 64}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { s.Close() }()
+	shadow := NewStore()
+	s.SetGCPolicy(GCPolicy{MinVersions: 8})
+	shadow.SetGCPolicy(GCPolicy{MinVersions: 8})
+
+	values := []string{"a", "b", "c"}
+	paths := []keyspace.Path{"0", "1", "01", "10"}
+	for step := 0; step < 600; step++ {
+		k := testKey(rng.Intn(16))
+		v := values[rng.Intn(len(values))]
+		switch op := rng.Intn(20); {
+		case op < 8:
+			it := Item{Key: k, Value: v}
+			s.Insert(it)
+			shadow.Insert(it)
+		case op < 11:
+			it := Item{Key: k, Value: v, Gen: uint64(rng.Intn(5))}
+			s.Add(it)
+			shadow.Add(it)
+		case op < 14:
+			s.Delete(k, v)
+			shadow.Delete(k, v)
+		case op < 16:
+			it := Item{Key: k, Value: v, Gen: uint64(rng.Intn(8))}
+			s.AddTombstones([]Item{it})
+			shadow.AddTombstones([]Item{it})
+		case op < 17:
+			s.CompactTombstones()
+			shadow.CompactTombstones()
+		case op < 18:
+			p := paths[rng.Intn(len(paths))]
+			s.RemovePrefix(p)
+			shadow.RemovePrefix(p)
+		case op < 19:
+			p := paths[rng.Intn(len(paths))]
+			items := []Item{{Key: k, Value: v, Gen: uint64(rng.Intn(4))}}
+			tombs := []Item{{Key: testKey(rng.Intn(16)), Value: v, Gen: uint64(rng.Intn(6))}}
+			s.ReplaceWithin(p, items, tombs)
+			shadow.ReplaceWithin(p, items, tombs)
+		default:
+			s.RecordBaseline("replica", Baseline{Mine: uint64(step), Theirs: uint64(step * 2)})
+		}
+
+		if rng.Intn(40) == 0 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("step %d: checkpoint: %v", step, err)
+			}
+		}
+		if rng.Intn(50) == 0 {
+			// Crash: abandon the open store without Close (SyncAlways has
+			// made every record durable) and recover from disk.
+			r, err := OpenStore(dir, opts)
+			if err != nil {
+				t.Fatalf("step %d: crash recovery: %v", step, err)
+			}
+			r.SetGCPolicy(GCPolicy{MinVersions: 8})
+			s.Close()
+			s = r
+			assertSameState(t, s, shadow)
+		}
+	}
+	r := reopen(t, s, dir, opts)
+	s = r
+	assertSameState(t, r, shadow)
+}
+
+func TestPersistWALSyncBatching(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, PersistOptions{SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		s.Insert(Item{Key: testKey(i), Value: "v"})
+	}
+	// Nothing forced a sync yet; an explicit Sync must succeed and make the
+	// records durable for a fresh reader.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	valid, records, err := scanWAL(filepath.Join(dir, segmentName(0)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 100 || valid == 0 {
+		t.Errorf("expected 100 durable records, got %d (%d bytes)", records, valid)
+	}
+}
+
+func TestPersistStickyErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, PersistOptions{SyncAlways: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PersistenceErr(); err != nil {
+		t.Fatalf("healthy store reports persistence error: %v", err)
+	}
+	// Break the WAL underneath the store (as a disk error would) and keep
+	// mutating: the store must keep serving but report the sticky failure.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(Item{Key: testKey(1), Value: "after-failure"})
+	if !s.Live(testKey(1), "after-failure") {
+		t.Error("store stopped serving after persistence failure")
+	}
+	if err := s.PersistenceErr(); err == nil {
+		t.Error("append against a broken WAL left PersistenceErr nil")
+	}
+	if err := s.Sync(); err == nil {
+		t.Error("Sync did not resurface the sticky persistence failure")
+	}
+}

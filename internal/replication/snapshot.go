@@ -1,0 +1,200 @@
+package replication
+
+// This file implements the compacted snapshots that bound WAL replay: a
+// snapshot is a complete, self-contained image of a store's durable state —
+// live items, tombstones (with their age metadata), per-pair last-modified
+// versions, the logical clock, the GC floor, the per-replica sync baselines
+// and the small metadata map — taken at a WAL segment boundary. Recovery
+// loads the newest valid snapshot and replays only the WAL segments that
+// follow it (persist.go); once a snapshot is durably on disk, the segments
+// it covers are deleted.
+//
+// Snapshots are written atomically (temp file + fsync + rename + directory
+// fsync) and carry the sequence number of the first WAL segment *not*
+// covered, so a crash at any point leaves either the previous snapshot with
+// all its segments, or the new snapshot with the new segment — never a
+// state that replays mutations twice or skips them.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// snapshotVersion is bumped when the snapshot schema changes incompatibly.
+const snapshotVersion = 1
+
+// snapItem is one live pair in a snapshot.
+type snapItem struct {
+	K   string `json:"k"` // key bit string
+	V   string `json:"v"`
+	Gen uint64 `json:"g,omitempty"`
+	Ver uint64 `json:"m,omitempty"` // last-modified store clock
+}
+
+// snapTomb is one tombstoned pair in a snapshot.
+type snapTomb struct {
+	K    string `json:"k"`
+	V    string `json:"v"`
+	Gen  uint64 `json:"g,omitempty"`
+	Born uint64 `json:"b,omitempty"` // store clock at recording
+	At   int64  `json:"t,omitempty"` // wall clock at recording, unix nanos
+	Ver  uint64 `json:"m,omitempty"`
+}
+
+// snapshotState is the serialised form of a store's durable state.
+type snapshotState struct {
+	Version   int                 `json:"version"`
+	Seq       uint64              `json:"seq"` // first WAL segment not covered
+	Clock     uint64              `json:"clock"`
+	GCFloor   uint64              `json:"gc_floor,omitempty"`
+	Items     []snapItem          `json:"items,omitempty"`
+	Tombs     []snapTomb          `json:"tombstones,omitempty"`
+	Baselines map[string]Baseline `json:"baselines,omitempty"`
+	Meta      map[string]string   `json:"meta,omitempty"`
+}
+
+// snapshotName renders the file name of the snapshot covering everything
+// before WAL segment seq.
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016d.json", seq) }
+
+// segmentName renders the file name of WAL segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// parseSeq extracts the sequence number from a snapshot or segment file
+// name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// writeSnapshot atomically persists the snapshot into dir.
+func writeSnapshot(dir string, st *snapshotState) error {
+	st.Version = snapshotVersion
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapshotName(st.Seq))); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadLatestSnapshot finds and decodes the newest readable snapshot in dir.
+// It returns ok=false (and no error) when dir holds no usable snapshot; a
+// snapshot that fails to decode is skipped in favour of an older one, so a
+// crash mid-rename can never make recovery fail outright.
+func loadLatestSnapshot(dir string) (*snapshotState, bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".json"); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs {
+		data, err := os.ReadFile(filepath.Join(dir, snapshotName(seq)))
+		if err != nil {
+			continue
+		}
+		var st snapshotState
+		if err := json.Unmarshal(data, &st); err != nil || st.Version != snapshotVersion {
+			continue
+		}
+		st.Seq = seq
+		return &st, true, nil
+	}
+	return nil, false, nil
+}
+
+// listSegments returns the WAL segment sequence numbers present in dir, in
+// ascending order.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// removeBelow deletes snapshots and WAL segments made obsolete by a durable
+// snapshot at seq (segments < seq, snapshots < seq). Best effort: leftover
+// files only cost disk space, never correctness.
+func removeBelow(dir string, seq uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if s, ok := parseSeq(e.Name(), "wal-", ".log"); ok && s < seq {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+		if s, ok := parseSeq(e.Name(), "snap-", ".json"); ok && s < seq {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives power loss. Filesystems that do not support directory fsync
+// (EINVAL/ENOTSUP) are tolerated — the rename itself is still atomic —
+// but genuine I/O failures are reported, so a checkpoint cannot delete
+// the WAL segments a non-durable snapshot was meant to replace.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

@@ -1,8 +1,18 @@
 // Package replication provides the data-replication substrate of the
 // overlay: per-peer data stores, anti-entropy reconciliation between
-// replicas of the same partition, and the maximum-likelihood estimator of
-// the number of replicas in a partition that the construction protocol uses
-// in place of global knowledge (Section 4.2).
+// replicas of the same partition (incremental digest trees, logical-clock
+// deltas, generation-stamped delete tombstones with a GC horizon), and the
+// maximum-likelihood estimator of the number of replicas in a partition
+// that the construction protocol uses in place of global knowledge
+// (Section 4.2 of the paper).
+//
+// Stores are in-memory by default. OpenStore binds one to a data
+// directory instead, making its state durable through an append-only,
+// CRC-framed, fsync-batched write-ahead log plus periodic compacted
+// snapshots (wal.go, snapshot.go, persist.go): items, tombstones, the
+// logical clock, the GC floor, per-replica sync baselines and overlay
+// metadata all survive a crash, and recovery replays the log exactly —
+// tolerating the torn final record a crash can leave behind.
 package replication
 
 import (
@@ -125,6 +135,17 @@ type Store struct {
 	gc      GCPolicy
 	now     func() time.Time
 
+	// persist, when non-nil, is the WAL + snapshot machinery every mutation
+	// is logged to (see persist.go); baselines and metadata are the small
+	// non-pair state that rides along so a restarted peer can resume
+	// anti-entropy where it left off.
+	persist   *Persistence
+	baselines map[string]Baseline
+	metadata  map[string]string
+	// muted suppresses per-pair WAL records while a compound mutation that
+	// is logged as one record (ReplaceWithin) runs (guarded by mu).
+	muted bool
+
 	// deepMu guards deep, the one-entry cache of the last digest computed
 	// for a prefix below the dense tree. The steady-state sync reads the
 	// whole-partition digest every tick; for partitions deeper than the
@@ -212,7 +233,7 @@ func (s *Store) CompactTombstones() int {
 		return 0
 	}
 	now := s.now()
-	pruned := 0
+	var prunedPairs []prunedPair
 	for ks, vals := range s.tombs {
 		for v, t := range vals {
 			expired := false
@@ -236,18 +257,19 @@ func (s *Store) CompactTombstones() int {
 			s.digestXorLocked(ks, tombHash(ks, v, t.gen), -1)
 			delete(vals, v)
 			s.clearVerLocked(ks, v)
-			pruned++
+			prunedPairs = append(prunedPairs, prunedPair{ks: ks, value: v})
 		}
 		if len(vals) == 0 {
 			delete(s.tombs, ks)
 		}
 	}
-	if pruned > 0 {
+	if len(prunedPairs) > 0 {
 		// A prune changes the digest without touching any pair's version;
 		// advance the clock so clock-validated digest caches notice.
 		s.clock++
+		s.logPruneLocked(prunedPairs, s.gcFloor)
 	}
-	return pruned
+	return len(prunedPairs)
 }
 
 // FNV-1a constants for the pair digests.
@@ -449,12 +471,14 @@ func (s *Store) addLocked(ks string, it Item) bool {
 				s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), 0)
 				s.items[ks][i].Gen = it.Gen
 				s.touchLocked(ks, it.Value)
+				s.logPairLocked(opAdd, ks, it.Value, it.Gen)
 			}
 			return false
 		}
 	}
 	s.appendLiveLocked(ks, it)
 	s.touchLocked(ks, it.Value)
+	s.logPairLocked(opAdd, ks, it.Value, it.Gen)
 	return true
 }
 
@@ -482,6 +506,7 @@ func (s *Store) Insert(it Item) Item {
 			s.digestXorLocked(ks, liveHash(ks, it.Value, gen), 0)
 			s.items[ks][i].Gen = gen
 			s.touchLocked(ks, it.Value)
+			s.logPairLocked(opAdd, ks, it.Value, gen)
 			return Item{Key: it.Key, Value: it.Value, Gen: gen}
 		}
 	}
@@ -489,6 +514,7 @@ func (s *Store) Insert(it Item) Item {
 	stamped := Item{Key: it.Key, Value: it.Value, Gen: gen}
 	s.appendLiveLocked(ks, stamped)
 	s.touchLocked(ks, it.Value)
+	s.logPairLocked(opAdd, ks, it.Value, gen)
 	return stamped
 }
 
@@ -542,6 +568,7 @@ func (s *Store) deleteStamped(key keyspace.Key, value string, floor uint64) (Ite
 	gen++
 	s.setTombLocked(ks, value, gen)
 	s.touchLocked(ks, value)
+	s.logPairLocked(opTomb, ks, value, gen)
 	return Item{Key: key, Value: value, Gen: gen}, changed
 }
 
@@ -624,30 +651,37 @@ func (s *Store) AddTombstones(items []Item) int {
 	defer s.mu.Unlock()
 	n := 0
 	for _, it := range items {
-		ks := it.Key.String()
-		if t, ok := s.tombLocked(ks, it.Value); ok {
-			if it.Gen > t.gen {
-				s.setTombLocked(ks, it.Value, it.Gen)
-				s.touchLocked(ks, it.Value)
-			}
-			continue
+		if s.applyTombLocked(it.Key.String(), it.Value, it.Gen) {
+			n++
 		}
-		liveGen, live := uint64(0), false
-		for _, existing := range s.items[ks] {
-			if existing.Value == it.Value {
-				liveGen, live = existing.Gen, true
-				break
-			}
-		}
-		if live && liveGen > it.Gen {
-			continue // a newer live write supersedes this tombstone
-		}
-		s.removeLiveLocked(ks, it.Value)
-		s.setTombLocked(ks, it.Value, it.Gen)
-		s.touchLocked(ks, it.Value)
-		n++
 	}
 	return n
+}
+
+// applyTombLocked applies one generation-stamped tombstone (callers must
+// hold mu): re-stamp an existing tombstone upwards, yield to a strictly
+// newer live write, or drop the live copy and record the tombstone. It
+// returns whether the tombstone newly applied (the AddTombstones count);
+// both mutating branches are WAL-logged.
+func (s *Store) applyTombLocked(ks, value string, gen uint64) bool {
+	if t, ok := s.tombLocked(ks, value); ok {
+		if gen > t.gen {
+			s.setTombLocked(ks, value, gen)
+			s.touchLocked(ks, value)
+			s.logPairLocked(opTomb, ks, value, gen)
+		}
+		return false
+	}
+	for _, existing := range s.items[ks] {
+		if existing.Value == value && existing.Gen > gen {
+			return false // a newer live write supersedes this tombstone
+		}
+	}
+	s.removeLiveLocked(ks, value)
+	s.setTombLocked(ks, value, gen)
+	s.touchLocked(ks, value)
+	s.logPairLocked(opTomb, ks, value, gen)
+	return true
 }
 
 // AddAll inserts a batch of items and returns how many were new.
@@ -746,6 +780,15 @@ func (s *Store) CountWithPrefix(p keyspace.Path) int {
 // a split).
 func (s *Store) RemovePrefix(p keyspace.Path) []Item {
 	s.mu.Lock()
+	removed := s.removePrefixLocked(p)
+	s.mu.Unlock()
+	sort.Slice(removed, func(i, j int) bool { return removed[i].Key.Compare(removed[j].Key) < 0 })
+	return removed
+}
+
+// removePrefixLocked is RemovePrefix without the lock or ordering (shared
+// with WAL replay; callers must hold mu).
+func (s *Store) removePrefixLocked(p keyspace.Path) []Item {
 	var removed []Item
 	for ks, its := range s.items {
 		if strings.HasPrefix(ks, string(p)) {
@@ -760,9 +803,8 @@ func (s *Store) RemovePrefix(p keyspace.Path) []Item {
 	}
 	if len(removed) > 0 {
 		s.clock++
+		s.logPrefixLocked(opRemovePrefix, p)
 	}
-	s.mu.Unlock()
-	sort.Slice(removed, func(i, j int) bool { return removed[i].Key.Compare(removed[j].Key) < 0 })
 	return removed
 }
 
@@ -771,6 +813,12 @@ func (s *Store) RemovePrefix(p keyspace.Path) []Item {
 func (s *Store) RetainPrefix(p keyspace.Path) []Item {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.retainPrefixLocked(p)
+}
+
+// retainPrefixLocked is RetainPrefix's body (shared with WAL replay;
+// callers must hold mu).
+func (s *Store) retainPrefixLocked(p keyspace.Path) []Item {
 	var removed []Item
 	for ks, its := range s.items {
 		if !strings.HasPrefix(ks, string(p)) {
@@ -785,6 +833,7 @@ func (s *Store) RetainPrefix(p keyspace.Path) []Item {
 	}
 	if len(removed) > 0 {
 		s.clock++
+		s.logPrefixLocked(opRetainPrefix, p)
 	}
 	return removed
 }
@@ -998,6 +1047,15 @@ func (s *Store) ContentWithin(prefixes []keyspace.Path) (items, tombs []Item) {
 func (s *Store) ReplaceWithin(p keyspace.Path, items, tombs []Item) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.logReplaceLocked(p, items, tombs)
+	s.muted = true
+	defer func() { s.muted = false }()
+	return s.replaceWithinLocked(p, items, tombs)
+}
+
+// replaceWithinLocked is ReplaceWithin's body (shared with WAL replay;
+// callers must hold mu).
+func (s *Store) replaceWithinLocked(p keyspace.Path, items, tombs []Item) uint64 {
 	for ks, its := range s.items {
 		if !underDigest(ks, string(p)) {
 			continue

@@ -1,0 +1,274 @@
+package replication
+
+// This file implements the append-only write-ahead log beneath a persistent
+// Store. Every logical mutation the store applies is first encoded as one
+// CRC-framed record and appended here, so a crashed process can replay the
+// exact mutation sequence on restart (see persist.go for the recovery
+// protocol and snapshot.go for the compaction that bounds replay length).
+//
+// Frame format, little-endian:
+//
+//	uint32 payload length | uint32 CRC-32 (IEEE) of payload | payload
+//
+// The payload's first byte is the operation tag (walOp); the rest is the
+// operation's field encoding (uvarints and length-prefixed strings). A
+// record is valid only when its full frame is present and the checksum
+// matches, which is what makes a torn final record — the expected crash
+// artifact of an append-only file — detectable: replay stops at the first
+// invalid frame and the writer truncates the tail before appending again.
+//
+// Appends are fsync-batched: every record is written to the file (the OS
+// page cache) before the append returns, but the file is fsynced at most
+// once per SyncInterval (or on every append with SyncAlways). A killed
+// process therefore loses nothing once an append returned; only a machine
+// crash can lose the records inside the current fsync window.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// walOp tags the operation a WAL record encodes.
+type walOp byte
+
+// WAL record operation tags. The numeric values are part of the on-disk
+// format and must never be reused for a different operation.
+const (
+	// opAdd records a live pair upsert (Store.Add / Store.Insert) with its
+	// final generation stamp.
+	opAdd walOp = 1
+	// opTomb records a tombstone upsert (Store.Delete / Store.AddTombstones)
+	// with its final generation stamp.
+	opTomb walOp = 2
+	// opPrune records one tombstone-GC compaction: the pruned pairs plus
+	// the resulting GC floor.
+	opPrune walOp = 3
+	// opRemovePrefix and opRetainPrefix record the partition handovers of a
+	// split (Store.RemovePrefix / Store.RetainPrefix).
+	opRemovePrefix walOp = 4
+	opRetainPrefix walOp = 5
+	// opReplace records a wholesale partition rebuild
+	// (Store.ReplaceWithin).
+	opReplace walOp = 6
+	// opBaseline records a per-replica anti-entropy sync baseline.
+	opBaseline walOp = 7
+	// opMeta records one small key/value metadata pair (the overlay stores
+	// its partition path here).
+	opMeta walOp = 8
+)
+
+// walFrameHeader is the fixed per-record framing overhead.
+const walFrameHeader = 8 // uint32 length + uint32 CRC
+
+// maxWALRecord bounds a single record's payload; longer frames are treated
+// as corruption during replay (a length word from a torn write can read as
+// garbage).
+const maxWALRecord = 64 << 20
+
+// errWALCorrupt reports an invalid frame before the final record of the
+// final segment — real corruption rather than a torn tail.
+var errWALCorrupt = errors.New("replication: WAL corrupt before final record")
+
+// wal is an append-only, CRC-framed, fsync-batched log file.
+type wal struct {
+	mu       sync.Mutex
+	f        *os.File
+	scratch  []byte // reusable frame buffer, so one append is one write
+	size     int64  // bytes appended (including frames)
+	records  int    // records appended since open
+	dirty    bool   // written data not yet fsynced
+	lastSync time.Time
+	interval time.Duration // fsync at most this often; <=0 means every append
+	now      func() time.Time
+}
+
+// openWAL opens (creating if needed) the segment file at path for
+// appending at the given offset — the end of the last valid record, as
+// previously established by scanWAL — truncating any torn tail beyond it.
+func openWAL(path string, interval time.Duration, valid int64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{
+		f:        f,
+		size:     valid,
+		interval: interval,
+		now:      time.Now,
+	}, nil
+}
+
+// append frames one record payload and writes it to the file in a single
+// write call, fsyncing when the batching interval elapsed. Callers
+// serialise appends through the owning store's lock, but the wal keeps its
+// own mutex so Sync/Close are independently safe.
+func (w *wal) append(payload []byte) error {
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("replication: WAL record of %d bytes exceeds limit", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.scratch = w.scratch[:0]
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, uint32(len(payload)))
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, crc32.ChecksumIEEE(payload))
+	w.scratch = append(w.scratch, payload...)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return err
+	}
+	w.size += int64(walFrameHeader + len(payload))
+	w.records++
+	w.dirty = true
+	if w.interval <= 0 || w.now().Sub(w.lastSync) >= w.interval {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// syncLocked fsyncs pending writes (callers must hold w.mu).
+func (w *wal) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.lastSync = w.now()
+	return nil
+}
+
+// sync makes every appended record durable.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// close syncs and closes the segment file.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// scanWAL reads the segment at path, invoking apply for every valid record
+// payload in order, and returns the byte offset of the end of the last
+// valid record plus the number of valid records. A torn or corrupt frame
+// ends the scan cleanly (the offset points just before it) — that is the
+// expected crash artifact. A genuine read error aborts with that error
+// instead: truncating at a transiently unreadable position would destroy
+// committed records. apply may be nil to only measure.
+func scanWAL(path string, apply func(payload []byte) error) (valid int64, records int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 256<<10)
+	var hdr [walFrameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, records, nil // clean end or torn header
+			}
+			return valid, records, fmt.Errorf("replication: read WAL header: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxWALRecord {
+			return valid, records, nil // garbage length word: torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, records, nil // torn payload
+			}
+			return valid, records, fmt.Errorf("replication: read WAL record: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return valid, records, nil // bit rot or torn rewrite
+		}
+		if apply != nil {
+			if err := apply(payload); err != nil {
+				return valid, records, err
+			}
+		}
+		valid += int64(walFrameHeader) + int64(n)
+		records++
+	}
+}
+
+// --- record payload encoding -----------------------------------------------
+
+// walEncoder builds a record payload.
+type walEncoder struct{ buf []byte }
+
+func (e *walEncoder) op(op walOp)     { e.buf = append(e.buf, byte(op)) }
+func (e *walEncoder) uint(v uint64)   { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *walEncoder) string(s string) { e.uint(uint64(len(s))); e.buf = append(e.buf, s...) }
+
+// walDecoder reads a record payload.
+type walDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *walDecoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = errors.New("replication: short WAL record")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *walDecoder) string() string {
+	n := d.uint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.err = errors.New("replication: short WAL record")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+// encodePair appends a (key bit string, value, gen) triple.
+func (e *walEncoder) pair(ks, value string, gen uint64) {
+	e.string(ks)
+	e.string(value)
+	e.uint(gen)
+}
+
+func (d *walDecoder) pair() (ks, value string, gen uint64) {
+	ks = d.string()
+	value = d.string()
+	gen = d.uint()
+	return
+}

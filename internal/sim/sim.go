@@ -3,8 +3,8 @@
 // construction-quality experiments of Figure 6, the PlanetLab-style
 // timeline of Figures 7–9, and the in-text system metrics of Section 5.2.
 // It stands in for both the Mathematica simulations (Section 4.4) and the
-// PlanetLab deployment (Section 5) of the paper; see DESIGN.md for the
-// substitution rationale.
+// PlanetLab deployment (Section 5) of the paper; see docs/ARCHITECTURE.md
+// for the substitution rationale.
 package sim
 
 import (
@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 
 	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
@@ -52,6 +53,11 @@ type Config struct {
 	OfflineFraction float64
 	// Degree is the degree of the unstructured bootstrap overlay.
 	Degree int
+	// DataDir, when set, makes every peer's replica state durable under
+	// DataDir/peer-NNNNN (WAL + snapshots), enabling RestartPeer to
+	// simulate process crashes that recover their state — the timeline's
+	// restart scenario. Empty keeps all stores in memory.
+	DataDir string
 	// Seed makes the experiment reproducible.
 	Seed int64
 }
@@ -129,7 +135,18 @@ type Experiment struct {
 	// OriginalItems is the multiset of items initially assigned to peers
 	// (before replication), one slice per peer.
 	OriginalItems [][]replication.Item
-	rng           *rand.Rand
+	// Retired accumulates the metric counters of peers replaced by
+	// RestartPeer (whose fresh counters restart at zero), so aggregate
+	// series stay monotonic across restarts.
+	Retired RetiredMetrics
+	rng     *rand.Rand
+}
+
+// RetiredMetrics sums the counters of peers that were replaced by
+// RestartPeer.
+type RetiredMetrics struct {
+	MaintenanceBytes, QueryBytes                         float64
+	SyncsInSync, SyncsDelta, SyncsFull, TombstonesPruned float64
 }
 
 // New creates the deployment: simulated network, peers with their initial
@@ -152,9 +169,11 @@ func New(cfg Config) (*Experiment, error) {
 	for i := 0; i < cfg.Peers; i++ {
 		addr := network.Addr(fmt.Sprintf("peer-%05d", i))
 		addrs[i] = addr
-		pcfg := cfg.Overlay
-		pcfg.Seed = cfg.Seed + int64(i)*104729
-		peer := overlay.New(pcfg, simNet.Endpoint(addr))
+		peer, err := overlay.NewPersistent(e.peerConfig(i), simNet.Endpoint(addr))
+		if err != nil {
+			_ = e.Close() // release the WALs of the peers already opened
+			return nil, fmt.Errorf("sim: open peer %d: %w", i, err)
+		}
 		items := make([]replication.Item, cfg.KeysPerPeer)
 		for k := range items {
 			items[k] = replication.Item{
@@ -172,6 +191,59 @@ func New(cfg Config) (*Experiment, error) {
 	}
 	e.Graph = unstructured.NewGraph(addrs, degree, cfg.Seed+1)
 	return e, nil
+}
+
+// peerConfig returns peer i's overlay configuration, including its
+// persistence directory when Config.DataDir is set.
+func (e *Experiment) peerConfig(i int) overlay.Config {
+	pcfg := e.Config.Overlay
+	pcfg.Seed = e.Config.Seed + int64(i)*104729
+	if e.Config.DataDir != "" {
+		pcfg.DataDir = filepath.Join(e.Config.DataDir, fmt.Sprintf("peer-%05d", i))
+	}
+	return pcfg
+}
+
+// RestartPeer simulates a process crash and restart of peer i: the running
+// peer's persistence is flushed and closed, its metric counters are folded
+// into Retired, and a fresh peer is bound to the same simulated endpoint.
+// With Config.DataDir the new peer recovers its items, tombstones,
+// partition path and anti-entropy baselines from disk; without it the peer
+// rejoins empty.
+func (e *Experiment) RestartPeer(i int) error {
+	old := e.Peers[i]
+	// Fail in-flight calls like churn while the store closes and reopens;
+	// a call acknowledged into a closing store would be durably lost yet
+	// advance the sender's sync baseline past it.
+	e.Sim.SetOnline(old.Addr(), false)
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("sim: close peer %d: %w", i, err)
+	}
+	e.Retired.MaintenanceBytes += old.Metrics.MaintenanceBytes.Value()
+	e.Retired.QueryBytes += old.Metrics.QueryBytes.Value()
+	e.Retired.SyncsInSync += old.Metrics.SyncsInSync.Value()
+	e.Retired.SyncsDelta += old.Metrics.SyncsDelta.Value()
+	e.Retired.SyncsFull += old.Metrics.SyncsFull.Value()
+	e.Retired.TombstonesPruned += old.Metrics.TombstonesPruned.Value()
+	peer, err := overlay.NewPersistent(e.peerConfig(i), e.Sim.Endpoint(old.Addr()))
+	if err != nil {
+		return fmt.Errorf("sim: reopen peer %d: %w", i, err)
+	}
+	e.Peers[i] = peer
+	e.Sim.SetOnline(old.Addr(), true)
+	return nil
+}
+
+// Close flushes and closes every peer's persistence (a no-op for in-memory
+// experiments).
+func (e *Experiment) Close() error {
+	var first error
+	for _, p := range e.Peers {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Replicate runs the pre-construction replication phase: every peer pushes

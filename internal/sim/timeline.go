@@ -52,6 +52,16 @@ type TimelineConfig struct {
 	MaintenanceInterval time.Duration
 	// Churn is the churn model applied during the final phase.
 	Churn churn.Model
+	// RestartAt, when positive, runs the restart scenario: at this virtual
+	// time a RestartFraction of the currently online peers crashes and
+	// immediately restarts. With persistence configured on the experiment
+	// (Config.DataDir) the restarted peers recover their durable state and
+	// rejoin through the exact-delta sync path; without it they rejoin
+	// empty and must be rebuilt by their replicas.
+	RestartAt time.Duration
+	// RestartFraction is the fraction of online peers restarted at
+	// RestartAt (0 means 0.25).
+	RestartFraction float64
 	// HopLatency is the mean one-way latency per routing hop used to model
 	// query response times (PlanetLab's shared nodes made this several
 	// seconds).
@@ -114,6 +124,15 @@ type TimelineResult struct {
 	// run (bounded when GC is on, growing with lifetime deletes otherwise).
 	TombstonesPruned float64
 	TombstonesHeld   int
+	// RestartedPeers is the number of peers the restart scenario bounced
+	// (zero when RestartAt is unset).
+	RestartedPeers int
+	// PostRestartInSyncRounds, PostRestartDeltaSyncs and
+	// PostRestartFullSyncs classify the anti-entropy rounds the restarted
+	// peers completed after coming back: with persistence the rejoins run
+	// through the in-sync/delta paths and full rebuilds stay at zero,
+	// which is the durability tentpole's acceptance signal.
+	PostRestartInSyncRounds, PostRestartDeltaSyncs, PostRestartFullSyncs float64
 }
 
 // RunTimeline replays the full experiment timeline.
@@ -126,6 +145,9 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The experiment is private to this run: flush and release every
+	// peer's persistence (WAL fds, final fsync window) before returning.
+	defer func() { _ = e.Close() }()
 	rng := rand.New(rand.NewSource(cfg.Experiment.Seed + 99))
 	res := &TimelineResult{
 		Peers:                stats.NewTimeSeries("peers", cfg.Step),
@@ -186,6 +208,8 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 	var wSuccessBefore, wAttemptsBefore, wSuccessDuring, wAttemptsDuring float64
 	var readbackOK, readbackN float64
 	var liveWrites []replication.Item
+	var restartedIdx []int
+	restartsDone := false
 	writeSeq := 0
 	tick := 0
 
@@ -327,6 +351,34 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 			}
 		}
 
+		// Restart scenario: a slice of the online population crashes and
+		// comes back, recovering durable state when the experiment is
+		// persistent. The subsequent maintenance ticks show whether the
+		// rejoin takes the cheap delta path or degrades to rebuilds.
+		if cfg.RestartAt > 0 && !restartsDone && now >= cfg.RestartAt {
+			restartsDone = true
+			frac := cfg.RestartFraction
+			if frac <= 0 {
+				frac = 0.25
+			}
+			for i, p := range e.Peers {
+				if now < joinAt[i] {
+					continue
+				}
+				if ep := e.Sim.Lookup(p.Addr()); ep == nil || !ep.Online() {
+					continue
+				}
+				if rng.Float64() >= frac {
+					continue
+				}
+				if err := e.RestartPeer(i); err != nil {
+					return nil, err
+				}
+				restartedIdx = append(restartedIdx, i)
+			}
+			res.RestartedPeers = len(restartedIdx)
+		}
+
 		// Background maintenance: anti-entropy plus routing probes on every
 		// online peer at the configured virtual-time cadence, which is what
 		// lets writes converge and churned peers catch up without a manual
@@ -339,8 +391,9 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 		tick++
 
 		// Figure 8: bandwidth per second, split by purpose, from the peers'
-		// byte counters.
-		var maintenance, query float64
+		// byte counters (plus the counters retired with restarted peers, so
+		// the cumulative series never jumps backwards).
+		maintenance, query := e.Retired.MaintenanceBytes, e.Retired.QueryBytes
 		for _, p := range e.Peers {
 			maintenance += p.Metrics.MaintenanceBytes.Value()
 			query += p.Metrics.QueryBytes.Value()
@@ -372,12 +425,23 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 	if readbackN > 0 {
 		res.ReadYourWrites = readbackOK / readbackN
 	}
+	res.InSyncRounds = e.Retired.SyncsInSync
+	res.DeltaSyncs = e.Retired.SyncsDelta
+	res.FullSyncs = e.Retired.SyncsFull
+	res.TombstonesPruned = e.Retired.TombstonesPruned
 	for _, p := range e.Peers {
 		res.InSyncRounds += p.Metrics.SyncsInSync.Value()
 		res.DeltaSyncs += p.Metrics.SyncsDelta.Value()
 		res.FullSyncs += p.Metrics.SyncsFull.Value()
 		res.TombstonesPruned += p.Metrics.TombstonesPruned.Value()
 		res.TombstonesHeld += p.Store().TombstoneCount()
+	}
+	// Restarted peers' counters were zeroed at the restart, so what they
+	// show now is exactly their post-restart sync behaviour.
+	for _, i := range restartedIdx {
+		res.PostRestartInSyncRounds += e.Peers[i].Metrics.SyncsInSync.Value()
+		res.PostRestartDeltaSyncs += e.Peers[i].Metrics.SyncsDelta.Value()
+		res.PostRestartFullSyncs += e.Peers[i].Metrics.SyncsFull.Value()
 	}
 	return res, nil
 }
@@ -403,6 +467,10 @@ func (r *TimelineResult) Summary() string {
 	if r.InSyncRounds+r.DeltaSyncs+r.FullSyncs > 0 {
 		fmt.Fprintf(&b, "anti-entropy rounds: %.0f in-sync, %.0f delta, %.0f full; tombstones pruned: %.0f held: %d\n",
 			r.InSyncRounds, r.DeltaSyncs, r.FullSyncs, r.TombstonesPruned, r.TombstonesHeld)
+	}
+	if r.RestartedPeers > 0 {
+		fmt.Fprintf(&b, "restarted peers: %d (post-restart syncs: %.0f in-sync, %.0f delta, %.0f full)\n",
+			r.RestartedPeers, r.PostRestartInSyncRounds, r.PostRestartDeltaSyncs, r.PostRestartFullSyncs)
 	}
 	lat := r.QueryLatency.Buckets()
 	if len(lat) > 0 {

@@ -14,7 +14,7 @@ import (
 // generate documents whose term occurrences follow a Zipf law over a
 // synthetic vocabulary; index keys are order-preserving encodings of the
 // terms, which produces the clustered, highly skewed key distribution the
-// construction algorithm has to cope with. See DESIGN.md ("Substitutions").
+// construction algorithm has to cope with. See docs/ARCHITECTURE.md.
 
 // CorpusConfig parameterises the synthetic corpus.
 type CorpusConfig struct {

@@ -18,6 +18,7 @@ type options struct {
 	latency       network.LatencyModel
 	loss          float64
 	maintainEvery time.Duration
+	dataDir       string
 }
 
 // defaultOptions returns the paper's parameters: n_min = 5,
@@ -130,6 +131,19 @@ func WithTombstoneGC(age time.Duration, versions uint64) Option {
 		o.overlay.TombstoneGCAge = age
 		o.overlay.TombstoneGCVersions = versions
 	}
+}
+
+// WithPersistence makes every peer's replica state durable: each peer's
+// store is backed by a CRC-framed, fsync-batched write-ahead log plus
+// periodic compacted snapshots under dir/peer-NNNNN, capturing its items,
+// delete tombstones, logical clock, tombstone-GC floor, partition path and
+// per-replica anti-entropy baselines. Cluster.RestartPeer then simulates a
+// process crash and recovery: the restarted peer reopens its store and
+// resumes maintenance through the cheap exact-delta sync path instead of a
+// first-contact walk or a post-GC rebuild. Call Cluster.Close when done to
+// flush the logs.
+func WithPersistence(dir string) Option {
+	return func(o *options) { o.dataDir = dir }
 }
 
 // WithFullSyncAntiEntropy restores the legacy full-set anti-entropy

@@ -28,7 +28,7 @@
 // The internal packages expose the full substrate (decision probabilities,
 // reference partitioner, routing tables, simulated and TCP transports,
 // workload generators, experiment harnesses) used to reproduce every table
-// and figure of the paper; see DESIGN.md and EXPERIMENTS.md.
+// and figure of the paper; see docs/ARCHITECTURE.md for the mapping.
 package pgrid
 
 import (
@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -85,21 +86,26 @@ type Cluster struct {
 	cfg     options
 	net     *network.Sim
 	graph   *unstructured.Graph
-	peers   []*overlay.Peer
 	pending [][]Item
 	built   bool
+
+	// peersMu guards peers, which RestartPeer replaces copy-on-write: a
+	// snapshot taken under the read lock stays immutable, so queries and
+	// mutations can keep using it without holding the lock.
+	peersMu sync.RWMutex
+	peers   []*overlay.Peer
 
 	// rngMu guards rng: queries and live mutations pick random origin peers
 	// and may run concurrently.
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	// maintMu guards stopMaintenance so Start/StopMaintenance are safe to
-	// call from concurrent goroutines.
+	// maintMu guards maintStops so Start/StopMaintenance and RestartPeer
+	// are safe to call from concurrent goroutines.
 	maintMu sync.Mutex
-	// stopMaintenance, when non-nil, stops the running background
-	// maintenance loops.
-	stopMaintenance func()
+	// maintStops, when non-nil, stops the running background maintenance
+	// loop of each peer (indexed like peers).
+	maintStops []func()
 }
 
 // BuildReport summarises the outcome of constructing the overlay.
@@ -155,13 +161,49 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	for i := 0; i < cfg.peers; i++ {
 		addr := network.Addr(fmt.Sprintf("peer-%05d", i))
 		addrs[i] = addr
-		pcfg := cfg.overlay
-		pcfg.Seed = cfg.seed + int64(i)*31337
-		c.peers = append(c.peers, overlay.New(pcfg, c.net.Endpoint(addr)))
+		p, err := overlay.NewPersistent(c.peerConfig(i), c.net.Endpoint(addr))
+		if err != nil {
+			_ = c.closePeers() // release the WALs of the peers already opened
+			return nil, fmt.Errorf("pgrid: open peer %d: %w", i, err)
+		}
+		c.peers = append(c.peers, p)
 	}
 	c.pending = make([][]Item, cfg.peers)
 	c.graph = unstructured.NewGraph(addrs, cfg.degree, cfg.seed+1)
 	return c, nil
+}
+
+// peerConfig returns the overlay configuration of the i-th peer, including
+// its persistence directory when WithPersistence is set.
+func (c *Cluster) peerConfig(i int) overlay.Config {
+	pcfg := c.cfg.overlay
+	pcfg.Seed = c.cfg.seed + int64(i)*31337
+	if c.cfg.dataDir != "" {
+		pcfg.DataDir = filepath.Join(c.cfg.dataDir, fmt.Sprintf("peer-%05d", i))
+	}
+	return pcfg
+}
+
+// peerList returns a race-free snapshot of the peer slice (RestartPeer
+// replaces it copy-on-write, so a snapshot stays immutable).
+func (c *Cluster) peerList() []*overlay.Peer {
+	c.peersMu.RLock()
+	defer c.peersMu.RUnlock()
+	return c.peers
+}
+
+// closePeers closes every peer's persistence, keeping the first error.
+func (c *Cluster) closePeers() error {
+	var first error
+	for _, p := range c.peerList() {
+		if p == nil {
+			continue
+		}
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // randIntn draws a uniform int from [0, n) under the RNG lock, so queries
@@ -181,19 +223,24 @@ func (c *Cluster) randPerm(n int) []int {
 
 // randomPeer picks a uniformly random peer as the origin of an operation.
 func (c *Cluster) randomPeer() *overlay.Peer {
-	return c.peers[c.randIntn(len(c.peers))]
+	peers := c.peerList()
+	return peers[c.randIntn(len(peers))]
 }
 
 // Peers returns the number of peers in the cluster.
-func (c *Cluster) Peers() int { return len(c.peers) }
+func (c *Cluster) Peers() int { return len(c.peerList()) }
 
 // Peer returns the i-th peer (for advanced use and inspection).
-func (c *Cluster) Peer(i int) *overlay.Peer { return c.peers[i%len(c.peers)] }
+func (c *Cluster) Peer(i int) *overlay.Peer {
+	peers := c.peerList()
+	return peers[i%len(peers)]
+}
 
 // Paths returns the current path of every peer.
 func (c *Cluster) Paths() []Path {
-	out := make([]Path, len(c.peers))
-	for i, p := range c.peers {
+	peers := c.peerList()
+	out := make([]Path, len(peers))
+	for i, p := range peers {
 		out[i] = p.Path()
 	}
 	return out
@@ -205,10 +252,11 @@ func (c *Cluster) Paths() []Path {
 // stored at the responsible partition directly.
 func (c *Cluster) Index(key Key, value string) error {
 	it := Item{Key: key, Value: value}
-	owner := c.randIntn(len(c.peers))
+	peers := c.peerList()
+	owner := c.randIntn(len(peers))
 	if !c.built {
 		c.pending[owner] = append(c.pending[owner], it)
-		c.peers[owner].AddItems([]Item{it})
+		peers[owner].AddItems([]Item{it})
 		return nil
 	}
 	// After construction, store the item at every peer whose partition
@@ -217,14 +265,14 @@ func (c *Cluster) Index(key Key, value string) error {
 	// spread by anti-entropy; writing to all replicas here keeps the
 	// in-process cluster immediately consistent.
 	stored := false
-	for i, p := range c.peers {
+	for _, p := range peers {
 		if p.Table().Responsible(key) {
-			c.peers[i].AddItems([]Item{it})
+			p.AddItems([]Item{it})
 			stored = true
 		}
 	}
 	if !stored {
-		c.peers[owner].AddItems([]Item{it})
+		peers[owner].AddItems([]Item{it})
 	}
 	return nil
 }
@@ -252,7 +300,8 @@ func (c *Cluster) Build(ctx context.Context) (BuildReport, error) {
 	if nmin <= 0 {
 		nmin = 5
 	}
-	for i, p := range c.peers {
+	peers := c.peerList()
+	for i, p := range peers {
 		if len(c.pending[i]) == 0 {
 			continue
 		}
@@ -272,8 +321,8 @@ func (c *Cluster) Build(ctx context.Context) (BuildReport, error) {
 	maxRounds := c.cfg.maxRounds
 	for ; rounds < maxRounds; rounds++ {
 		active := 0
-		for _, idx := range c.randPerm(len(c.peers)) {
-			p := c.peers[idx]
+		for _, idx := range c.randPerm(len(peers)) {
+			p := peers[idx]
 			if p.Done() {
 				continue
 			}
@@ -297,7 +346,8 @@ func (c *Cluster) report(rounds int) BuildReport {
 	rep := BuildReport{Rounds: rounds}
 	counts := map[Path]int{}
 	var pathLen, interactions, keysMoved float64
-	for _, p := range c.peers {
+	peers := c.peerList()
+	for _, p := range peers {
 		d := p.Path().Depth()
 		pathLen += float64(d)
 		if d > rep.MaxPathLength {
@@ -307,7 +357,7 @@ func (c *Cluster) report(rounds int) BuildReport {
 		interactions += p.Metrics.Interactions.Value()
 		keysMoved += p.Metrics.KeysMoved.Value()
 	}
-	n := float64(len(c.peers))
+	n := float64(len(peers))
 	rep.MeanPathLength = pathLen / n
 	rep.DistinctPartitions = len(counts)
 	if len(counts) > 0 {
@@ -393,17 +443,13 @@ func (c *Cluster) DeleteString(ctx context.Context, term, value string) (MutateR
 func (c *Cluster) StartMaintenance() {
 	c.maintMu.Lock()
 	defer c.maintMu.Unlock()
-	if c.stopMaintenance != nil {
+	if c.maintStops != nil {
 		return
 	}
-	stops := make([]func(), len(c.peers))
-	for i, p := range c.peers {
-		stops[i] = p.StartMaintenance(overlay.MaintenanceOptions{Interval: c.cfg.maintainEvery})
-	}
-	c.stopMaintenance = func() {
-		for _, stop := range stops {
-			stop()
-		}
+	peers := c.peerList()
+	c.maintStops = make([]func(), len(peers))
+	for i, p := range peers {
+		c.maintStops[i] = p.StartMaintenance(overlay.MaintenanceOptions{Interval: c.cfg.maintainEvery})
 	}
 }
 
@@ -411,10 +457,10 @@ func (c *Cluster) StartMaintenance() {
 // to exit. It is a no-op when maintenance is not running.
 func (c *Cluster) StopMaintenance() {
 	c.maintMu.Lock()
-	stop := c.stopMaintenance
-	c.stopMaintenance = nil
+	stops := c.maintStops
+	c.maintStops = nil
 	c.maintMu.Unlock()
-	if stop != nil {
+	for _, stop := range stops {
 		stop()
 	}
 }
@@ -424,9 +470,60 @@ func (c *Cluster) StopMaintenance() {
 // does continuously in the background, exposed for deterministic tests and
 // virtual-clock simulations.
 func (c *Cluster) MaintenanceRound(ctx context.Context) {
-	for _, p := range c.peers {
+	for _, p := range c.peerList() {
 		p.MaintainTick(ctx, overlay.MaintenanceOptions{})
 	}
+}
+
+// RestartPeer simulates a process crash and restart of the i-th peer: its
+// background maintenance is stopped, its persistence flushed and closed,
+// and a fresh peer is bound to the same network address. With
+// WithPersistence the new peer recovers its items, tombstones, partition
+// path and anti-entropy baselines from disk and rejoins via the exact-delta
+// sync path; without it the peer comes back empty, like a fresh joiner.
+// Queries and mutations may run concurrently with a restart; in-flight
+// operations against the restarting peer can fail over to its replicas
+// like any churn.
+func (c *Cluster) RestartPeer(i int) error {
+	c.maintMu.Lock()
+	defer c.maintMu.Unlock()
+	peers := c.peerList()
+	i = ((i % len(peers)) + len(peers)) % len(peers)
+	old := peers[i]
+	// Take the address offline before touching the store: in-flight
+	// protocol calls must fail like churn rather than be acknowledged into
+	// a closing store (a false ack would advance the sender's sync
+	// baseline past a write that is on neither disk nor the new peer).
+	c.net.SetOnline(old.Addr(), false)
+	if c.maintStops != nil {
+		c.maintStops[i]()
+	}
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("pgrid: close peer %d: %w", i, err)
+	}
+	p, err := overlay.NewPersistent(c.peerConfig(i), c.net.Endpoint(old.Addr()))
+	if err != nil {
+		return fmt.Errorf("pgrid: reopen peer %d: %w", i, err)
+	}
+	c.net.SetOnline(old.Addr(), true)
+	next := make([]*overlay.Peer, len(peers))
+	copy(next, peers)
+	next[i] = p
+	c.peersMu.Lock()
+	c.peers = next
+	c.peersMu.Unlock()
+	if c.maintStops != nil {
+		c.maintStops[i] = p.StartMaintenance(overlay.MaintenanceOptions{Interval: c.cfg.maintainEvery})
+	}
+	return nil
+}
+
+// Close stops background maintenance and flushes and closes every peer's
+// persistence. The cluster must not be used afterwards. It is a no-op
+// beyond maintenance shutdown for in-memory clusters.
+func (c *Cluster) Close() error {
+	c.StopMaintenance()
+	return c.closePeers()
 }
 
 // Search resolves an exact-match query for the key, starting from a random
@@ -496,7 +593,7 @@ func (c *Cluster) SearchManyStrings(ctx context.Context, terms []string) ([][]Se
 // lookup candidates. Non-positive alpha or fanout and negative hedge keep
 // the current value.
 func (c *Cluster) SetQueryConcurrency(alpha, fanout int, hedge time.Duration) {
-	for _, p := range c.peers {
+	for _, p := range c.peerList() {
 		p.SetQueryConcurrency(alpha, fanout, hedge)
 	}
 }
@@ -526,7 +623,7 @@ func (c *Cluster) SearchStringRange(ctx context.Context, loTerm, hiTerm string) 
 
 // SetOnline switches a peer on- or offline, simulating churn.
 func (c *Cluster) SetOnline(i int, online bool) {
-	c.net.SetOnline(c.peers[i%len(c.peers)].Addr(), online)
+	c.net.SetOnline(c.Peer(i).Addr(), online)
 }
 
 // OnlinePeers returns the number of peers currently online.

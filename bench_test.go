@@ -778,3 +778,200 @@ func BenchmarkStoreCheckpoint(b *testing.B) {
 		}
 	}
 }
+
+// benchWireMessage returns a representative mid-size protocol message (a
+// query response carrying 16 items) for the codec benchmarks.
+func benchWireMessage() overlay.QueryResponse {
+	items := make([]replication.Item, 16)
+	for i := range items {
+		items[i] = replication.Item{
+			Key:   FloatKey(float64(i) / 16),
+			Value: fmt.Sprintf("document-%04d", i),
+			Gen:   uint64(i % 3),
+		}
+	}
+	return overlay.QueryResponse{
+		Found:           true,
+		Items:           items,
+		Hops:            3,
+		Responsible:     "127.0.0.1:40404",
+		ResponsiblePath: "101101",
+	}
+}
+
+// BenchmarkWireEncodeBinary measures encoding one protocol message with the
+// compact binary codec (the pooled transport's hot path) and reports the
+// frame size, the bytes-per-message half of the transport comparison.
+func BenchmarkWireEncodeBinary(b *testing.B) {
+	msg := benchWireMessage()
+	data, err := network.EncodeMessageBinary("bench", msg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.EncodeMessageBinary("bench", msg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "wire-B/msg")
+}
+
+// BenchmarkWireEncodeJSON measures encoding the same message with the
+// legacy reflective JSON envelope — the dial-per-call transport's codec.
+func BenchmarkWireEncodeJSON(b *testing.B) {
+	msg := benchWireMessage()
+	data, err := network.EncodeMessage("bench", msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.EncodeMessage("bench", msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "wire-B/msg")
+}
+
+// BenchmarkWireDecodeBinary measures the binary decode path (frame parse,
+// reassembly bookkeeping, hand-written typed codec).
+func BenchmarkWireDecodeBinary(b *testing.B) {
+	data, err := network.EncodeMessageBinary("bench", benchWireMessage(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := network.DecodeMessageBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeJSON measures the legacy reflective JSON decode path.
+func BenchmarkWireDecodeJSON(b *testing.B) {
+	data, err := network.EncodeMessage("bench", benchWireMessage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := network.DecodeMessage(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTCPPair starts a loopback server answering every query with the
+// representative response, plus a client endpoint.
+func benchTCPPair(b *testing.B, opts network.TCPOptions) (server, client *network.TCPEndpoint) {
+	b.Helper()
+	server, err := network.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp := benchWireMessage()
+	server.Handle(func(context.Context, network.Addr, any) (any, error) { return resp, nil })
+	client, err = network.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		server.Close()
+		b.Fatal(err)
+	}
+	client.SetOptions(opts)
+	b.Cleanup(func() {
+		client.Close()
+		server.Close()
+	})
+	return server, client
+}
+
+// BenchmarkTCPCallBinaryPooled measures one request/response over the
+// pooled persistent-connection binary transport — the per-hop wire cost a
+// query pays in a TCP deployment. Compare with
+// BenchmarkTCPCallJSONDialPerCall for the transport upgrade's effect.
+func BenchmarkTCPCallBinaryPooled(b *testing.B) {
+	server, client := benchTCPPair(b, network.TCPOptions{})
+	ctx := contextBackground()
+	req := overlay.QueryRequest{Key: FloatKey(0.42), TTL: 16}
+	if _, err := client.Call(ctx, server.Addr(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(ctx, server.Addr(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPCallJSONDialPerCall measures the same exchange over the
+// legacy transport behaviour: a fresh TCP dial and a reflective JSON
+// envelope per call.
+func BenchmarkTCPCallJSONDialPerCall(b *testing.B) {
+	server, client := benchTCPPair(b, network.TCPOptions{ForceJSON: true})
+	ctx := contextBackground()
+	req := overlay.QueryRequest{Key: FloatKey(0.42), TTL: 16}
+	if _, err := client.Call(ctx, server.Addr(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(ctx, server.Addr(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPCallBinaryPooledParallel drives the pooled transport with
+// concurrent callers, the shape α-raced lookups produce: all requests
+// multiplex over one connection per peer.
+func BenchmarkTCPCallBinaryPooledParallel(b *testing.B) {
+	server, client := benchTCPPair(b, network.TCPOptions{})
+	req := overlay.QueryRequest{Key: FloatKey(0.42), TTL: 16}
+	if _, err := client.Call(contextBackground(), server.Addr(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := contextBackground()
+		for pb.Next() {
+			if _, err := client.Call(ctx, server.Addr(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreCheckpointLargeValues measures checkpointing a store whose
+// image is dominated by value bytes — the case where the streamed binary
+// snapshot writer's allocation profile differs most from the old
+// whole-image json.Marshal (allocs/op is the interesting column).
+func BenchmarkStoreCheckpointLargeValues(b *testing.B) {
+	s, err := replication.OpenStore(b.TempDir(), replication.PersistOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	value := make([]byte, 4096)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	for i := 0; i < 2000; i++ {
+		s.Insert(replication.Item{Key: FloatKey(float64(i) / 2000), Value: fmt.Sprintf("%s-%d", value, i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

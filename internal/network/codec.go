@@ -1,34 +1,52 @@
 package network
 
-import "bytes"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
 
-// This file exposes the TCP transport's wire codec (length-prefixed JSON
-// frames around registered payload types) as standalone functions, so tests
-// and fuzz targets can exercise the exact encode/decode path a message takes
-// on the wire without opening sockets.
+// This file exposes both wire codecs of the TCP transport as standalone
+// functions, so tests and fuzz targets can exercise the exact encode/decode
+// paths a message takes on the wire without opening sockets:
+//
+//   - EncodeMessage/DecodeMessage: the legacy length-prefixed JSON envelope
+//     (the mixed-version fallback format).
+//   - EncodeMessageBinary/DecodeMessageBinary: the binary protocol frames,
+//     including fragmentation and reassembly of oversized messages.
 
 // EncodeMessage serialises a registered payload value into one
-// length-prefixed wire frame, exactly as the TCP transport sends it. It
-// fails when the payload's type has not been registered with RegisterType.
+// length-prefixed JSON wire frame, exactly as the legacy transport path
+// sends it. It fails when the payload's type has not been registered with
+// RegisterType.
 func EncodeMessage(from Addr, v any) ([]byte, error) {
 	env, err := encodePayload(from, v)
 	if err != nil {
 		return nil, err
 	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("network: encode frame: %w", err)
+	}
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, env); err != nil {
+	if err := writeFrame(&buf, body); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
-// DecodeMessage parses one wire frame and reconstructs its payload value,
-// exactly as the TCP transport does on receipt. A frame carrying a remote
-// error is surfaced as a *RemoteError.
+// DecodeMessage parses one JSON wire frame and reconstructs its payload
+// value, exactly as the TCP transport does on receipt of a legacy frame. A
+// frame carrying a remote error is surfaced as a *RemoteError.
 func DecodeMessage(data []byte) (from Addr, payload any, err error) {
-	env, err := readFrame(bytes.NewReader(data))
+	raw, err := readFrame(bytes.NewReader(data))
 	if err != nil {
 		return "", nil, err
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return "", nil, fmt.Errorf("network: decode frame: %w", err)
 	}
 	if env.Err != "" {
 		return env.From, nil, &RemoteError{Msg: env.Err}
@@ -38,4 +56,61 @@ func DecodeMessage(data []byte) (from Addr, payload any, err error) {
 		return env.From, nil, err
 	}
 	return env.From, payload, nil
+}
+
+// EncodeMessageBinary serialises a registered payload value into its binary
+// protocol frame sequence — one frame in the common case, several when the
+// encoded body exceeds frameLimit (pass 0 for the transport default). The
+// message id is fixed to 1, making the encoding deterministic for golden
+// tests and corpora.
+func EncodeMessageBinary(from Addr, v any, frameLimit int) ([]byte, error) {
+	name, body, jsonBody, err := encodeBinBody(v)
+	if err != nil {
+		return nil, err
+	}
+	var flags byte
+	if jsonBody {
+		flags = fJSON
+	}
+	return appendBinFrames(nil, flags, 1, from, name, body, frameLimit)
+}
+
+// DecodeMessageBinary parses a binary protocol frame sequence (reassembling
+// fragments) and reconstructs the payload value of the first complete
+// message, exactly as the transport's read loops do. A message carrying a
+// remote error is surfaced as a *RemoteError.
+func DecodeMessageBinary(data []byte) (from Addr, payload any, err error) {
+	r := bytes.NewReader(data)
+	asm := newFragAssembler(DefaultMaxMessage)
+	for {
+		raw, err := readFrame(r)
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return "", nil, fmt.Errorf("%w: truncated frame sequence", errBinaryProtocol)
+			}
+			return "", nil, err
+		}
+		if len(raw) == 0 || raw[0] != magicBinary {
+			return "", nil, errBinaryProtocol
+		}
+		fr, err := parseBinFrame(raw)
+		if err != nil {
+			return "", nil, err
+		}
+		msg, err := asm.add(fr)
+		if err != nil {
+			return "", nil, err
+		}
+		if msg == nil {
+			continue
+		}
+		if msg.flags&fErr != 0 {
+			return msg.from, nil, &RemoteError{Msg: string(msg.body)}
+		}
+		payload, err = decodeBinBody(msg.typ, msg.body, msg.flags&fJSON != 0)
+		if err != nil {
+			return msg.from, nil, err
+		}
+		return msg.from, payload, nil
+	}
 }

@@ -5,65 +5,119 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"pgrid/internal/wire"
 )
 
-// This file implements a real TCP transport with a length-prefixed JSON
-// codec, so the same overlay protocol that runs in the simulator can run as
-// an actual distributed system (cmd/pgridnode). Message payload types must
-// be registered with RegisterType so they can be reconstructed on the
-// receiving side.
+// This file implements the real TCP transport. Two codecs share its
+// length-prefixed framing:
+//
+//   - The binary protocol (binary.go): pooled persistent connections that
+//     multiplex id-correlated request/response frames per peer, compact
+//     wire-codec bodies for message types that implement wire.Marshaler /
+//     wire.Unmarshaler, and fragmentation for messages larger than one
+//     frame. This is the default.
+//   - The legacy JSON envelope: one short-lived connection per call, a
+//     reflective JSON body, no ids. It is kept as the negotiated fallback so
+//     mixed-version clusters interoperate: a new node answers legacy frames
+//     in kind, and a caller whose binary probe dies unanswered retries the
+//     call over JSON and temporarily pins the peer as legacy.
+//
+// Message payload types must be registered with RegisterType so they can be
+// reconstructed on the receiving side.
 
-// typeRegistry maps symbolic type names to constructors of pointer values
-// the JSON decoder can fill.
+// typeInfo describes one registered payload type.
+type typeInfo struct {
+	t reflect.Type
+	// binary reports that the type implements the compact wire codec
+	// (wire.Marshaler on the value, wire.Unmarshaler on the pointer).
+	binary bool
+}
+
+// typeRegistry maps symbolic type names to payload types; typeNames is the
+// reverse index, so resolving a value's wire name on every outgoing message
+// is one map lookup instead of a linear scan of the registry.
 var (
 	typeRegistryMu sync.RWMutex
-	typeRegistry   = map[string]reflect.Type{}
+	typeRegistry   = map[string]typeInfo{}
+	typeNames      = map[reflect.Type]string{}
 )
+
+// wireUnmarshalerType is the interface a pointer type must implement for
+// the binary codec path.
+var wireUnmarshalerType = reflect.TypeOf((*wire.Unmarshaler)(nil)).Elem()
 
 // RegisterType registers a payload type under a symbolic name for use with
 // the TCP transport. The sample value is used only for its type; register
 // the value type (not a pointer). Registering the same name twice with the
 // same type is a no-op; re-registering a name with a different type panics,
 // as that is always a programming error.
+//
+// A type that implements wire.Marshaler (and wire.Unmarshaler on its
+// pointer) travels with its compact binary encoding; other types fall back
+// to a JSON body, still multiplexed over pooled connections.
 func RegisterType(name string, sample any) {
 	t := reflect.TypeOf(sample)
+	_, marshals := sample.(wire.Marshaler)
+	info := typeInfo{t: t, binary: marshals && reflect.PointerTo(t).Implements(wireUnmarshalerType)}
 	typeRegistryMu.Lock()
 	defer typeRegistryMu.Unlock()
-	if prev, ok := typeRegistry[name]; ok && prev != t {
-		panic(fmt.Sprintf("network: type name %q already registered with %v", name, prev))
+	if prev, ok := typeRegistry[name]; ok && prev.t != t {
+		panic(fmt.Sprintf("network: type name %q already registered with %v", name, prev.t))
 	}
-	typeRegistry[name] = t
+	typeRegistry[name] = info
+	typeNames[t] = name
 }
 
 // lookupType resolves a registered type name.
-func lookupType(name string) (reflect.Type, bool) {
+func lookupType(name string) (typeInfo, bool) {
 	typeRegistryMu.RLock()
 	defer typeRegistryMu.RUnlock()
-	t, ok := typeRegistry[name]
-	return t, ok
+	info, ok := typeRegistry[name]
+	return info, ok
 }
 
 // typeName returns the registered name for a value's type, or "" if it is
-// not registered.
+// not registered. It is on the hot path of every outgoing message, hence
+// the reverse map rather than a registry scan.
 func typeName(v any) string {
 	t := reflect.TypeOf(v)
 	typeRegistryMu.RLock()
 	defer typeRegistryMu.RUnlock()
-	for name, rt := range typeRegistry {
-		if rt == t {
-			return name
-		}
-	}
-	return ""
+	return typeNames[t]
 }
 
-// envelope is the wire format of the TCP transport.
+// resolveType returns a value's registered wire name and type info in one
+// registry acquisition (the outgoing-message hot path).
+func resolveType(v any) (string, typeInfo, bool) {
+	t := reflect.TypeOf(v)
+	typeRegistryMu.RLock()
+	defer typeRegistryMu.RUnlock()
+	name, ok := typeNames[t]
+	if !ok {
+		return "", typeInfo{}, false
+	}
+	return name, typeRegistry[name], true
+}
+
+// binaryCapable reports whether a value's registered type carries the
+// compact binary codec.
+func binaryCapable(v any) bool {
+	_, info, ok := resolveType(v)
+	return ok && info.binary
+}
+
+// envelope is the legacy JSON wire format, kept for mixed-version
+// interoperability and as the body encoding of types without a binary
+// codec.
 type envelope struct {
 	From Addr            `json:"from"`
 	Type string          `json:"type"`
@@ -71,49 +125,81 @@ type envelope struct {
 	Err  string          `json:"err,omitempty"`
 }
 
-// maxFrame bounds the size of a single message frame (16 MiB).
+// maxFrame bounds the size of a single wire frame (16 MiB). Larger binary
+// messages are fragmented (binary.go); a JSON envelope that exceeds it
+// cannot be sent, as in every earlier version of the protocol.
 const maxFrame = 16 << 20
 
-// writeFrame writes a length-prefixed JSON frame.
-func writeFrame(w io.Writer, env envelope) error {
-	body, err := json.Marshal(env)
+// frameHeaderLen is the length prefix size.
+const frameHeaderLen = 4
+
+// appendFrame appends one length-prefixed frame with payload a||b to dst.
+func appendFrame(dst, a, b []byte) ([]byte, error) {
+	n := len(a) + len(b)
+	if n > maxFrame {
+		return nil, fmt.Errorf("network: frame too large: %d bytes", n)
+	}
+	var lenBuf [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(n))
+	dst = append(dst, lenBuf[:]...)
+	dst = append(dst, a...)
+	return append(dst, b...), nil
+}
+
+// writeFrame writes one length-prefixed frame as a single Write call, so
+// the length prefix and the body can never be split into separate writes
+// onto an unbuffered connection.
+func writeFrame(w io.Writer, payload []byte) error {
+	buf, err := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload, nil)
 	if err != nil {
-		return fmt.Errorf("network: encode frame: %w", err)
-	}
-	if len(body) > maxFrame {
-		return fmt.Errorf("network: frame too large: %d bytes", len(body))
-	}
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(body)
+	_, err = w.Write(buf)
 	return err
 }
 
-// readFrame reads a length-prefixed JSON frame.
-func readFrame(r io.Reader) (envelope, error) {
-	var lenBuf [4]byte
+// writeFrameParts writes one frame into a buffered writer as prefix, a, b.
+// Callers flush once per message, so the underlying connection still sees
+// coalesced writes.
+func writeFrameParts(w *bufio.Writer, a, b []byte) error {
+	n := len(a) + len(b)
+	if n > maxFrame {
+		return fmt.Errorf("network: frame too large: %d bytes", n)
+	}
+	var lenBuf [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(n))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(a); err != nil {
+		return err
+	}
+	if len(b) > 0 {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return envelope{}, err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > maxFrame {
-		return envelope{}, fmt.Errorf("network: frame too large: %d bytes", n)
+		return nil, fmt.Errorf("network: frame too large: %d bytes", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return envelope{}, err
+		return nil, err
 	}
-	var env envelope
-	if err := json.Unmarshal(buf, &env); err != nil {
-		return envelope{}, fmt.Errorf("network: decode frame: %w", err)
-	}
-	return env, nil
+	return buf, nil
 }
 
-// encodePayload wraps a payload value into an envelope.
+// encodePayload wraps a payload value into a legacy JSON envelope.
 func encodePayload(from Addr, v any) (envelope, error) {
 	name := typeName(v)
 	if name == "" {
@@ -126,22 +212,73 @@ func encodePayload(from Addr, v any) (envelope, error) {
 	return envelope{From: from, Type: name, Body: body}, nil
 }
 
-// decodePayload reconstructs the payload value of an envelope.
+// decodePayload reconstructs the payload value of a JSON envelope.
 func decodePayload(env envelope) (any, error) {
-	t, ok := lookupType(env.Type)
+	info, ok := lookupType(env.Type)
 	if !ok {
 		return nil, fmt.Errorf("network: unknown payload type %q", env.Type)
 	}
-	ptr := reflect.New(t)
+	ptr := reflect.New(info.t)
 	if err := json.Unmarshal(env.Body, ptr.Interface()); err != nil {
 		return nil, fmt.Errorf("network: decode payload %q: %w", env.Type, err)
 	}
 	return ptr.Elem().Interface(), nil
 }
 
-// TCPEndpoint is a Transport backed by a TCP listener. Each Call opens a
-// short-lived connection to the destination, sends one request frame and
-// reads one response frame.
+// Transport timing and size defaults.
+const (
+	// DefaultDialTimeout bounds connection establishment.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultCallTimeout bounds one call when the caller's context carries
+	// no deadline. A context deadline always takes precedence.
+	DefaultCallTimeout = 30 * time.Second
+	// DefaultIdleTimeout is how long a pooled or serving connection may sit
+	// with no frames, no bytes and no requests in flight before it is
+	// closed. Activity refreshes it per frame, so a long transfer or a slow
+	// handler never trips it.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultMaxMessage bounds one reassembled fragmented message (256 MiB).
+	DefaultMaxMessage = 256 << 20
+	// legacyPinTTL is how long a peer stays pinned to the legacy JSON
+	// dial-per-call path after a successful fallback, before the binary
+	// protocol is probed again. It keeps a mixed-version cluster from
+	// paying a failed probe on every call, while an upgraded peer is picked
+	// up within the TTL.
+	legacyPinTTL = time.Minute
+)
+
+// TCPOptions tunes a TCPEndpoint. The zero value of every field selects
+// its default, so callers set only what they care about.
+type TCPOptions struct {
+	// DialTimeout bounds connection establishment (DefaultDialTimeout).
+	DialTimeout time.Duration
+	// CallTimeout bounds one outgoing call when the caller's context has no
+	// deadline (DefaultCallTimeout). The old transport hardcoded 30s here
+	// and on every serving connection.
+	CallTimeout time.Duration
+	// IdleTimeout is the per-connection idle horizon (DefaultIdleTimeout),
+	// refreshed by every frame in either direction and suspended while
+	// requests are in flight. It replaces the old absolute 30s serve
+	// deadline that killed legitimately long syncs.
+	IdleTimeout time.Duration
+	// FrameLimit caps the frames this endpoint writes (the 16 MiB protocol
+	// cap when zero); larger messages are fragmented. Lowering it is mainly
+	// useful in tests that exercise fragmentation without multi-MiB
+	// payloads. Received frames are always accepted up to the protocol cap.
+	FrameLimit int
+	// MaxMessage bounds one reassembled message (DefaultMaxMessage). It is
+	// the effective cap on an anti-entropy rebuild image.
+	MaxMessage int
+	// ForceJSON pins every outgoing call to the legacy JSON dial-per-call
+	// path, exactly reproducing the pre-binary transport. It exists for
+	// mixed-version tests and as the benchmark baseline.
+	ForceJSON bool
+}
+
+// TCPEndpoint is a Transport backed by a TCP listener. Outgoing calls are
+// multiplexed over one pooled persistent connection per destination using
+// the binary wire protocol; peers that do not speak it are served via the
+// legacy JSON dial-per-call fallback.
 type TCPEndpoint struct {
 	listener net.Listener
 	addr     Addr
@@ -149,19 +286,41 @@ type TCPEndpoint struct {
 	mu      sync.RWMutex
 	handler Handler
 	closed  bool
+	opts    TCPOptions
 
 	wg sync.WaitGroup
-	// DialTimeout bounds connection establishment (default 5s).
-	DialTimeout time.Duration
 
 	// Calls tracks this endpoint's outgoing calls in flight and their
 	// high-water mark, mirroring the simulated network's accounting.
 	Calls InFlightGauge
+
+	pool *connPool
+
+	// serveMu guards the set of live incoming connections, so Close can
+	// tear them down instead of waiting for their idle horizon.
+	serveMu     sync.Mutex
+	serveConns  map[net.Conn]struct{}
+	serveClosed bool
+
+	// peersMu guards the per-peer protocol knowledge below.
+	peersMu sync.Mutex
+	// binaryPeers records peers that have answered in the binary protocol;
+	// the JSON fallback is never taken for them, so a transient connection
+	// failure cannot demote an up-to-date peer.
+	binaryPeers map[Addr]bool
+	// legacyUntil pins peers whose binary probe failed but whose JSON
+	// fallback succeeded; entries expire after legacyPinTTL.
+	legacyUntil map[Addr]time.Time
 }
 
 // ListenTCP creates a TCP endpoint bound to the given address ("host:port";
-// use ":0" to pick a free port).
+// use ":0" to pick a free port) with default options.
 func ListenTCP(addr string) (*TCPEndpoint, error) {
+	return ListenTCPOptions(addr, TCPOptions{})
+}
+
+// ListenTCPOptions creates a TCP endpoint with explicit options.
+func ListenTCPOptions(addr string, opts TCPOptions) (*TCPEndpoint, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("network: listen: %w", err)
@@ -169,11 +328,87 @@ func ListenTCP(addr string) (*TCPEndpoint, error) {
 	ep := &TCPEndpoint{
 		listener:    l,
 		addr:        Addr(l.Addr().String()),
-		DialTimeout: 5 * time.Second,
+		opts:        opts,
+		serveConns:  make(map[net.Conn]struct{}),
+		binaryPeers: make(map[Addr]bool),
+		legacyUntil: make(map[Addr]time.Time),
 	}
+	ep.pool = newConnPool(ep)
 	ep.wg.Add(1)
 	go ep.acceptLoop()
 	return ep, nil
+}
+
+// SetOptions replaces the endpoint's options (zero fields select their
+// defaults). Connections established before the call keep the timing they
+// were created with.
+func (e *TCPEndpoint) SetOptions(opts TCPOptions) {
+	e.mu.Lock()
+	e.opts = opts
+	e.mu.Unlock()
+}
+
+// Options returns the endpoint's current options.
+func (e *TCPEndpoint) Options() TCPOptions {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts
+}
+
+// Configured values with zero-value defaulting, so a zero TCPOptions cannot
+// divide by zero or disable a cap.
+func (e *TCPEndpoint) dialTimeout() time.Duration {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.opts.DialTimeout <= 0 {
+		return DefaultDialTimeout
+	}
+	return e.opts.DialTimeout
+}
+
+func (e *TCPEndpoint) callTimeout() time.Duration {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.opts.CallTimeout <= 0 {
+		return DefaultCallTimeout
+	}
+	return e.opts.CallTimeout
+}
+
+func (e *TCPEndpoint) idleTimeout() time.Duration {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.opts.IdleTimeout <= 0 {
+		return DefaultIdleTimeout
+	}
+	return e.opts.IdleTimeout
+}
+
+func (e *TCPEndpoint) frameLimit() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.opts.FrameLimit <= 0 || e.opts.FrameLimit > maxFrame {
+		return maxFrame
+	}
+	if e.opts.FrameLimit < 512 {
+		return 512
+	}
+	return e.opts.FrameLimit
+}
+
+func (e *TCPEndpoint) maxMessage() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.opts.MaxMessage <= 0 {
+		return DefaultMaxMessage
+	}
+	return e.opts.MaxMessage
+}
+
+func (e *TCPEndpoint) forceJSON() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts.ForceJSON
 }
 
 // Addr implements Transport.
@@ -196,8 +431,100 @@ func (e *TCPEndpoint) Close() error {
 	e.closed = true
 	e.mu.Unlock()
 	err := e.listener.Close()
+	e.pool.closeAll()
+	e.serveMu.Lock()
+	e.serveClosed = true
+	for conn := range e.serveConns {
+		_ = conn.Close()
+	}
+	e.serveMu.Unlock()
 	e.wg.Wait()
 	return err
+}
+
+// trackServeConn registers a live incoming connection; it reports false
+// when the endpoint is already closing. The closed check and the insert
+// happen under the same lock Close sweeps under, so a connection accepted
+// concurrently with Close can never be registered after the sweep (which
+// would leave Close waiting on it until its idle horizon).
+func (e *TCPEndpoint) trackServeConn(conn net.Conn) bool {
+	e.serveMu.Lock()
+	defer e.serveMu.Unlock()
+	if e.serveClosed {
+		return false
+	}
+	e.serveConns[conn] = struct{}{}
+	return true
+}
+
+// untrackServeConn removes a finished incoming connection.
+func (e *TCPEndpoint) untrackServeConn(conn net.Conn) {
+	e.serveMu.Lock()
+	delete(e.serveConns, conn)
+	e.serveMu.Unlock()
+}
+
+// maxPeerKnowledge bounds the per-peer protocol maps on endpoints that
+// contact an unbounded stream of ephemeral addresses (churn): beyond it,
+// half the entries are evicted. Losing an entry only costs a re-probe.
+const maxPeerKnowledge = 8192
+
+// markBinary records that a peer answered in the binary protocol.
+func (e *TCPEndpoint) markBinary(a Addr) {
+	e.peersMu.Lock()
+	if len(e.binaryPeers) >= maxPeerKnowledge {
+		n := 0
+		for k := range e.binaryPeers {
+			delete(e.binaryPeers, k)
+			if n++; n >= maxPeerKnowledge/2 {
+				break
+			}
+		}
+	}
+	e.binaryPeers[a] = true
+	delete(e.legacyUntil, a)
+	e.peersMu.Unlock()
+}
+
+// knownBinary reports whether a peer has ever answered in the binary
+// protocol.
+func (e *TCPEndpoint) knownBinary(a Addr) bool {
+	e.peersMu.Lock()
+	defer e.peersMu.Unlock()
+	return e.binaryPeers[a]
+}
+
+// pinLegacy routes a peer's calls through the JSON fallback until the pin
+// expires. Expired pins are swept opportunistically so the map stays
+// bounded by the set of recently contacted legacy peers.
+func (e *TCPEndpoint) pinLegacy(a Addr) {
+	now := time.Now()
+	e.peersMu.Lock()
+	if len(e.legacyUntil) >= maxPeerKnowledge {
+		for k, until := range e.legacyUntil {
+			if now.After(until) {
+				delete(e.legacyUntil, k)
+			}
+		}
+	}
+	e.legacyUntil[a] = now.Add(legacyPinTTL)
+	e.peersMu.Unlock()
+}
+
+// pinnedLegacy reports whether a peer currently bypasses the binary
+// protocol.
+func (e *TCPEndpoint) pinnedLegacy(a Addr) bool {
+	e.peersMu.Lock()
+	defer e.peersMu.Unlock()
+	until, ok := e.legacyUntil[a]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(e.legacyUntil, a)
+		return false
+	}
+	return true
 }
 
 // acceptLoop serves incoming connections until the listener closes.
@@ -208,23 +535,140 @@ func (e *TCPEndpoint) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !e.trackServeConn(conn) {
+			conn.Close()
+			return
+		}
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
+			defer e.untrackServeConn(conn)
 			defer conn.Close()
 			e.serveConn(conn)
 		}()
 	}
 }
 
-// serveConn handles one incoming request/response exchange.
+// serveConn reads frames off one incoming connection until it closes or
+// goes idle. Binary requests are dispatched concurrently and answered by
+// id; legacy JSON envelopes are answered in the legacy one-exchange-per-
+// connection protocol (the remote closes after reading its response).
 func (e *TCPEndpoint) serveConn(conn net.Conn) {
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
-	br := bufio.NewReader(conn)
-	env, err := readFrame(br)
-	if err != nil {
-		return
+	idle := e.idleTimeout()
+	var activity, inflight atomic.Int64
+	activity.Store(time.Now().UnixNano())
+	done := make(chan struct{})
+	defer close(done)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		connWatchdog(conn, idle, &activity, &inflight, done)
+	}()
+
+	br := bufio.NewReaderSize(&activityReader{r: conn, activity: &activity}, 32<<10)
+	fw := newFrameWriter(conn, idle, &activity)
+	asm := newFragAssembler(e.maxMessage())
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if len(payload) > 0 && payload[0] == magicBinary {
+			fr, err := parseBinFrame(payload)
+			if err != nil {
+				return
+			}
+			msg, err := asm.add(fr)
+			if err != nil {
+				return
+			}
+			if msg == nil {
+				continue
+			}
+			if msg.flags&fResp != 0 {
+				return // a server never receives responses
+			}
+			inflight.Add(1)
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				defer inflight.Add(-1)
+				e.serveBinRequest(fw, msg)
+			}()
+		} else {
+			var env envelope
+			if err := json.Unmarshal(payload, &env); err != nil {
+				return
+			}
+			inflight.Add(1)
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				defer inflight.Add(-1)
+				e.serveJSONRequest(fw, env)
+			}()
+		}
 	}
+}
+
+// activityReader stamps the shared activity clock on every successful read,
+// so the idle watchdog sees slow multi-frame transfers as live.
+type activityReader struct {
+	r        io.Reader
+	activity *atomic.Int64
+}
+
+func (a *activityReader) Read(p []byte) (int, error) {
+	n, err := a.r.Read(p)
+	if n > 0 {
+		a.activity.Store(time.Now().UnixNano())
+	}
+	return n, err
+}
+
+// serveBinRequest runs the handler for one binary request and writes the
+// response message.
+func (e *TCPEndpoint) serveBinRequest(fw *frameWriter, msg *binMsg) {
+	e.mu.RLock()
+	handler := e.handler
+	closed := e.closed
+	e.mu.RUnlock()
+
+	fail := func(err error) {
+		_ = fw.writeMsg(context.Background(), fResp|fErr, msg.id, e.addr, "", []byte(err.Error()), e.frameLimit())
+	}
+	switch {
+	case closed:
+		fail(ErrClosed)
+	case handler == nil:
+		fail(ErrNoHandler)
+	default:
+		req, err := decodeBinBody(msg.typ, msg.body, msg.flags&fJSON != 0)
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp, herr := handler(context.Background(), msg.from, req)
+		if herr != nil {
+			fail(herr)
+			return
+		}
+		name, body, jsonBody, err := encodeBinBody(resp)
+		if err != nil {
+			fail(err)
+			return
+		}
+		var fl byte
+		if jsonBody {
+			fl = fJSON
+		}
+		_ = fw.writeMsg(context.Background(), fResp|fl, msg.id, e.addr, name, body, e.frameLimit())
+	}
+}
+
+// serveJSONRequest runs the handler for one legacy JSON request and writes
+// the JSON response envelope.
+func (e *TCPEndpoint) serveJSONRequest(fw *frameWriter, env envelope) {
 	e.mu.RLock()
 	handler := e.handler
 	closed := e.closed
@@ -247,15 +691,23 @@ func (e *TCPEndpoint) serveConn(conn net.Conn) {
 			out = envelope{From: e.addr, Err: herr.Error()}
 			break
 		}
+		var err error
 		out, err = encodePayload(e.addr, resp)
 		if err != nil {
 			out = envelope{From: e.addr, Err: err.Error()}
 		}
 	}
-	_ = writeFrame(conn, out)
+	body, err := json.Marshal(out)
+	if err != nil {
+		return
+	}
+	_ = fw.writeRaw(body)
 }
 
-// Call implements Transport.
+// Call implements Transport. Calls default to the pooled binary protocol;
+// when a peer's connection dies without it ever having spoken binary, the
+// call is retried once over the legacy JSON dial-per-call path and the peer
+// is pinned legacy for legacyPinTTL.
 func (e *TCPEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
 	e.mu.RLock()
 	closed := e.closed
@@ -265,11 +717,53 @@ func (e *TCPEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
 	}
 	e.Calls.enter()
 	defer e.Calls.exit()
+
+	if e.forceJSON() || e.pinnedLegacy(to) {
+		return e.callJSON(ctx, to, req)
+	}
+	resp, err := e.callPooled(ctx, to, req)
+	if err != nil && errorsIsConnDied(err) && !e.knownBinary(to) {
+		// The peer closed the connection without ever speaking the binary
+		// protocol — most likely a legacy JSON-only node. Retry this call
+		// over the legacy path and, if that works, pin the peer.
+		//
+		// This retry can replay a request that the remote already executed:
+		// a binary-capable peer that dies after running the handler but
+		// before responding is indistinguishable from a legacy node
+		// rejecting the frame. The overlay protocol tolerates duplicate
+		// delivery by construction (α-raced routing already duplicates
+		// requests; mutations carry dedup IDs and generation-stamped
+		// idempotent merges), so the transport trades at-most-once for
+		// mixed-version interoperability only on this first-contact path.
+		jresp, jerr := e.callJSON(ctx, to, req)
+		if jerr == nil {
+			e.pinLegacy(to)
+			return jresp, nil
+		}
+		var re *RemoteError
+		if errors.As(jerr, &re) {
+			// The peer answered over JSON with an application-level error —
+			// proof it speaks the legacy protocol. Pin it and surface the
+			// real error instead of masking it as unreachable.
+			e.pinLegacy(to)
+			return nil, jerr
+		}
+		return nil, fmt.Errorf("%w: connection closed before response", ErrUnreachable)
+	}
+	return resp, err
+}
+
+// callJSON performs one legacy dial-per-call JSON exchange.
+func (e *TCPEndpoint) callJSON(ctx context.Context, to Addr, req any) (any, error) {
 	env, err := encodePayload(e.addr, req)
 	if err != nil {
 		return nil, err
 	}
-	d := net.Dialer{Timeout: e.DialTimeout}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("network: encode frame: %w", err)
+	}
+	d := net.Dialer{Timeout: e.dialTimeout()}
 	conn, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
@@ -278,17 +772,73 @@ func (e *TCPEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	} else {
-		_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+		_ = conn.SetDeadline(time.Now().Add(e.callTimeout()))
 	}
-	if err := writeFrame(conn, env); err != nil {
+	if err := writeFrame(conn, body); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
-	respEnv, err := readFrame(bufio.NewReader(conn))
+	payload, err := readFrame(bufio.NewReader(conn))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	var respEnv envelope
+	if err := json.Unmarshal(payload, &respEnv); err != nil {
+		return nil, fmt.Errorf("network: decode frame: %w", err)
 	}
 	if respEnv.Err != "" {
 		return nil, &RemoteError{Msg: respEnv.Err}
 	}
 	return decodePayload(respEnv)
+}
+
+// callPooled performs one call over the peer's pooled multiplexed
+// connection, dialing it if needed. A write failure on a cached connection
+// (the classic stale-pool race: the peer closed it while we grabbed it) is
+// retried once on a fresh connection; once the request has been written,
+// it is never retried *here* — the only replay in the transport is Call's
+// JSON fallback toward peers never seen speaking binary (see the comment
+// there for why that is safe at the protocol layer).
+func (e *TCPEndpoint) callPooled(ctx context.Context, to Addr, req any) (any, error) {
+	name, body, jsonBody, err := encodeBinBody(req)
+	if err != nil {
+		return nil, err
+	}
+	// CallTimeout bounds the whole call — the write phase included — when
+	// the caller's context carries no deadline, matching what the old
+	// transport's absolute connection deadline guaranteed.
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.callTimeout())
+		defer cancel()
+	}
+	var flags byte
+	if jsonBody {
+		flags = fJSON
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, cached, err := e.pool.get(ctx, to)
+		if err != nil {
+			return nil, err
+		}
+		id, ch := pc.register()
+		if err := pc.fw.writeMsg(ctx, flags, id, e.addr, name, body, e.frameLimit()); err != nil {
+			pc.cancel(id)
+			e.pool.drop(to, pc)
+			lastErr = err
+			if cached {
+				continue
+			}
+			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		msg, err := pc.await(ctx, id, ch)
+		if err != nil {
+			return nil, err
+		}
+		if msg.flags&fErr != 0 {
+			return nil, &RemoteError{Msg: string(msg.body)}
+		}
+		return decodeBinBody(msg.typ, msg.body, msg.flags&fJSON != 0)
+	}
+	return nil, fmt.Errorf("%w: %v", ErrUnreachable, lastErr)
 }

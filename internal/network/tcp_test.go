@@ -3,10 +3,16 @@ package network
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"pgrid/internal/wire"
 )
 
 type tcpPing struct {
@@ -17,9 +23,47 @@ type tcpPong struct {
 	Value int
 }
 
+// tcpBinPing/tcpBinPong implement the compact wire codec, exercising the
+// binary body path the overlay messages use.
+type tcpBinPing struct {
+	Value uint64
+	Note  string
+}
+
+func (m tcpBinPing) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Value)
+	return wire.AppendString(b, m.Note)
+}
+
+func (m *tcpBinPing) UnmarshalWire(data []byte) error {
+	d := wire.NewDecoder(data)
+	m.Value = d.Uvarint()
+	m.Note = d.String()
+	return d.Finish()
+}
+
+type tcpBinPong struct {
+	Value uint64
+	Note  string
+}
+
+func (m tcpBinPong) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Value)
+	return wire.AppendString(b, m.Note)
+}
+
+func (m *tcpBinPong) UnmarshalWire(data []byte) error {
+	d := wire.NewDecoder(data)
+	m.Value = d.Uvarint()
+	m.Note = d.String()
+	return d.Finish()
+}
+
 func init() {
 	RegisterType("test.ping", tcpPing{})
 	RegisterType("test.pong", tcpPong{})
+	RegisterType("test.binping", tcpBinPing{})
+	RegisterType("test.binpong", tcpBinPong{})
 }
 
 func TestRegisterType(t *testing.T) {
@@ -30,6 +74,12 @@ func TestRegisterType(t *testing.T) {
 	}
 	if name := typeName(42); name != "" {
 		t.Errorf("unregistered type should have no name, got %q", name)
+	}
+	if binaryCapable(tcpPing{}) {
+		t.Error("tcpPing has no wire codec but is marked binary capable")
+	}
+	if !binaryCapable(tcpBinPing{}) {
+		t.Error("tcpBinPing implements the wire codec but is not marked binary capable")
 	}
 	defer func() {
 		if recover() == nil {
@@ -44,12 +94,20 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if err := writeFrame(&buf, env); err != nil {
+	body, err := json.Marshal(env)
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(&buf)
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(&buf)
 	if err != nil {
+		t.Fatal(err)
+	}
+	var got envelope
+	if err := json.Unmarshal(payload, &got); err != nil {
 		t.Fatal(err)
 	}
 	v, err := decodePayload(got)
@@ -61,9 +119,43 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// countingWriter records every Write call it receives.
+type countingWriter struct {
+	writes int
+	bytes  bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.bytes.Write(p)
+}
+
+// TestWriteFrameSingleWrite pins the fix for the old transport issuing the
+// 4-byte length prefix and the body as two separate writes straight onto
+// the connection: a frame must reach the writer as exactly one Write call.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	var w countingWriter
+	if err := writeFrame(&w, []byte(`{"type":"x"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Errorf("frame written in %d Write calls, want 1", w.writes)
+	}
+	payload, err := readFrame(&w.bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != `{"type":"x"}` {
+		t.Errorf("payload = %q", payload)
+	}
+}
+
 func TestEncodeUnregisteredPayload(t *testing.T) {
 	if _, err := encodePayload("me", struct{ X int }{1}); err == nil {
 		t.Error("expected error for unregistered payload type")
+	}
+	if _, _, _, err := encodeBinBody(struct{ X int }{1}); err == nil {
+		t.Error("expected binary encode error for unregistered payload type")
 	}
 }
 
@@ -71,25 +163,40 @@ func TestDecodeUnknownType(t *testing.T) {
 	if _, err := decodePayload(envelope{Type: "nope", Body: []byte("{}")}); err == nil {
 		t.Error("expected error for unknown type")
 	}
+	if _, err := decodeBinBody("nope", nil, false); err == nil {
+		t.Error("expected binary decode error for unknown type")
+	}
 }
 
-func TestTCPEndToEnd(t *testing.T) {
+// startPair returns a connected server/client endpoint pair with a doubling
+// handler installed on the server.
+func startPair(t *testing.T) (server, client *TCPEndpoint) {
+	t.Helper()
 	server, err := ListenTCP("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer server.Close()
+	t.Cleanup(func() { server.Close() })
 	server.Handle(func(_ context.Context, from Addr, req any) (any, error) {
-		ping := req.(tcpPing)
-		return tcpPong{Value: ping.Value * 2}, nil
+		switch m := req.(type) {
+		case tcpPing:
+			return tcpPong{Value: m.Value * 2}, nil
+		case tcpBinPing:
+			return tcpBinPong{Value: m.Value * 2, Note: m.Note}, nil
+		default:
+			return nil, fmt.Errorf("unexpected request %T", req)
+		}
 	})
-
-	client, err := ListenTCP("127.0.0.1:0")
+	client, err = ListenTCP("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer client.Close()
+	t.Cleanup(func() { client.Close() })
+	return server, client
+}
 
+func TestTCPEndToEnd(t *testing.T) {
+	server, client := startPair(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	resp, err := client.Call(ctx, server.Addr(), tcpPing{Value: 21})
@@ -99,6 +206,217 @@ func TestTCPEndToEnd(t *testing.T) {
 	if resp.(tcpPong).Value != 42 {
 		t.Errorf("resp = %v", resp)
 	}
+}
+
+func TestTCPEndToEndBinaryCodec(t *testing.T) {
+	server, client := startPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := client.Call(ctx, server.Addr(), tcpBinPing{Value: 21, Note: "compact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(tcpBinPong); got.Value != 42 || got.Note != "compact" {
+		t.Errorf("resp = %+v", got)
+	}
+	if !client.knownBinary(server.Addr()) {
+		t.Error("client should have learned the server speaks binary")
+	}
+}
+
+// TestTCPPooledConnectionReuse verifies that repeated calls to one peer
+// share a persistent connection instead of dialing per call.
+func TestTCPPooledConnectionReuse(t *testing.T) {
+	server, client := startPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		if _, err := client.Call(ctx, server.Addr(), tcpBinPing{Value: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.pool.mu.Lock()
+	entries := len(client.pool.entries)
+	ent := client.pool.entries[server.Addr()]
+	client.pool.mu.Unlock()
+	if entries != 1 || ent == nil {
+		t.Fatalf("pool entries = %d, want exactly the server's", entries)
+	}
+	ent.mu.Lock()
+	alive := ent.pc != nil && !ent.pc.isClosed()
+	ent.mu.Unlock()
+	if !alive {
+		t.Error("pooled connection not alive after calls")
+	}
+}
+
+// TestTCPConcurrentCallsMultiplex drives many concurrent calls through the
+// single pooled connection and checks every response reaches its caller.
+func TestTCPConcurrentCallsMultiplex(t *testing.T) {
+	server, client := startPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i uint64) {
+			defer wg.Done()
+			resp, err := client.Call(ctx, server.Addr(), tcpBinPing{Value: i})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := resp.(tcpBinPong).Value; got != i*2 {
+				errs <- fmt.Errorf("call %d: got %d", i, got)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTCPFragmentedMessage sends a message whose body exceeds the client's
+// and server's frame limit, so both directions must fragment and
+// reassemble. The legacy transport failed such messages permanently.
+func TestTCPFragmentedMessage(t *testing.T) {
+	server, client := startPair(t)
+	server.SetOptions(TCPOptions{FrameLimit: 2048})
+	client.SetOptions(TCPOptions{FrameLimit: 2048})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	note := strings.Repeat("0123456789abcdef", 4096) // 64 KiB >> 2 KiB frames
+	resp, err := client.Call(ctx, server.Addr(), tcpBinPing{Value: 9, Note: note})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(tcpBinPong); got.Value != 18 || got.Note != note {
+		t.Errorf("fragmented round trip corrupted the payload (len %d)", len(got.Note))
+	}
+}
+
+// TestTCPConcurrentFragmentedMessages drives many oversized messages
+// through one pooled connection at once: fragments interleave on the wire
+// (the writer releases its lock per frame), the fragmented-message
+// semaphore keeps the sender under the receiver's reassembly limits, and
+// every payload must come back intact.
+func TestTCPConcurrentFragmentedMessages(t *testing.T) {
+	server, client := startPair(t)
+	server.SetOptions(TCPOptions{FrameLimit: 2048})
+	client.SetOptions(TCPOptions{FrameLimit: 2048})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i uint64) {
+			defer wg.Done()
+			note := strings.Repeat(fmt.Sprintf("%02d", i), 16<<10) // 32 KiB, 16+ frames
+			resp, err := client.Call(ctx, server.Addr(), tcpBinPing{Value: i, Note: note})
+			if err != nil {
+				errs <- fmt.Errorf("call %d: %w", i, err)
+				return
+			}
+			if got := resp.(tcpBinPong); got.Value != i*2 || got.Note != note {
+				errs <- fmt.Errorf("call %d: corrupted round trip", i)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTCPMixedVersionInterop pins both interop directions of the JSON
+// fallback: a ForceJSON (legacy) client against a binary server, and a
+// binary client whose first probe meets a legacy-style JSON-only server.
+func TestTCPMixedVersionInterop(t *testing.T) {
+	server, client := startPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Legacy client -> new server: JSON envelope answered in kind.
+	client.SetOptions(TCPOptions{ForceJSON: true})
+	resp, err := client.Call(ctx, server.Addr(), tcpPing{Value: 5})
+	if err != nil {
+		t.Fatalf("legacy client against new server: %v", err)
+	}
+	if resp.(tcpPong).Value != 10 {
+		t.Errorf("legacy resp = %v", resp)
+	}
+	client.SetOptions(TCPOptions{})
+
+	// New client -> legacy server: the binary probe dies unanswered, the
+	// call falls back to JSON and the peer is pinned legacy.
+	legacy := newLegacyJSONServer(t)
+	resp, err = client.Call(ctx, legacy.addr, tcpPing{Value: 7})
+	if err != nil {
+		t.Fatalf("binary client against legacy server: %v", err)
+	}
+	if resp.(tcpPong).Value != 14 {
+		t.Errorf("fallback resp = %v", resp)
+	}
+	if !client.pinnedLegacy(legacy.addr) {
+		t.Error("peer should be pinned legacy after a successful JSON fallback")
+	}
+	// Subsequent calls go straight through the pinned JSON path.
+	if _, err := client.Call(ctx, legacy.addr, tcpPing{Value: 8}); err != nil {
+		t.Fatalf("pinned legacy call: %v", err)
+	}
+}
+
+// legacyJSONServer reimplements the pre-binary transport's serving side:
+// one JSON exchange per connection, no binary understanding (a binary frame
+// kills the connection).
+type legacyJSONServer struct {
+	addr Addr
+}
+
+func newLegacyJSONServer(t *testing.T) *legacyJSONServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	s := &legacyJSONServer{addr: Addr(l.Addr().String())}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				payload, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				var env envelope
+				if err := json.Unmarshal(payload, &env); err != nil {
+					return // binary frame: legacy node closes, like the old decoder did
+				}
+				req, err := decodePayload(env)
+				if err != nil {
+					return
+				}
+				ping := req.(tcpPing)
+				out, err := encodePayload(s.addr, tcpPong{Value: ping.Value * 2})
+				if err != nil {
+					return
+				}
+				body, _ := json.Marshal(out)
+				_ = writeFrame(conn, body)
+			}()
+		}
+	}()
+	return s
 }
 
 func TestTCPRemoteError(t *testing.T) {
@@ -144,7 +462,7 @@ func TestTCPUnreachable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	client.DialTimeout = 200 * time.Millisecond
+	client.SetOptions(TCPOptions{DialTimeout: 200 * time.Millisecond})
 	if _, err := client.Call(context.Background(), "127.0.0.1:1", tcpPing{}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("err = %v, want ErrUnreachable", err)
 	}
@@ -166,6 +484,97 @@ func TestTCPCallAfterClose(t *testing.T) {
 	}
 }
 
+// TestTCPServeOutlivesIdleTimeoutWhileInFlight pins the deadline fix: the
+// old transport pinned an absolute 30s deadline per serving connection, so
+// a handler running longer than that lost its response. Now the idle
+// horizon is suspended while a request is in flight.
+func TestTCPServeOutlivesIdleTimeoutWhileInFlight(t *testing.T) {
+	server, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	server.SetOptions(TCPOptions{IdleTimeout: 150 * time.Millisecond})
+	server.Handle(func(_ context.Context, _ Addr, req any) (any, error) {
+		time.Sleep(600 * time.Millisecond) // 4x the idle horizon
+		return tcpBinPong{Value: req.(tcpBinPing).Value + 1}, nil
+	})
+	client, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetOptions(TCPOptions{IdleTimeout: 150 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := client.Call(ctx, server.Addr(), tcpBinPing{Value: 1})
+	if err != nil {
+		t.Fatalf("long handler over short idle timeout: %v", err)
+	}
+	if resp.(tcpBinPong).Value != 2 {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+// TestTCPIdleConnectionReclaimed checks the other side of the idle
+// watchdog: a pooled connection with nothing in flight is closed after the
+// idle horizon, and the next call transparently redials.
+func TestTCPIdleConnectionReclaimed(t *testing.T) {
+	server, client := startPair(t)
+	server.SetOptions(TCPOptions{IdleTimeout: 100 * time.Millisecond})
+	client.SetOptions(TCPOptions{IdleTimeout: 100 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := client.Call(ctx, server.Addr(), tcpBinPing{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	client.pool.mu.Lock()
+	ent := client.pool.entries[server.Addr()]
+	client.pool.mu.Unlock()
+	ent.mu.Lock()
+	pc := ent.pc
+	ent.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pc.isClosed() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !pc.isClosed() {
+		t.Fatal("idle pooled connection was not reclaimed")
+	}
+	// The next call must succeed on a fresh connection.
+	if _, err := client.Call(ctx, server.Addr(), tcpBinPing{Value: 2}); err != nil {
+		t.Fatalf("call after idle reclaim: %v", err)
+	}
+}
+
+func TestTCPCallTimeoutConfigurable(t *testing.T) {
+	server, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	block := make(chan struct{})
+	defer close(block)
+	server.Handle(func(context.Context, Addr, any) (any, error) {
+		<-block
+		return tcpPong{}, nil
+	})
+	client, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetOptions(TCPOptions{CallTimeout: 200 * time.Millisecond})
+	start := time.Now()
+	_, callErr := client.Call(context.Background(), server.Addr(), tcpPing{})
+	if callErr == nil {
+		t.Fatal("expected timeout error")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("configured call timeout not honoured: took %v", d)
+	}
+}
+
 func TestReadFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
@@ -178,5 +587,27 @@ func TestRemoteErrorMessage(t *testing.T) {
 	e := &RemoteError{Msg: "x"}
 	if !strings.Contains(e.Error(), "x") {
 		t.Error("error message should contain cause")
+	}
+}
+
+// TestBinaryCodecRoundTrip round-trips the standalone binary codec helpers,
+// including a fragmented encoding.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	msg := tcpBinPing{Value: 77, Note: strings.Repeat("x", 5000)}
+	for _, limit := range []int{0, 600} {
+		data, err := EncodeMessageBinary("bin-test", msg, limit)
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		from, payload, err := DecodeMessageBinary(data)
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if from != "bin-test" {
+			t.Errorf("limit %d: from = %q", limit, from)
+		}
+		if got := payload.(tcpBinPing); got != msg {
+			t.Errorf("limit %d: round trip mismatch", limit)
+		}
 	}
 }

@@ -73,6 +73,42 @@ func FuzzWireDecode(f *testing.F) {
 	})
 }
 
+// FuzzBinaryWireDecode throws arbitrary bytes at the binary frame decoder —
+// envelope parsing, fragment reassembly and the hand-written typed codecs —
+// which is the exact path every incoming message takes on the pooled
+// transport: it must never panic, and every message it does accept must
+// re-encode cleanly.
+//
+// Run continuously with:
+//
+//	go test ./internal/overlay -run=^$ -fuzz=FuzzBinaryWireDecode -fuzztime=30s
+func FuzzBinaryWireDecode(f *testing.F) {
+	for _, msg := range wireSeedMessages() {
+		data, err := network.EncodeMessageBinary("fuzz-seed", msg, 0)
+		if err != nil {
+			f.Fatalf("encode seed %T: %v", msg, err)
+		}
+		f.Add(data)
+		// A fragmented encoding seeds the reassembly path.
+		if frag, err := network.EncodeMessageBinary("fuzz-seed", msg, 512); err == nil {
+			f.Add(frag)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 2, 0xBF, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xBF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, payload, err := network.DecodeMessageBinary(data)
+		if err != nil {
+			return
+		}
+		if _, err := network.EncodeMessageBinary(from, payload, 0); err != nil {
+			t.Fatalf("decoded payload %T does not re-encode: %v", payload, err)
+		}
+	})
+}
+
 // FuzzMutationWireRoundTrip round-trips fuzzed Insert/Delete/Query messages
 // through the wire codec and checks the fields survive bit-exactly — the
 // property TCP deployments rely on for routed mutations.
@@ -143,15 +179,33 @@ func TestRegenerateWireCorpus(t *testing.T) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
+	binDir := filepath.Join("testdata", "fuzz", "FuzzBinaryWireDecode")
+	if err := os.MkdirAll(binDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
 	for _, msg := range wireSeedMessages() {
+		name := strings.ToLower(strings.TrimPrefix(fmt.Sprintf("%T", msg), "overlay."))
 		data, err := network.EncodeMessage("corpus", msg)
 		if err != nil {
 			t.Fatalf("encode %T: %v", msg, err)
 		}
-		name := strings.ToLower(strings.TrimPrefix(fmt.Sprintf("%T", msg), "overlay."))
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
 		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(content), 0o644); err != nil {
 			t.Fatal(err)
+		}
+		bin, err := network.EncodeMessageBinary("corpus", msg, 0)
+		if err != nil {
+			t.Fatalf("binary encode %T: %v", msg, err)
+		}
+		content = fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", bin)
+		if err := os.WriteFile(filepath.Join(binDir, "seed-"+name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if frag, err := network.EncodeMessageBinary("corpus", msg, 512); err == nil && len(frag) > len(bin)+8 {
+			content = fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", frag)
+			if err := os.WriteFile(filepath.Join(binDir, "seed-"+name+"-frag"), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }

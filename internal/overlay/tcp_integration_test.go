@@ -3,6 +3,7 @@ package overlay
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -267,6 +268,114 @@ func TestDeltaSyncOverTCP(t *testing.T) {
 	hb, _ := b.Store().Digest(keyspace.Root)
 	if ha != hb {
 		t.Error("replicas not identical after tcp rebuild")
+	}
+}
+
+// TestOversizedSyncOverTCP pins the fix for the oversized-transfer failure
+// mode: under the legacy transport, a rebuild or delta payload larger than
+// the frame cap could never be sent, so the sync engine failed every tick
+// and retried forever. The binary transport fragments such messages, so a
+// partition whose full image exceeds the frame limit still rebuilds. The
+// endpoints run with a deliberately small frame limit, making the image
+// dozens of frames without needing multi-MiB fixtures.
+func TestOversizedSyncOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration test")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cfg := Config{MaxKeys: 1 << 20, MinReplicas: 1, TombstoneGCVersions: 16}
+	const frameLimit = 32 << 10
+	var peers []*Peer
+	for i := 0; i < 2; i++ {
+		ep, err := network.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep.SetOptions(network.TCPOptions{FrameLimit: frameLimit})
+		defer ep.Close()
+		pcfg := cfg
+		pcfg.Seed = int64(90 + i)
+		peers = append(peers, New(pcfg, ep))
+	}
+	a, b := peers[0], peers[1]
+	a.AddReplica(b.Addr())
+	b.AddReplica(a.Addr())
+
+	// Shared content whose serialised image dwarfs the frame limit: 300
+	// pairs with 8 KiB values (~2.4 MiB against 32 KiB frames).
+	bigValue := strings.Repeat("v", 8<<10)
+	for i := 0; i < 300; i++ {
+		it := replication.Item{
+			Key:   keyspace.MustFromFloat(float64(i)/300, 32),
+			Value: fmt.Sprintf("%s-%d", bigValue, i),
+		}
+		a.Store().Add(it)
+		b.Store().Add(it)
+	}
+	if rep, err := a.SyncReplica(ctx, b.Addr()); err != nil || rep.Kind != SyncInSync {
+		t.Fatalf("baseline sync: %v %+v", err, rep)
+	}
+
+	// b deletes a pair, keeps writing and prunes the tombstone, so a's
+	// baseline provably predates the prune and the next sync must
+	// wholesale-replace a's partition — one full-image transfer that
+	// exceeds the frame cap many times over.
+	doomed := keyspace.MustFromFloat(42.0/300, 32)
+	b.Store().Delete(doomed, fmt.Sprintf("%s-%d", bigValue, 42))
+	for i := 0; i < 20; i++ {
+		b.Store().Insert(replication.Item{
+			Key:   keyspace.MustFromFloat(0.99+float64(i)/10000, 32),
+			Value: fmt.Sprintf("%s-fill-%d", bigValue, i),
+		})
+	}
+	if n := b.Store().CompactTombstones(); n == 0 {
+		t.Fatal("setup: tombstone not pruned")
+	}
+	rep, err := a.SyncReplica(ctx, b.Addr())
+	if err != nil {
+		t.Fatalf("oversized rebuild sync: %v", err)
+	}
+	if rep.Kind != SyncRebuildPull {
+		t.Errorf("sync kind = %q, want rebuild-pull", rep.Kind)
+	}
+	if rep.Received < 300 {
+		t.Errorf("rebuild received %d records, want the full image", rep.Received)
+	}
+	if a.Store().Live(doomed, fmt.Sprintf("%s-%d", bigValue, 42)) {
+		t.Error("oversized rebuild resurrected the pruned delete")
+	}
+	ha, na := a.Store().Digest(keyspace.Root)
+	hb, nb := b.Store().Digest(keyspace.Root)
+	if ha != hb || na != nb {
+		t.Errorf("replicas diverged after oversized rebuild: (%x,%d) vs (%x,%d)", ha, na, hb, nb)
+	}
+
+	// The reverse direction: a now prunes past b's baseline, so the next
+	// sync pushes a's full oversized image onto b.
+	victim := keyspace.MustFromFloat(7.0/300, 32)
+	a.Store().Delete(victim, fmt.Sprintf("%s-%d", bigValue, 7))
+	for i := 0; i < 20; i++ {
+		a.Store().Insert(replication.Item{
+			Key:   keyspace.MustFromFloat(0.98+float64(i)/10000, 32),
+			Value: fmt.Sprintf("%s-pushfill-%d", bigValue, i),
+		})
+	}
+	if n := a.Store().CompactTombstones(); n == 0 {
+		t.Fatal("setup: push-side tombstone not pruned")
+	}
+	rep, err = a.SyncReplica(ctx, b.Addr())
+	if err != nil {
+		t.Fatalf("oversized rebuild-push sync: %v", err)
+	}
+	if rep.Kind != SyncRebuildPush {
+		t.Errorf("push sync kind = %q, want rebuild-push", rep.Kind)
+	}
+	ha, na = a.Store().Digest(keyspace.Root)
+	hb, nb = b.Store().Digest(keyspace.Root)
+	if ha != hb || na != nb {
+		t.Errorf("replicas diverged after oversized rebuild-push: (%x,%d) vs (%x,%d)", ha, na, hb, nb)
 	}
 }
 

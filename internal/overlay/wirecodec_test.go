@@ -1,0 +1,222 @@
+package overlay
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/wire"
+)
+
+// goldenPath is the checked-in file pinning the exact binary encoding of
+// every protocol message. The field order inside each codec is the wire
+// format: if this test fails, the encoding changed and deployed clusters
+// would disagree — bump the protocol deliberately (and regenerate with
+// PGRID_REGEN_GOLDEN=1) only when that is intended.
+const goldenPath = "testdata/wire_golden.txt"
+
+// seedName renders a stable per-message label for the golden file.
+func seedName(msg any) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", msg), "overlay.")
+}
+
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("open golden vectors (regenerate with PGRID_REGEN_GOLDEN=1): %v", err)
+	}
+	defer f.Close()
+	out := map[string]string{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, hexBytes, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		out[name] = hexBytes
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenWireVectors pins the binary encoding of every registered
+// protocol message byte for byte.
+func TestGoldenWireVectors(t *testing.T) {
+	if os.Getenv("PGRID_REGEN_GOLDEN") != "" {
+		var b strings.Builder
+		b.WriteString("# Golden binary wire vectors: <message type> <hex of AppendWire(nil)>.\n")
+		b.WriteString("# Regenerate with PGRID_REGEN_GOLDEN=1 go test ./internal/overlay -run TestGoldenWireVectors\n")
+		for _, msg := range wireSeedMessages() {
+			m, ok := msg.(wire.Marshaler)
+			if !ok {
+				t.Fatalf("%T does not implement wire.Marshaler", msg)
+			}
+			fmt.Fprintf(&b, "%s %s\n", seedName(msg), hex.EncodeToString(m.AppendWire(nil)))
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	golden := loadGolden(t)
+	seen := map[string]bool{}
+	for _, msg := range wireSeedMessages() {
+		name := seedName(msg)
+		seen[name] = true
+		m, ok := msg.(wire.Marshaler)
+		if !ok {
+			t.Errorf("%s does not implement wire.Marshaler", name)
+			continue
+		}
+		got := hex.EncodeToString(m.AppendWire(nil))
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("%s missing from golden vectors (regenerate with PGRID_REGEN_GOLDEN=1)", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s wire encoding changed:\n got  %s\n want %s", name, got, want)
+		}
+	}
+	for name := range golden {
+		if !seen[name] {
+			t.Errorf("golden vector %s has no seed message", name)
+		}
+	}
+}
+
+// TestEveryMessageHasBinaryCodec keeps the registry honest: a newly added
+// protocol message that forgets its wire codec would silently fall back to
+// JSON bodies.
+func TestEveryMessageHasBinaryCodec(t *testing.T) {
+	for _, msg := range wireSeedMessages() {
+		if _, ok := msg.(wire.Marshaler); !ok {
+			t.Errorf("%T lacks AppendWire", msg)
+		}
+		ptr := reflect.New(reflect.TypeOf(msg)).Interface()
+		if _, ok := ptr.(wire.Unmarshaler); !ok {
+			t.Errorf("*%T lacks UnmarshalWire", msg)
+		}
+	}
+}
+
+// TestBinaryWireRoundTripsEveryMessage round-trips every protocol message
+// through the full binary frame codec (envelope, fragmentation layer,
+// typed body) and requires bit-exact field recovery.
+func TestBinaryWireRoundTripsEveryMessage(t *testing.T) {
+	for _, msg := range wireSeedMessages() {
+		data, err := network.EncodeMessageBinary("codec-test", msg, 0)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		from, payload, err := network.DecodeMessageBinary(data)
+		if err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+		if from != "codec-test" {
+			t.Errorf("%T: from = %q", msg, from)
+		}
+		if !reflect.DeepEqual(payload, msg) {
+			t.Errorf("%T: binary round trip mismatch:\n got  %+v\n want %+v", msg, payload, msg)
+		}
+		// A fragmented encoding must reassemble to the same value.
+		frag, err := network.EncodeMessageBinary("codec-test", msg, 512)
+		if err != nil {
+			t.Fatalf("fragment %T: %v", msg, err)
+		}
+		_, payload, err = network.DecodeMessageBinary(frag)
+		if err != nil {
+			t.Fatalf("decode fragmented %T: %v", msg, err)
+		}
+		if !reflect.DeepEqual(payload, msg) {
+			t.Errorf("%T: fragmented round trip mismatch", msg)
+		}
+	}
+}
+
+// TestJSONBinaryCrossCompat pins what mixed-version clusters rely on: the
+// JSON and binary codecs decode the same message to the same value, so a
+// peer may receive either encoding of a message and behave identically.
+func TestJSONBinaryCrossCompat(t *testing.T) {
+	for _, msg := range wireSeedMessages() {
+		jsonData, err := network.EncodeMessage("cross", msg)
+		if err != nil {
+			t.Fatalf("json encode %T: %v", msg, err)
+		}
+		_, viaJSON, err := network.DecodeMessage(jsonData)
+		if err != nil {
+			t.Fatalf("json decode %T: %v", msg, err)
+		}
+		binData, err := network.EncodeMessageBinary("cross", msg, 0)
+		if err != nil {
+			t.Fatalf("binary encode %T: %v", msg, err)
+		}
+		_, viaBinary, err := network.DecodeMessageBinary(binData)
+		if err != nil {
+			t.Fatalf("binary decode %T: %v", msg, err)
+		}
+		if !reflect.DeepEqual(viaJSON, viaBinary) {
+			t.Errorf("%T: codecs disagree:\n json   %+v\n binary %+v", msg, viaJSON, viaBinary)
+		}
+		if len(binData) >= len(jsonData) {
+			t.Errorf("%T: binary encoding (%d B) not smaller than JSON (%d B)", msg, len(binData), len(jsonData))
+		}
+	}
+}
+
+// TestBinaryDecodeRejectsCorruptKeys checks the key decoder's domain
+// validation: a length beyond 64 bits or non-canonical spare bits must be
+// rejected, never panic or mis-decode.
+func TestBinaryDecodeRejectsCorruptKeys(t *testing.T) {
+	cases := [][]byte{
+		wire.AppendUvarint(wire.AppendUvarint(nil, 65), 0),    // length 65
+		wire.AppendUvarint(wire.AppendUvarint(nil, 2), 0b101), // 3 bits under length 2
+		wire.AppendUvarint(wire.AppendUvarint(nil, 0), 1),     // bits under length 0
+	}
+	for i, data := range cases {
+		d := wire.NewDecoder(data)
+		decodeKey(d)
+		if d.Err() == nil {
+			t.Errorf("case %d: corrupt key accepted", i)
+		}
+	}
+}
+
+// TestKeyCodecExhaustiveLengths round-trips keys of every length through
+// the compact encoding.
+func TestKeyCodecExhaustiveLengths(t *testing.T) {
+	for length := 0; length <= 64; length++ {
+		bits := uint64(0xA5A5A5A5A5A5A5A5)
+		k, err := keyspace.FromBits(bits, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := wire.NewDecoder(appendKey(nil, k))
+		got := decodeKey(d)
+		if err := d.Finish(); err != nil {
+			t.Fatalf("len %d: %v", length, err)
+		}
+		if !got.Equal(k) {
+			t.Errorf("len %d: round trip %v != %v", length, got, k)
+		}
+	}
+}

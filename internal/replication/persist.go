@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"pgrid/internal/keyspace"
+	"pgrid/internal/wire"
 )
 
 // Baseline is a per-replica anti-entropy sync baseline: the two store
@@ -505,26 +506,26 @@ func (s *Store) applyWAL(payload []byte) error {
 	if len(payload) == 0 {
 		return errWALCorrupt
 	}
-	d := walDecoder{buf: payload[1:]}
+	d := wire.NewDecoder(payload[1:])
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch walOp(payload[0]) {
 	case opAdd:
-		ks, value, gen := d.pair()
-		if d.err == nil {
+		ks, value, gen := walPair(d)
+		if d.Err() == nil {
 			s.addLocked(ks, Item{Key: keyspace.MustFromString(ks), Value: value, Gen: gen})
 		}
 	case opTomb:
-		ks, value, gen := d.pair()
-		if d.err == nil {
+		ks, value, gen := walPair(d)
+		if d.Err() == nil {
 			s.applyTombLocked(ks, value, gen)
 		}
 	case opPrune:
-		n := d.uint()
-		for i := uint64(0); i < n && d.err == nil; i++ {
-			ks := d.string()
-			value := d.string()
-			if d.err != nil {
+		n := d.Uvarint()
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			ks := d.String()
+			value := d.String()
+			if d.Err() != nil {
 				break
 			}
 			if t, ok := s.tombs[ks][value]; ok {
@@ -536,8 +537,8 @@ func (s *Store) applyWAL(payload []byte) error {
 				s.clearVerLocked(ks, value)
 			}
 		}
-		floor := d.uint()
-		if d.err == nil {
+		floor := d.Uvarint()
+		if d.Err() == nil {
 			if floor > s.gcFloor {
 				s.gcFloor = floor
 			}
@@ -546,26 +547,26 @@ func (s *Store) applyWAL(payload []byte) error {
 			}
 		}
 	case opRemovePrefix:
-		p := keyspace.Path(d.string())
-		if d.err == nil {
+		p := keyspace.Path(d.String())
+		if d.Err() == nil {
 			s.removePrefixLocked(p)
 		}
 	case opRetainPrefix:
-		p := keyspace.Path(d.string())
-		if d.err == nil {
+		p := keyspace.Path(d.String())
+		if d.Err() == nil {
 			s.retainPrefixLocked(p)
 		}
 	case opReplace:
-		p := keyspace.Path(d.string())
-		items := d.items()
-		tombs := d.items()
-		if d.err == nil {
+		p := keyspace.Path(d.String())
+		items := walItems(d)
+		tombs := walItems(d)
+		if d.Err() == nil {
 			s.replaceWithinLocked(p, items, tombs)
 		}
 	case opBaseline:
-		replica := d.string()
-		b := Baseline{Mine: d.uint(), Theirs: d.uint()}
-		if d.err == nil {
+		replica := d.String()
+		b := Baseline{Mine: d.Uvarint(), Theirs: d.Uvarint()}
+		if d.Err() == nil {
 			if b == (Baseline{}) {
 				delete(s.baselines, replica)
 				break
@@ -576,9 +577,9 @@ func (s *Store) applyWAL(payload []byte) error {
 			s.baselines[replica] = b
 		}
 	case opMeta:
-		key := d.string()
-		value := d.string()
-		if d.err == nil {
+		key := d.String()
+		value := d.String()
+		if d.Err() == nil {
 			if s.metadata == nil {
 				s.metadata = make(map[string]string)
 			}
@@ -587,19 +588,25 @@ func (s *Store) applyWAL(payload []byte) error {
 	default:
 		return fmt.Errorf("replication: unknown WAL op %d", payload[0])
 	}
-	return d.err
+	return d.Err()
 }
 
-// items decodes a length-prefixed item list.
-func (d *walDecoder) items() []Item {
-	n := d.uint()
-	if d.err != nil || n > uint64(maxWALRecord) {
+// walItems decodes a length-prefixed item list. The initial capacity is
+// bounded so a corrupt count cannot drive a huge allocation before the
+// decoder runs out of buffer.
+func walItems(d *wire.Decoder) []Item {
+	n := d.Uvarint()
+	if d.Err() != nil || n > uint64(maxWALRecord) {
 		return nil
 	}
-	out := make([]Item, 0, n)
+	hint := n
+	if hint > 4096 {
+		hint = 4096
+	}
+	out := make([]Item, 0, hint)
 	for i := uint64(0); i < n; i++ {
-		ks, value, gen := d.pair()
-		if d.err != nil {
+		ks, value, gen := walPair(d)
+		if d.Err() != nil {
 			return nil
 		}
 		out = append(out, Item{Key: keyspace.MustFromString(ks), Value: value, Gen: gen})

@@ -9,6 +9,19 @@ package replication
 // follow it (persist.go); once a snapshot is durably on disk, the segments
 // it covers are deleted.
 //
+// Two snapshot formats exist:
+//
+//   - Version 2 (snap-<seq>.bin, written today): a CRC-trailed stream of
+//     wire-codec records — one small record per pair, encoded and written
+//     through a buffered writer, so writing a checkpoint never materialises
+//     the store as one contiguous image the way json.Marshal did. The byte
+//     layout is: "PGSN", uvarint version, uvarint clock, uvarint GC floor,
+//     tagged records (item/tombstone/baseline/meta), an end tag, and a
+//     little-endian CRC-32 (IEEE) over everything before it.
+//   - Version 1 (snap-<seq>.json, legacy): one JSON document. Still decoded
+//     on recovery, so data directories written before the binary format
+//     keep working; the next checkpoint replaces them with version 2.
+//
 // Snapshots are written atomically (temp file + fsync + rename + directory
 // fsync) and carry the sequence number of the first WAL segment *not*
 // covered, so a crash at any point leaves either the previous snapshot with
@@ -16,19 +29,43 @@ package replication
 // state that replays mutations twice or skips them.
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"syscall"
+
+	"pgrid/internal/wire"
 )
 
-// snapshotVersion is bumped when the snapshot schema changes incompatibly.
-const snapshotVersion = 1
+// Snapshot format versions.
+const (
+	// snapshotVersionJSON is the legacy whole-document JSON format.
+	snapshotVersionJSON = 1
+	// snapshotVersion is the current streamed binary format.
+	snapshotVersion = 2
+)
+
+// snapMagic opens every binary snapshot file.
+const snapMagic = "PGSN"
+
+// Binary snapshot record tags. The numeric values are part of the on-disk
+// format and must never be reused for a different record kind.
+const (
+	snapTagEnd      byte = 0
+	snapTagItem     byte = 1
+	snapTagTomb     byte = 2
+	snapTagBaseline byte = 3
+	snapTagMeta     byte = 4
+)
 
 // snapItem is one live pair in a snapshot.
 type snapItem struct {
@@ -48,7 +85,9 @@ type snapTomb struct {
 	Ver  uint64 `json:"m,omitempty"`
 }
 
-// snapshotState is the serialised form of a store's durable state.
+// snapshotState is the in-memory form of a store's durable state, captured
+// at a WAL segment boundary and streamed to disk record by record. The
+// JSON tags are the legacy version-1 document schema.
 type snapshotState struct {
 	Version   int                 `json:"version"`
 	Seq       uint64              `json:"seq"` // first WAL segment not covered
@@ -60,9 +99,12 @@ type snapshotState struct {
 	Meta      map[string]string   `json:"meta,omitempty"`
 }
 
-// snapshotName renders the file name of the snapshot covering everything
-// before WAL segment seq.
-func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016d.json", seq) }
+// snapshotName renders the file name of the binary snapshot covering
+// everything before WAL segment seq.
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016d.bin", seq) }
+
+// snapshotNameJSON renders the legacy JSON snapshot name for seq.
+func snapshotNameJSON(seq uint64) string { return fmt.Sprintf("snap-%016d.json", seq) }
 
 // segmentName renders the file name of WAL segment seq.
 func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
@@ -80,19 +122,170 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	return n, true
 }
 
-// writeSnapshot atomically persists the snapshot into dir.
-func writeSnapshot(dir string, st *snapshotState) error {
-	st.Version = snapshotVersion
-	data, err := json.Marshal(st)
-	if err != nil {
+// crcWriter folds everything written through it into a running CRC-32.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// encodeSnapshotTo streams the snapshot's records through a buffered writer
+// in the binary format. Each record is encoded into a small reused scratch
+// buffer, so the memory high-water mark of writing a checkpoint is one
+// record plus the writer's buffer — not an image of the store.
+func encodeSnapshotTo(w io.Writer, st *snapshotState) error {
+	bw := bufio.NewWriterSize(w, 256<<10)
+	cw := &crcWriter{w: bw}
+	var scratch []byte
+	emit := func(b []byte) error {
+		_, err := cw.Write(b)
 		return err
 	}
+	scratch = append(scratch[:0], snapMagic...)
+	scratch = wire.AppendUvarint(scratch, snapshotVersion)
+	scratch = wire.AppendUvarint(scratch, st.Clock)
+	scratch = wire.AppendUvarint(scratch, st.GCFloor)
+	if err := emit(scratch); err != nil {
+		return err
+	}
+	for _, it := range st.Items {
+		scratch = append(scratch[:0], snapTagItem)
+		scratch = wire.AppendString(scratch, it.K)
+		scratch = wire.AppendString(scratch, it.V)
+		scratch = wire.AppendUvarint(scratch, it.Gen)
+		scratch = wire.AppendUvarint(scratch, it.Ver)
+		if err := emit(scratch); err != nil {
+			return err
+		}
+	}
+	for _, tb := range st.Tombs {
+		scratch = append(scratch[:0], snapTagTomb)
+		scratch = wire.AppendString(scratch, tb.K)
+		scratch = wire.AppendString(scratch, tb.V)
+		scratch = wire.AppendUvarint(scratch, tb.Gen)
+		scratch = wire.AppendUvarint(scratch, tb.Born)
+		scratch = wire.AppendVarint(scratch, tb.At)
+		scratch = wire.AppendUvarint(scratch, tb.Ver)
+		if err := emit(scratch); err != nil {
+			return err
+		}
+	}
+	for addr, b := range st.Baselines {
+		scratch = append(scratch[:0], snapTagBaseline)
+		scratch = wire.AppendString(scratch, addr)
+		scratch = wire.AppendUvarint(scratch, b.Mine)
+		scratch = wire.AppendUvarint(scratch, b.Theirs)
+		if err := emit(scratch); err != nil {
+			return err
+		}
+	}
+	for k, v := range st.Meta {
+		scratch = append(scratch[:0], snapTagMeta)
+		scratch = wire.AppendString(scratch, k)
+		scratch = wire.AppendString(scratch, v)
+		if err := emit(scratch); err != nil {
+			return err
+		}
+	}
+	if err := emit([]byte{snapTagEnd}); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// errSnapshotCorrupt reports an unreadable snapshot; recovery skips it in
+// favour of an older one.
+var errSnapshotCorrupt = errors.New("replication: snapshot corrupt")
+
+// decodeBinarySnapshot parses a version-2 snapshot file.
+func decodeBinarySnapshot(data []byte) (*snapshotState, error) {
+	if len(data) < len(snapMagic)+5 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, errSnapshotCorrupt
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, errSnapshotCorrupt
+	}
+	d := wire.NewDecoder(body[len(snapMagic):])
+	if v := d.Uvarint(); d.Err() != nil || v != snapshotVersion {
+		return nil, errSnapshotCorrupt
+	}
+	st := &snapshotState{Version: snapshotVersion}
+	st.Clock = d.Uvarint()
+	st.GCFloor = d.Uvarint()
+	for {
+		if d.Err() != nil {
+			return nil, errSnapshotCorrupt
+		}
+		tag := d.Byte()
+		if d.Err() != nil {
+			return nil, errSnapshotCorrupt
+		}
+		switch tag {
+		case snapTagEnd:
+			if err := d.Finish(); err != nil {
+				return nil, errSnapshotCorrupt
+			}
+			return st, nil
+		case snapTagItem:
+			var it snapItem
+			it.K = d.String()
+			it.V = d.String()
+			it.Gen = d.Uvarint()
+			it.Ver = d.Uvarint()
+			st.Items = append(st.Items, it)
+		case snapTagTomb:
+			var tb snapTomb
+			tb.K = d.String()
+			tb.V = d.String()
+			tb.Gen = d.Uvarint()
+			tb.Born = d.Uvarint()
+			tb.At = d.Varint()
+			tb.Ver = d.Uvarint()
+			st.Tombs = append(st.Tombs, tb)
+		case snapTagBaseline:
+			addr := d.String()
+			b := Baseline{Mine: d.Uvarint(), Theirs: d.Uvarint()}
+			if d.Err() == nil {
+				if st.Baselines == nil {
+					st.Baselines = make(map[string]Baseline)
+				}
+				st.Baselines[addr] = b
+			}
+		case snapTagMeta:
+			k := d.String()
+			v := d.String()
+			if d.Err() == nil {
+				if st.Meta == nil {
+					st.Meta = make(map[string]string)
+				}
+				st.Meta[k] = v
+			}
+		default:
+			return nil, errSnapshotCorrupt
+		}
+	}
+}
+
+// writeSnapshot atomically persists the snapshot into dir in the binary
+// format.
+func writeSnapshot(dir string, st *snapshotState) error {
+	st.Version = snapshotVersion
 	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
+	if err := encodeSnapshotTo(tmp, st); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
@@ -113,33 +306,71 @@ func writeSnapshot(dir string, st *snapshotState) error {
 	return syncDir(dir)
 }
 
-// loadLatestSnapshot finds and decodes the newest readable snapshot in dir.
-// It returns ok=false (and no error) when dir holds no usable snapshot; a
-// snapshot that fails to decode is skipped in favour of an older one, so a
-// crash mid-rename can never make recovery fail outright.
-func loadLatestSnapshot(dir string) (*snapshotState, bool, error) {
+// snapshotFile is one snapshot found on disk.
+type snapshotFile struct {
+	seq  uint64
+	json bool
+}
+
+// listSnapshots returns the snapshots in dir, newest first; a binary
+// snapshot sorts before a JSON one of the same sequence.
+func listSnapshots(dir string) ([]snapshotFile, error) {
 	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []snapshotFile
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".bin"); ok {
+			snaps = append(snaps, snapshotFile{seq: seq})
+		}
+		if seq, ok := parseSeq(e.Name(), "snap-", ".json"); ok {
+			snaps = append(snaps, snapshotFile{seq: seq, json: true})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].seq != snaps[j].seq {
+			return snaps[i].seq > snaps[j].seq
+		}
+		return !snaps[i].json && snaps[j].json
+	})
+	return snaps, nil
+}
+
+// loadLatestSnapshot finds and decodes the newest readable snapshot in dir,
+// binary or legacy JSON. It returns ok=false (and no error) when dir holds
+// no usable snapshot; a snapshot that fails to decode is skipped in favour
+// of an older one, so a crash mid-rename can never make recovery fail
+// outright.
+func loadLatestSnapshot(dir string) (*snapshotState, bool, error) {
+	snaps, err := listSnapshots(dir)
 	if err != nil {
 		return nil, false, err
 	}
-	var seqs []uint64
-	for _, e := range entries {
-		if seq, ok := parseSeq(e.Name(), "snap-", ".json"); ok {
-			seqs = append(seqs, seq)
+	for _, sf := range snaps {
+		name := snapshotName(sf.seq)
+		if sf.json {
+			name = snapshotNameJSON(sf.seq)
 		}
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
-	for _, seq := range seqs {
-		data, err := os.ReadFile(filepath.Join(dir, snapshotName(seq)))
+		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			continue
 		}
-		var st snapshotState
-		if err := json.Unmarshal(data, &st); err != nil || st.Version != snapshotVersion {
-			continue
+		var st *snapshotState
+		if sf.json {
+			var js snapshotState
+			if err := json.Unmarshal(data, &js); err != nil || js.Version != snapshotVersionJSON {
+				continue
+			}
+			st = &js
+		} else {
+			st, err = decodeBinarySnapshot(data)
+			if err != nil {
+				continue
+			}
 		}
-		st.Seq = seq
-		return &st, true, nil
+		st.Seq = sf.seq
+		return st, true, nil
 	}
 	return nil, false, nil
 }
@@ -162,8 +393,8 @@ func listSegments(dir string) ([]uint64, error) {
 }
 
 // removeBelow deletes snapshots and WAL segments made obsolete by a durable
-// snapshot at seq (segments < seq, snapshots < seq). Best effort: leftover
-// files only cost disk space, never correctness.
+// snapshot at seq (segments < seq, snapshots < seq, both formats). Best
+// effort: leftover files only cost disk space, never correctness.
 func removeBelow(dir string, seq uint64) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -173,7 +404,12 @@ func removeBelow(dir string, seq uint64) {
 		if s, ok := parseSeq(e.Name(), "wal-", ".log"); ok && s < seq {
 			os.Remove(filepath.Join(dir, e.Name()))
 		}
-		if s, ok := parseSeq(e.Name(), "snap-", ".json"); ok && s < seq {
+		if s, ok := parseSeq(e.Name(), "snap-", ".bin"); ok && s < seq {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+		if s, ok := parseSeq(e.Name(), "snap-", ".json"); ok && s <= seq {
+			// A JSON snapshot at the same seq was superseded by the binary
+			// rewrite of the same boundary.
 			os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}

@@ -1,0 +1,190 @@
+package replication
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pgrid/internal/keyspace"
+)
+
+// writeJSONSnapshotV1 writes a snapshot in the legacy version-1 JSON format
+// exactly as the pre-binary code did: one marshalled snapshotState document
+// under snap-<seq>.json.
+func writeJSONSnapshotV1(t *testing.T, dir string, st *snapshotState) {
+	t.Helper()
+	st.Version = snapshotVersionJSON
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotNameJSON(st.Seq)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverFromLegacyJSONSnapshot pins backward compatibility: a data
+// directory whose newest snapshot is the legacy JSON format (written before
+// the binary snapshot codec existed) must recover exactly, and the next
+// checkpoint must replace it with a binary snapshot that recovers to the
+// same state.
+func TestRecoverFromLegacyJSONSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now().UnixNano()
+	st := &snapshotState{
+		Seq:     3,
+		Clock:   41,
+		GCFloor: 7,
+		Items: []snapItem{
+			{K: "0010", V: "alpha", Gen: 2, Ver: 11},
+			{K: "1011", V: "beta", Ver: 12},
+		},
+		Tombs: []snapTomb{
+			{K: "0111", V: "gone", Gen: 5, Born: 9, At: now, Ver: 13},
+		},
+		Baselines: map[string]Baseline{
+			"127.0.0.1:9999": {Mine: 17, Theirs: 23},
+		},
+		Meta: map[string]string{"overlay.path": "01"},
+	}
+	writeJSONSnapshotV1(t, dir, st)
+
+	s, err := OpenStore(dir, PersistOptions{SyncAlways: true})
+	if err != nil {
+		t.Fatalf("open store over legacy JSON snapshot: %v", err)
+	}
+	verify := func(s *Store, phase string, wantClock uint64) {
+		t.Helper()
+		if got := s.Clock(); got != wantClock {
+			t.Errorf("%s: clock = %d, want %d", phase, got, wantClock)
+		}
+		if got := s.GCFloor(); got != 7 {
+			t.Errorf("%s: gc floor = %d, want 7", phase, got)
+		}
+		if got := s.Lookup(keyspace.MustFromString("0010")); len(got) != 1 || got[0].Value != "alpha" || got[0].Gen != 2 {
+			t.Errorf("%s: item 0010 = %v", phase, got)
+		}
+		if got := s.Lookup(keyspace.MustFromString("1011")); len(got) != 1 || got[0].Value != "beta" {
+			t.Errorf("%s: item 1011 = %v", phase, got)
+		}
+		if s.Live(keyspace.MustFromString("0111"), "gone") {
+			t.Errorf("%s: tombstoned pair is live", phase)
+		}
+		if got := s.TombstoneCount(); got != 1 {
+			t.Errorf("%s: tombstones = %d, want 1", phase, got)
+		}
+		bl := s.Baselines()
+		if got := bl["127.0.0.1:9999"]; got != (Baseline{Mine: 17, Theirs: 23}) {
+			t.Errorf("%s: baseline = %+v", phase, got)
+		}
+		if got := s.Meta("overlay.path"); got != "01" {
+			t.Errorf("%s: meta path = %q", phase, got)
+		}
+	}
+	verify(s, "legacy recovery", 41)
+
+	// A mutation after recovery and a checkpoint must rewrite the state as
+	// a binary snapshot covering it.
+	s.Insert(Item{Key: keyspace.MustFromString("1100"), Value: "post-upgrade"})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after legacy recovery: %v", err)
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 || snaps[0].json {
+		t.Fatalf("newest snapshot after checkpoint should be binary, got %+v", snaps)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, PersistOptions{SyncAlways: true})
+	if err != nil {
+		t.Fatalf("reopen after binary checkpoint: %v", err)
+	}
+	defer s2.Close()
+	verify(s2, "binary recovery", 42) // the post-upgrade insert advanced the clock
+	if got := s2.Lookup(keyspace.MustFromString("1100")); len(got) != 1 || got[0].Value != "post-upgrade" {
+		t.Errorf("binary recovery: post-upgrade item = %v", got)
+	}
+}
+
+// TestBinarySnapshotCorruptionSkipped checks the recovery ladder: a binary
+// snapshot with a flipped byte fails its CRC and recovery falls back to an
+// older JSON snapshot instead of failing or loading garbage.
+func TestBinarySnapshotCorruptionSkipped(t *testing.T) {
+	dir := t.TempDir()
+	writeJSONSnapshotV1(t, dir, &snapshotState{
+		Seq:   1,
+		Clock: 5,
+		Items: []snapItem{{K: "01", V: "old", Ver: 5}},
+	})
+	// Newer binary snapshot, corrupted.
+	bin := &snapshotState{Seq: 2, Clock: 9, Items: []snapItem{{K: "01", V: "new", Ver: 9}}}
+	if err := writeSnapshot(dir, bin); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snapshotName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenStore(dir, PersistOptions{})
+	if err != nil {
+		t.Fatalf("open with corrupt binary snapshot: %v", err)
+	}
+	defer s.Close()
+	if got := s.Lookup(keyspace.MustFromString("01")); len(got) != 1 || got[0].Value != "old" {
+		t.Errorf("fallback recovery = %v, want the older JSON state", got)
+	}
+}
+
+// TestBinarySnapshotRoundTrip exercises the streamed codec directly over a
+// state with every record kind present.
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	now := time.Now().UnixNano()
+	st := &snapshotState{
+		Seq:     9,
+		Clock:   100,
+		GCFloor: 50,
+		Items:   []snapItem{{K: "", V: "rootval", Gen: 1, Ver: 2}, {K: "110011", V: "", Ver: 3}},
+		Tombs:   []snapTomb{{K: "1", V: "t", Gen: 4, Born: 5, At: now, Ver: 6}, {K: "0", V: "u", At: -now}},
+		Baselines: map[string]Baseline{
+			"a": {Mine: 1, Theirs: 2},
+			"b": {Mine: 3},
+		},
+		Meta: map[string]string{"k1": "v1", "k2": ""},
+	}
+	dir := t.TempDir()
+	if err := writeSnapshot(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := loadLatestSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if got.Seq != 9 || got.Clock != 100 || got.GCFloor != 50 {
+		t.Errorf("header = %+v", got)
+	}
+	if len(got.Items) != 2 || got.Items[0] != st.Items[0] || got.Items[1] != st.Items[1] {
+		t.Errorf("items = %+v", got.Items)
+	}
+	if len(got.Tombs) != 2 || got.Tombs[0] != st.Tombs[0] || got.Tombs[1] != st.Tombs[1] {
+		t.Errorf("tombs = %+v", got.Tombs)
+	}
+	if len(got.Baselines) != 2 || got.Baselines["a"] != st.Baselines["a"] || got.Baselines["b"] != st.Baselines["b"] {
+		t.Errorf("baselines = %+v", got.Baselines)
+	}
+	if len(got.Meta) != 2 || got.Meta["k1"] != "v1" || got.Meta["k2"] != "" {
+		t.Errorf("meta = %+v", got.Meta)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"pgrid/internal/wire"
 )
 
 // walOp tags the operation a WAL record encodes.
@@ -219,56 +221,29 @@ func scanWAL(path string, apply func(payload []byte) error) (valid int64, record
 
 // --- record payload encoding -----------------------------------------------
 
-// walEncoder builds a record payload.
+// walEncoder builds a record payload using the shared compact wire encoding
+// (internal/wire): uvarints for integers, length-prefixed strings. This is
+// the same record codec the binary snapshot format and the TCP transport's
+// message bodies use, and it is byte-identical to the WAL's original
+// hand-rolled encoding, so segments written before the unification replay
+// unchanged.
 type walEncoder struct{ buf []byte }
 
 func (e *walEncoder) op(op walOp)     { e.buf = append(e.buf, byte(op)) }
-func (e *walEncoder) uint(v uint64)   { e.buf = binary.AppendUvarint(e.buf, v) }
-func (e *walEncoder) string(s string) { e.uint(uint64(len(s))); e.buf = append(e.buf, s...) }
+func (e *walEncoder) uint(v uint64)   { e.buf = wire.AppendUvarint(e.buf, v) }
+func (e *walEncoder) string(s string) { e.buf = wire.AppendString(e.buf, s) }
 
-// walDecoder reads a record payload.
-type walDecoder struct {
-	buf []byte
-	err error
-}
-
-func (d *walDecoder) uint() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.buf)
-	if n <= 0 {
-		d.err = errors.New("replication: short WAL record")
-		return 0
-	}
-	d.buf = d.buf[n:]
-	return v
-}
-
-func (d *walDecoder) string() string {
-	n := d.uint()
-	if d.err != nil {
-		return ""
-	}
-	if uint64(len(d.buf)) < n {
-		d.err = errors.New("replication: short WAL record")
-		return ""
-	}
-	s := string(d.buf[:n])
-	d.buf = d.buf[n:]
-	return s
-}
-
-// encodePair appends a (key bit string, value, gen) triple.
+// pair appends a (key bit string, value, gen) triple.
 func (e *walEncoder) pair(ks, value string, gen uint64) {
 	e.string(ks)
 	e.string(value)
 	e.uint(gen)
 }
 
-func (d *walDecoder) pair() (ks, value string, gen uint64) {
-	ks = d.string()
-	value = d.string()
-	gen = d.uint()
+// walPair reads a (key bit string, value, gen) triple.
+func walPair(d *wire.Decoder) (ks, value string, gen uint64) {
+	ks = d.String()
+	value = d.String()
+	gen = d.Uvarint()
 	return
 }

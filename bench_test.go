@@ -15,6 +15,7 @@ import (
 
 	"pgrid/internal/churn"
 	"pgrid/internal/core"
+	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
 	"pgrid/internal/overlay"
 	"pgrid/internal/replication"
@@ -973,5 +974,127 @@ func BenchmarkStoreCheckpointLargeValues(b *testing.B) {
 		if err := s.Checkpoint(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchEngineStore opens a persistent store on the given engine kind,
+// preloads n distinct pairs and checkpoints, so a disk engine's pairs are
+// resident in real segment files rather than only the memtable — the
+// steady state the engine benchmarks below are meant to measure.
+func benchEngineStore(b *testing.B, engine string, n int) *replication.Store {
+	b.Helper()
+	s, err := replication.OpenStore(b.TempDir(), replication.PersistOptions{Engine: engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	for i := 0; i < n; i++ {
+		s.Insert(replication.Item{Key: FloatKey(float64(i) / float64(n)), Value: fmt.Sprintf("v%d", i)})
+	}
+	if err := s.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// engineBenchKinds are the storage engines the Engine* benchmarks compare.
+var engineBenchKinds = []string{"mem", "disk"}
+
+// BenchmarkEnginePut measures the store's write path per engine: an insert
+// re-stamping a bounded key set (so per-op cost stays flat) on top of a
+// 20k-pair resident store.
+func BenchmarkEnginePut(b *testing.B) {
+	for _, engine := range engineBenchKinds {
+		b.Run(engine, func(b *testing.B) {
+			s := benchEngineStore(b, engine, 20000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(replication.Item{Key: FloatKey(float64(i%4096) / 4096), Value: fmt.Sprintf("w%d", i%64)})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineGet measures exact-key lookups against a 20k-pair store —
+// for the disk engine, a memtable miss resolving through the segment
+// sparse indexes.
+func BenchmarkEngineGet(b *testing.B) {
+	for _, engine := range engineBenchKinds {
+		b.Run(engine, func(b *testing.B) {
+			const n = 20000
+			s := benchEngineStore(b, engine, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.Lookup(FloatKey(float64(i%n) / n)); len(got) == 0 {
+					b.Fatal("lookup missed a preloaded pair")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineScanPrefix measures a range ("shower") scan streaming
+// roughly 1/16th of a 20k-pair store through the engine iterator.
+func BenchmarkEngineScanPrefix(b *testing.B) {
+	for _, engine := range engineBenchKinds {
+		b.Run(engine, func(b *testing.B) {
+			s := benchEngineStore(b, engine, 20000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				count := 0
+				s.ScanRange(keyspace.NewRange(FloatKey(0.25), FloatKey(0.3125)), func(replication.Item) bool {
+					count++
+					return true
+				})
+				if count == 0 {
+					b.Fatal("scan yielded nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRecoverLarge measures reopening a checkpointed 50k-pair
+// store. The mem engine replays every pair into memory; the disk engine
+// adopts the snapshot's segment manifest and digest cells without scanning
+// the pairs, so its recovery time stays flat as stores grow to millions of
+// keys.
+func BenchmarkEngineRecoverLarge(b *testing.B) {
+	for _, engine := range engineBenchKinds {
+		b.Run(engine, func(b *testing.B) {
+			const n = 50000
+			dir := b.TempDir()
+			opts := replication.PersistOptions{Engine: engine}
+			s, err := replication.OpenStore(dir, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				s.Insert(replication.Item{Key: FloatKey(float64(i) / n), Value: fmt.Sprintf("v%d", i)})
+			}
+			if err := s.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := replication.OpenStore(dir, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Len() != n {
+					b.Fatalf("recovered %d pairs, want %d", r.Len(), n)
+				}
+				if err := r.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -47,6 +47,19 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+// nodeOptions collects the run parameters parsed from the command line.
+type nodeOptions struct {
+	listen, join string
+	puts, gets   []string
+	interactions int
+	nmin, dmax   int
+	serve        time.Duration
+	dataDir      string
+	engine       string
+	maintain     time.Duration
+	tcp          network.TCPOptions
+}
+
 func main() {
 	var puts, gets multiFlag
 	var (
@@ -57,25 +70,54 @@ func main() {
 		dmax         = flag.Int("dmax", 20, "maximal storage load per partition")
 		serve        = flag.Duration("serve", 0, "keep serving for this duration after local work finishes")
 		dataDir      = flag.String("data-dir", "", "directory for durable replica state (WAL + snapshots); restarts recover items, tombstones, path and sync baselines from it")
+		engine       = flag.String("engine", "", "pair-storage engine: mem or disk; disk keeps the partition's resident set bounded for stores far larger than RAM (default: $PGRID_ENGINE, else mem)")
 		maintain     = flag.Duration("maintain", 0, "run background maintenance (anti-entropy, routing probes) at this interval while serving; 0 disables")
+		dialTimeout  = flag.Duration("dial-timeout", 0, "TCP transport: connection-establishment timeout (0 = default)")
+		callTimeout  = flag.Duration("call-timeout", 0, "TCP transport: per-call timeout when the context has no deadline (0 = default)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "TCP transport: per-connection idle horizon before a pooled connection is closed (0 = default)")
+		frameLimit   = flag.Int("frame-limit", 0, "TCP transport: outgoing frame size cap in bytes; larger messages fragment (0 = protocol cap)")
+		maxMessage   = flag.Int("max-message", 0, "TCP transport: reassembled message size cap in bytes (0 = default)")
+		forceJSON    = flag.Bool("force-json", false, "TCP transport: pin outgoing calls to the legacy JSON dial-per-call path")
 	)
 	flag.Var(&puts, "put", "index an entry of the form term=value (repeatable)")
 	flag.Var(&gets, "get", "query a term after construction (repeatable)")
 	flag.Parse()
 
-	if err := run(*listen, *join, puts, gets, *interactions, *nmin, *dmax, *serve, *dataDir, *maintain); err != nil {
+	opts := nodeOptions{
+		listen: *listen, join: *join, puts: puts, gets: gets,
+		interactions: *interactions, nmin: *nmin, dmax: *dmax,
+		serve: *serve, dataDir: *dataDir, engine: *engine, maintain: *maintain,
+		tcp: network.TCPOptions{
+			DialTimeout: *dialTimeout,
+			CallTimeout: *callTimeout,
+			IdleTimeout: *idleTimeout,
+			FrameLimit:  *frameLimit,
+			MaxMessage:  *maxMessage,
+			ForceJSON:   *forceJSON,
+		},
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pgridnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, join string, puts, gets []string, interactions, nmin, dmax int, serve time.Duration, dataDir string, maintain time.Duration) error {
-	ep, err := network.ListenTCP(listen)
+func run(opts nodeOptions) error {
+	listen, join, puts, gets := opts.listen, opts.join, opts.puts, opts.gets
+	interactions, dataDir := opts.interactions, opts.dataDir
+	serve, maintain := opts.serve, opts.maintain
+	ep, err := network.ListenTCPOptions(listen, opts.tcp)
 	if err != nil {
 		return err
 	}
 	defer ep.Close()
-	cfg := overlay.Config{MaxKeys: dmax, MinReplicas: nmin, Seed: time.Now().UnixNano(), DataDir: dataDir}
+	cfg := overlay.Config{
+		MaxKeys:       opts.dmax,
+		MinReplicas:   opts.nmin,
+		Seed:          time.Now().UnixNano(),
+		DataDir:       dataDir,
+		StorageEngine: opts.engine,
+	}
 	peer, err := overlay.NewPersistent(cfg, ep)
 	if err != nil {
 		return err

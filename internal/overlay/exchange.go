@@ -116,10 +116,12 @@ func (p *Peer) respondSamePath(req ExchangeRequest, resp *ExchangeResponse) {
 	// and remember each other as replicas.
 	newItems := p.store.AddAll(req.Items)
 	p.Metrics.KeysMoved.Add(float64(len(req.Items)))
-	have := replication.NewStore()
-	have.AddAll(req.Items)
+	have := make(map[keyspace.Key]bool, len(req.Items))
+	for _, it := range req.Items {
+		have[it.Key] = true
+	}
 	for _, it := range p.store.ItemsWithPrefix(path) {
-		if len(have.Lookup(it.Key)) == 0 {
+		if !have[it.Key] {
 			resp.Items = append(resp.Items, it)
 		}
 	}

@@ -85,10 +85,6 @@ func (p *Peer) Delete(ctx context.Context, key keyspace.Key, value string) (Muta
 	return p.finishMutation(resp)
 }
 
-// mutationDedupWindow bounds the per-peer memory of recently coordinated
-// mutation IDs.
-const mutationDedupWindow = 1024
-
 // mutationID draws a non-zero random operation identity.
 func (p *Peer) mutationID() uint64 {
 	p.mu.Lock()
@@ -105,26 +101,12 @@ func (p *Peer) mutationID() uint64 {
 // responsible peers; IDs spread with the Direct fan-out, so a late duplicate
 // reaching another replica of the partition is recognised instead of being
 // re-coordinated (which could re-stamp a delete above a newer acknowledged
-// re-insert). A zero ID is never deduplicated.
+// re-insert). The ring lives in the store — WAL-logged and snapshotted with
+// the rest of the replica state — so a restarted replica still recognises
+// duplicates of mutations it coordinated before the crash. A zero ID is
+// never deduplicated.
 func (p *Peer) markMutation(id uint64) bool {
-	if id == 0 {
-		return true
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.mutSeen == nil {
-		p.mutSeen = make(map[uint64]bool)
-	}
-	if p.mutSeen[id] {
-		return false
-	}
-	p.mutSeen[id] = true
-	p.mutLog = append(p.mutLog, id)
-	if len(p.mutLog) > mutationDedupWindow {
-		delete(p.mutSeen, p.mutLog[0])
-		p.mutLog = p.mutLog[1:]
-	}
-	return true
+	return p.store.MarkMutation(id)
 }
 
 // finishMutation converts the wire response into a MutateResult and applies

@@ -104,6 +104,12 @@ type Config struct {
 	// maintenance tick compacts the log into a snapshot
 	// (replication.DefaultSnapshotThreshold when zero).
 	SnapshotThreshold int
+	// StorageEngine selects the store's pair-storage engine:
+	// replication.EngineMem (in-memory map) or replication.EngineDisk
+	// (log-structured on-disk segments, for partitions far larger than
+	// RAM). Empty uses replication.DefaultEngine (the PGRID_ENGINE
+	// environment variable, or mem).
+	StorageEngine string
 	// Seed drives the peer's local randomness.
 	Seed int64
 }
@@ -221,10 +227,6 @@ type Peer struct {
 	replicas map[network.Addr]bool
 	idle     int
 	done     bool
-	// mutSeen and mutLog deduplicate recently coordinated mutation IDs (the
-	// α-raced routing can deliver duplicates to several responsible peers).
-	mutSeen map[uint64]bool
-	mutLog  []uint64
 	// syncStates holds the per-replica anti-entropy baselines (the store
 	// clocks of the last completed digest/delta sync).
 	syncStates map[network.Addr]syncState
@@ -273,14 +275,21 @@ type metaRef struct {
 // exactly like New.
 func NewPersistent(cfg Config, transport network.Transport) (*Peer, error) {
 	cfg = cfg.normalize()
-	store := replication.NewStore()
+	var store *replication.Store
 	if cfg.DataDir != "" {
 		var err error
 		store, err = replication.OpenStore(cfg.DataDir, replication.PersistOptions{
 			SyncInterval:      cfg.WALSyncInterval,
 			SyncAlways:        cfg.WALSyncAlways,
 			SnapshotThreshold: cfg.SnapshotThreshold,
+			Engine:            cfg.StorageEngine,
 		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		store, err = replication.NewStoreKind(cfg.StorageEngine)
 		if err != nil {
 			return nil, err
 		}
@@ -626,11 +635,14 @@ func (p *Peer) handleReplicate(req ReplicateRequest) ReplicateResponse {
 	if req.AntiEntropy {
 		// Send back the items the initiator appears to be missing within
 		// the shared partition, plus the local tombstones so deletes travel
-		// in both directions.
-		initiator := replication.NewStore()
-		initiator.AddAll(req.Items)
+		// in both directions. Membership only needs the initiator's key set,
+		// not a scratch store.
+		initiator := make(map[keyspace.Key]bool, len(req.Items))
+		for _, it := range req.Items {
+			initiator[it.Key] = true
+		}
 		for _, it := range p.store.ItemsWithPrefix(req.Path) {
-			if len(initiator.Lookup(it.Key)) == 0 {
+			if !initiator[it.Key] {
 				resp.Items = append(resp.Items, it)
 			}
 		}

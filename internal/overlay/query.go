@@ -252,7 +252,12 @@ type rangeBranch struct {
 func (p *Peer) handleRange(ctx context.Context, req RangeRequest) RangeResponse {
 	r := keyspace.Range{Lo: req.Lo, Hi: req.Hi, HiUnbounded: req.HiUnbounded}
 	out := RangeResponse{Hops: req.Hops, Partitions: 1}
-	out.Items = append(out.Items, p.store.ItemsInRange(r)...)
+	// Stream the range straight off the storage engine (a disk-backed
+	// store never materialises its full pair set).
+	p.store.ScanRange(r, func(it replication.Item) bool {
+		out.Items = append(out.Items, it)
+		return true
+	})
 	p.Metrics.QueryBytes.Add(float64(out.WireSize()))
 	if req.TTL <= 0 {
 		out.Incomplete = true

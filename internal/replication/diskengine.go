@@ -1,0 +1,489 @@
+package replication
+
+// The disk-backed storage engine: an LSM-lite of one in-memory memtable over
+// immutable sorted segment files (segment.go). Writes land in the memtable
+// (they are already WAL-durable — the Store logs every mutation before the
+// engine sees it); a checkpoint freezes the memtable, flushes it to a new
+// segment and, past a segment-count threshold, compacts all segments into
+// one. Reads consult the memtable, the frozen memtable being flushed, then
+// segments newest-first; range scans k-way merge all of them.
+//
+// Crash consistency is manifest-gated: a segment file only becomes part of
+// the store when a committed snapshot lists it (snapshot.go), which happens
+// after the file and the directory entry are fsynced. Recovery therefore
+// opens exactly the manifest's segments — whose content is exactly the
+// engine state at the snapshot's WAL boundary — deletes unreferenced
+// segment files (flushes whose snapshot never committed; their records are
+// still recovered from the surviving WAL segments), and replays the WAL
+// tail into the memtable. No pair scan is needed to serve: the segments'
+// sparse indexes are the only thing loaded.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// diskCompactThreshold is the number of segments above which a checkpoint
+// merges all segments into one.
+const diskCompactThreshold = 4
+
+// memKey identifies a pair in the memtable.
+type memKey struct{ key, value string }
+
+// memVal is the memtable's record state: a pair, or a delete marker
+// shadowing older segments.
+type memVal struct {
+	gen, ver uint64
+	del      bool
+}
+
+// diskEngine implements Engine over a memtable plus sorted segments.
+type diskEngine struct {
+	dir       string
+	ephemeral bool // remove dir on Close (throwaway engine without persistence)
+
+	// mu guards the maps and the segment list. Mutating Engine calls are
+	// additionally serialised by the owning Store's lock; flushes and
+	// compactions run outside that lock (only checkpoint-serialised), which
+	// is why readers must hold mu too.
+	mu      sync.RWMutex
+	mem     map[memKey]memVal
+	frozen  map[memKey]memVal // pending flush; nil when none
+	segs    []*segment        // oldest first
+	n       int               // live pair count
+	nextSeq uint64            // next segment file sequence (checkpoint-serialised)
+
+	errMu sync.Mutex
+	err   error // sticky segment I/O failure
+}
+
+// openDiskEngine opens the engine over dir: it opens the manifest's
+// segments (in manifest order, oldest first), deletes unreferenced segment
+// files — flushes of checkpoints that never committed; the WAL still holds
+// their records — and starts an empty memtable. count is the live pair
+// count at the manifest's snapshot boundary.
+func openDiskEngine(dir string, manifest []string, count int) (*diskEngine, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]bool, len(manifest))
+	for _, name := range manifest {
+		keep[name] = true
+	}
+	var maxSeq uint64
+	for _, e := range entries {
+		seq, ok := parseSeq(e.Name(), "seg-", ".seg")
+		if !ok {
+			continue
+		}
+		if seq >= maxSeq {
+			maxSeq = seq + 1
+		}
+		if !keep[e.Name()] {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	eng := &diskEngine{
+		dir:     dir,
+		mem:     make(map[memKey]memVal),
+		n:       count,
+		nextSeq: maxSeq,
+	}
+	for _, name := range manifest {
+		seg, err := openSegment(filepath.Join(dir, name), name)
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("replication: open segment %s: %w", name, err)
+		}
+		eng.segs = append(eng.segs, seg)
+	}
+	return eng, nil
+}
+
+// fail records a sticky segment I/O failure (surfaced through
+// Store.PersistenceErr).
+func (e *diskEngine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+}
+
+// Err returns the sticky segment I/O failure, if any.
+func (e *diskEngine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// lookupLocked resolves a pair across memtable, frozen memtable and
+// segments (newest first). It returns the record and whether the pair is
+// live — a delete marker is a definitive miss. Callers must hold mu.
+func (e *diskEngine) lookupLocked(key, value string) (segRec, bool) {
+	k := memKey{key, value}
+	if v, ok := e.mem[k]; ok {
+		return segRec{key: key, value: value, gen: v.gen, ver: v.ver, del: v.del}, !v.del
+	}
+	if e.frozen != nil {
+		if v, ok := e.frozen[k]; ok {
+			return segRec{key: key, value: value, gen: v.gen, ver: v.ver, del: v.del}, !v.del
+		}
+	}
+	for i := len(e.segs) - 1; i >= 0; i-- {
+		rec, ok, err := e.segs[i].get(key, value)
+		if err != nil {
+			e.fail(err)
+			return segRec{}, false
+		}
+		if ok {
+			return rec, !rec.del
+		}
+	}
+	return segRec{}, false
+}
+
+func (e *diskEngine) Get(key, value string) (PairRecord, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rec, live := e.lookupLocked(key, value)
+	if !live {
+		return PairRecord{}, false
+	}
+	return PairRecord{Key: key, Value: value, Gen: rec.gen, Ver: rec.ver}, true
+}
+
+func (e *diskEngine) Put(rec PairRecord, isNew bool) {
+	e.mu.Lock()
+	e.mem[memKey{rec.Key, rec.Value}] = memVal{gen: rec.Gen, ver: rec.Ver}
+	if isNew {
+		e.n++
+	}
+	e.mu.Unlock()
+}
+
+func (e *diskEngine) Delete(key, value string) (PairRecord, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, live := e.lookupLocked(key, value)
+	if !live {
+		return PairRecord{}, false
+	}
+	k := memKey{key, value}
+	if e.frozen == nil && len(e.segs) == 0 {
+		// Nothing beneath the memtable to shadow: drop the entry outright.
+		delete(e.mem, k)
+	} else {
+		e.mem[k] = memVal{del: true}
+	}
+	e.n--
+	return PairRecord{Key: key, Value: value, Gen: rec.gen, Ver: rec.ver}, true
+}
+
+func (e *diskEngine) ScanKey(key string, fn func(PairRecord) bool) {
+	e.ScanPrefix(key, func(rec PairRecord) bool {
+		if rec.Key != key {
+			return false
+		}
+		return fn(rec)
+	})
+}
+
+func (e *diskEngine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.n
+}
+
+func (e *diskEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var err error
+	for _, g := range e.segs {
+		if cerr := g.close(); err == nil {
+			err = cerr
+		}
+	}
+	e.segs = nil
+	if e.ephemeral {
+		if rerr := os.RemoveAll(e.dir); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// --- scanning ---------------------------------------------------------------
+
+// pairSource is the k-way merge's view of one sorted record stream.
+type pairSource interface {
+	peek() (segRec, bool, error)
+	advance()
+}
+
+// sliceSource streams a pre-sorted record slice (the memtable view).
+type sliceSource struct {
+	recs []segRec
+	i    int
+}
+
+func (s *sliceSource) peek() (segRec, bool, error) {
+	if s.i >= len(s.recs) {
+		return segRec{}, false, nil
+	}
+	return s.recs[s.i], true, nil
+}
+
+func (s *sliceSource) advance() { s.i++ }
+
+func (e *diskEngine) ScanPrefix(prefix string, fn func(PairRecord) bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	// The memtable view: active entries shadow frozen ones.
+	var recs []segRec
+	appendMatches := func(m map[memKey]memVal, shadow map[memKey]memVal) {
+		for k, v := range m {
+			if !hasPrefix(k.key, prefix) {
+				continue
+			}
+			if shadow != nil {
+				if _, hidden := shadow[k]; hidden {
+					continue
+				}
+			}
+			recs = append(recs, segRec{key: k.key, value: k.value, gen: v.gen, ver: v.ver, del: v.del})
+		}
+	}
+	appendMatches(e.mem, nil)
+	if e.frozen != nil {
+		appendMatches(e.frozen, e.mem)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		return pairLess(recs[i].key, recs[i].value, recs[j].key, recs[j].value)
+	})
+	// Sources in shadowing order: memtable first, then segments newest
+	// first.
+	sources := make([]pairSource, 0, 1+len(e.segs))
+	sources = append(sources, &sliceSource{recs: recs})
+	for i := len(e.segs) - 1; i >= 0; i-- {
+		it, err := e.segs[i].iter(prefix, "")
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		sources = append(sources, it)
+	}
+	if err := mergeSources(sources, prefix, func(rec segRec) bool {
+		if rec.del {
+			return true
+		}
+		return fn(PairRecord{Key: rec.key, Value: rec.value, Gen: rec.gen, Ver: rec.ver})
+	}); err != nil {
+		e.fail(err)
+	}
+}
+
+// mergeSources k-way merges sorted record streams, resolving duplicates in
+// favour of the earliest source, and stops once records leave the prefix.
+// Delete markers are passed through to fn (callers skip or drop them).
+func mergeSources(sources []pairSource, prefix string, fn func(segRec) bool) error {
+	for {
+		best := -1
+		var bestRec segRec
+		for i, src := range sources {
+			rec, ok, err := src.peek()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if best == -1 || pairLess(rec.key, rec.value, bestRec.key, bestRec.value) {
+				best, bestRec = i, rec
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		if !hasPrefix(bestRec.key, prefix) {
+			// Sources only yield records at or past the prefix, so the first
+			// non-matching minimum means every remaining record is past it.
+			return nil
+		}
+		for _, src := range sources {
+			rec, ok, err := src.peek()
+			if err != nil {
+				return err
+			}
+			if ok && rec.key == bestRec.key && rec.value == bestRec.value {
+				src.advance()
+			}
+		}
+		if !fn(bestRec) {
+			return nil
+		}
+	}
+}
+
+// --- checkpoint integration (persist.go) ------------------------------------
+
+// freeze moves the active memtable aside for flushing. Called with the
+// owning Store's lock held, at the WAL rotation point of a checkpoint, so
+// the frozen set is exactly the un-flushed state at the snapshot boundary.
+// If an earlier flush failed, its frozen set is merged under the new one.
+func (e *diskEngine) freeze() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.mem) == 0 {
+		return
+	}
+	if e.frozen == nil {
+		e.frozen = e.mem
+	} else {
+		for k, v := range e.mem {
+			e.frozen[k] = v
+		}
+	}
+	e.mem = make(map[memKey]memVal)
+}
+
+// flushFrozen writes the frozen memtable to a new segment, compacts when
+// the segment count passes the threshold, fsyncs the directory, and returns
+// the manifest (current segment file names) plus a cleanup that deletes
+// segments replaced by compaction — to be invoked only after the snapshot
+// referencing the new manifest is durable. Runs outside the store lock;
+// serialised by the checkpoint mutex.
+func (e *diskEngine) flushFrozen() (manifest []string, cleanup func(), err error) {
+	e.mu.RLock()
+	frozen := e.frozen
+	e.mu.RUnlock()
+	if len(frozen) > 0 {
+		keys := make([]memKey, 0, len(frozen))
+		for k := range frozen {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return pairLess(keys[i].key, keys[i].value, keys[j].key, keys[j].value)
+		})
+		name := segmentFileName(e.nextSeq)
+		e.nextSeq++
+		w, err := newSegWriter(filepath.Join(e.dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, k := range keys {
+			v := frozen[k]
+			if err := w.add(segRec{key: k.key, value: k.value, gen: v.gen, ver: v.ver, del: v.del}); err != nil {
+				w.abort()
+				return nil, nil, err
+			}
+		}
+		if err := w.finish(); err != nil {
+			return nil, nil, err
+		}
+		seg, err := openSegment(filepath.Join(e.dir, name), name)
+		if err != nil {
+			os.Remove(filepath.Join(e.dir, name))
+			return nil, nil, err
+		}
+		e.mu.Lock()
+		e.segs = append(e.segs, seg)
+		e.frozen = nil
+		e.mu.Unlock()
+	}
+	if len(e.segs) > diskCompactThreshold {
+		cleanup, err = e.compact()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := syncDir(e.dir); err != nil {
+		return nil, cleanup, err
+	}
+	e.mu.RLock()
+	manifest = make([]string, 0, len(e.segs))
+	for _, g := range e.segs {
+		manifest = append(manifest, g.name)
+	}
+	e.mu.RUnlock()
+	return manifest, cleanup, nil
+}
+
+// compact streams a merge of every segment into one new segment, dropping
+// delete markers and shadowed records. The replaced files are closed and
+// removed by the returned cleanup, which callers invoke once the manifest
+// naming the merged segment is durable.
+func (e *diskEngine) compact() (func(), error) {
+	e.mu.RLock()
+	old := append([]*segment(nil), e.segs...)
+	e.mu.RUnlock()
+	name := segmentFileName(e.nextSeq)
+	e.nextSeq++
+	w, err := newSegWriter(filepath.Join(e.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]pairSource, 0, len(old))
+	for i := len(old) - 1; i >= 0; i-- { // newest first: merge keeps the newest state
+		it, err := old[i].iter("", "")
+		if err != nil {
+			w.abort()
+			return nil, err
+		}
+		sources = append(sources, it)
+	}
+	mergeErr := mergeSources(sources, "", func(rec segRec) bool {
+		if rec.del {
+			return true // compacting the full set: markers shadow nothing older
+		}
+		err = w.add(rec)
+		return err == nil
+	})
+	if mergeErr == nil {
+		mergeErr = err
+	}
+	if mergeErr != nil {
+		w.abort()
+		return nil, mergeErr
+	}
+	if w.records == 0 {
+		w.abort()
+		e.mu.Lock()
+		e.segs = nil
+		e.mu.Unlock()
+		return func() { removeSegments(old) }, nil
+	}
+	if err := w.finish(); err != nil {
+		return nil, err
+	}
+	seg, err := openSegment(filepath.Join(e.dir, name), name)
+	if err != nil {
+		os.Remove(filepath.Join(e.dir, name))
+		return nil, err
+	}
+	e.mu.Lock()
+	e.segs = []*segment{seg}
+	e.mu.Unlock()
+	return func() { removeSegments(old) }, nil
+}
+
+// removeSegments closes and deletes replaced segment files (best effort —
+// leftovers are cleaned at the next open).
+func removeSegments(segs []*segment) {
+	for _, g := range segs {
+		path := g.f.Name()
+		g.close()
+		os.Remove(path)
+	}
+}
+
+// segmentCount reports the number of on-disk segments (tests and stats).
+func (e *diskEngine) segmentCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.segs)
+}

@@ -1,0 +1,603 @@
+package replication
+
+// Engine conformance suite: every storage engine must satisfy the same
+// observable contract, both at the raw Engine level (ordering, isNew
+// semantics, early-stop scans) and through a Store (generation ordering,
+// delete-wins-ties, GC floor, digest equivalence, crash recovery). The
+// random-ops equivalence tests pit a disk-engine store against a mem-engine
+// shadow and require identical observable state, so any divergence between
+// the engines' merge/scan logic surfaces as a concrete failing step.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgrid/internal/keyspace"
+)
+
+// conformanceEngines returns a constructor per engine kind. Disk engines are
+// rooted in a per-test temp dir and closed by the test cleanup.
+func conformanceEngines() map[string]func(t *testing.T) Engine {
+	return map[string]func(t *testing.T) Engine{
+		EngineMem: func(t *testing.T) Engine { return newMemEngine() },
+		EngineDisk: func(t *testing.T) Engine {
+			eng, err := openDiskEngine(t.TempDir(), nil, 0)
+			if err != nil {
+				t.Fatalf("open disk engine: %v", err)
+			}
+			t.Cleanup(func() { eng.Close() })
+			return eng
+		},
+	}
+}
+
+func TestEngineConformanceBasic(t *testing.T) {
+	for kind, mk := range conformanceEngines() {
+		t.Run(kind, func(t *testing.T) {
+			eng := mk(t)
+			if _, ok := eng.Get("01", "a"); ok {
+				t.Error("empty engine should miss")
+			}
+			eng.Put(PairRecord{Key: "01", Value: "a", Gen: 1, Ver: 10}, true)
+			eng.Put(PairRecord{Key: "01", Value: "b", Gen: 0, Ver: 11}, true)
+			eng.Put(PairRecord{Key: "10", Value: "c", Gen: 2, Ver: 12}, true)
+			if eng.Len() != 3 {
+				t.Errorf("len = %d, want 3", eng.Len())
+			}
+			rec, ok := eng.Get("01", "a")
+			if !ok || rec.Gen != 1 || rec.Ver != 10 {
+				t.Errorf("get = %+v ok=%v", rec, ok)
+			}
+			// Overwrite with isNew=false must not grow the count.
+			eng.Put(PairRecord{Key: "01", Value: "a", Gen: 5, Ver: 20}, false)
+			if eng.Len() != 3 {
+				t.Errorf("len after overwrite = %d, want 3", eng.Len())
+			}
+			if rec, _ := eng.Get("01", "a"); rec.Gen != 5 || rec.Ver != 20 {
+				t.Errorf("overwritten rec = %+v", rec)
+			}
+			removed, ok := eng.Delete("01", "a")
+			if !ok || removed.Gen != 5 {
+				t.Errorf("delete = %+v ok=%v", removed, ok)
+			}
+			if _, ok := eng.Get("01", "a"); ok {
+				t.Error("deleted pair should miss")
+			}
+			if _, ok := eng.Delete("01", "a"); ok {
+				t.Error("double delete should miss")
+			}
+			if eng.Len() != 2 {
+				t.Errorf("len after delete = %d, want 2", eng.Len())
+			}
+		})
+	}
+}
+
+func TestEngineConformanceScanOrder(t *testing.T) {
+	for kind, mk := range conformanceEngines() {
+		t.Run(kind, func(t *testing.T) {
+			eng := mk(t)
+			rng := rand.New(rand.NewSource(7))
+			type pair struct{ k, v string }
+			var pairs []pair
+			seen := map[pair]bool{}
+			for i := 0; i < 200; i++ {
+				p := pair{
+					k: fmt.Sprintf("%06b", rng.Intn(64))[:1+rng.Intn(6)],
+					v: fmt.Sprintf("v%d", rng.Intn(8)),
+				}
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				pairs = append(pairs, p)
+				eng.Put(PairRecord{Key: p.k, Value: p.v, Ver: uint64(i)}, true)
+			}
+			var got []PairRecord
+			eng.ScanPrefix("", func(r PairRecord) bool {
+				got = append(got, r)
+				return true
+			})
+			if len(got) != len(pairs) {
+				t.Fatalf("scan yielded %d records, want %d", len(got), len(pairs))
+			}
+			for i := 1; i < len(got); i++ {
+				if !pairLess(got[i-1].Key, got[i-1].Value, got[i].Key, got[i].Value) {
+					t.Fatalf("scan out of order at %d: (%q,%q) !< (%q,%q)",
+						i, got[i-1].Key, got[i-1].Value, got[i].Key, got[i].Value)
+				}
+			}
+			// Prefix restriction and early stop.
+			var under []PairRecord
+			eng.ScanPrefix("01", func(r PairRecord) bool {
+				under = append(under, r)
+				return true
+			})
+			want := 0
+			for _, p := range pairs {
+				if hasPrefix(p.k, "01") {
+					want++
+				}
+			}
+			if len(under) != want {
+				t.Errorf("prefix scan yielded %d, want %d", len(under), want)
+			}
+			for _, r := range under {
+				if !hasPrefix(r.Key, "01") {
+					t.Errorf("prefix scan leaked key %q", r.Key)
+				}
+			}
+			steps := 0
+			eng.ScanPrefix("", func(PairRecord) bool {
+				steps++
+				return steps < 5
+			})
+			if steps != 5 {
+				t.Errorf("early stop took %d steps, want 5", steps)
+			}
+			// ScanKey yields exactly the one key's records, no extensions.
+			eng.Put(PairRecord{Key: "0110", Value: "x"}, true)
+			eng.Put(PairRecord{Key: "01101", Value: "y"}, true)
+			var exact []PairRecord
+			eng.ScanKey("0110", func(r PairRecord) bool {
+				exact = append(exact, r)
+				return true
+			})
+			for _, r := range exact {
+				if r.Key != "0110" {
+					t.Errorf("ScanKey leaked key %q", r.Key)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDiskSegmentsMergedView drives the disk engine through explicit
+// freeze/flush cycles — the states a Store checkpoint produces — and checks
+// the merged memtable+segment view against a flat shadow map, including
+// deletes that must shadow older segment records and the compaction that
+// folds everything back into one segment.
+func TestEngineDiskSegmentsMergedView(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := openDiskEngine(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	type pair struct{ k, v string }
+	shadow := map[pair]PairRecord{}
+	rng := rand.New(rand.NewSource(11))
+	manifest := []string(nil)
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 120; i++ {
+			p := pair{
+				k: fmt.Sprintf("%08b", rng.Intn(256))[:2+rng.Intn(7)],
+				v: fmt.Sprintf("v%d", rng.Intn(4)),
+			}
+			switch rng.Intn(4) {
+			case 0:
+				if _, ok := shadow[p]; ok {
+					delete(shadow, p)
+					eng.Delete(p.k, p.v)
+				}
+			default:
+				rec := PairRecord{Key: p.k, Value: p.v, Gen: uint64(rng.Intn(4)), Ver: uint64(round*1000 + i)}
+				_, had := shadow[p]
+				shadow[p] = rec
+				eng.Put(rec, !had)
+			}
+		}
+		// Simulate the checkpoint boundary: freeze the memtable and flush it
+		// to a segment (compacting past the threshold).
+		eng.freeze()
+		m, cleanup, err := eng.flushFrozen()
+		if err != nil {
+			t.Fatalf("round %d: flush: %v", round, err)
+		}
+		if cleanup != nil {
+			cleanup()
+		}
+		manifest = m
+
+		if eng.Len() != len(shadow) {
+			t.Fatalf("round %d: len = %d, want %d", round, eng.Len(), len(shadow))
+		}
+		got := map[pair]PairRecord{}
+		eng.ScanPrefix("", func(r PairRecord) bool {
+			got[pair{r.Key, r.Value}] = r
+			return true
+		})
+		if len(got) != len(shadow) {
+			t.Fatalf("round %d: scan yielded %d, want %d", round, len(got), len(shadow))
+		}
+		for p, want := range shadow {
+			if g, ok := got[p]; !ok || g != want {
+				t.Fatalf("round %d: pair %v = %+v, want %+v", round, p, g, want)
+			}
+		}
+	}
+	if n := eng.segmentCount(); n > diskCompactThreshold+1 {
+		t.Errorf("segments never compacted: %d live", n)
+	}
+	if len(manifest) == 0 {
+		t.Error("flush reported empty manifest despite live pairs")
+	}
+	// Point reads resolve through the merged view too.
+	for p, want := range shadow {
+		if g, ok := eng.Get(p.k, p.v); !ok || g != want {
+			t.Fatalf("get %v = %+v ok=%v, want %+v", p, g, ok, want)
+		}
+	}
+}
+
+// storeKinds are the engine kinds every Store-level conformance test runs
+// against.
+var storeKinds = []string{EngineMem, EngineDisk}
+
+// newTestStoreKind builds an ephemeral store on the kind and ties its
+// cleanup to the test.
+func newTestStoreKind(t *testing.T, kind string) *Store {
+	t.Helper()
+	s, err := NewStoreKind(kind)
+	if err != nil {
+		t.Fatalf("new %s store: %v", kind, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreConformanceGenerationOrdering(t *testing.T) {
+	for _, kind := range storeKinds {
+		t.Run(kind, func(t *testing.T) {
+			s := newTestStoreKind(t, kind)
+			k := keyspace.MustFromString("0101")
+			s.Add(Item{Key: k, Value: "doc", Gen: 3})
+			// An older tombstone loses to the newer live generation.
+			s.AddTombstones([]Item{{Key: k, Value: "doc", Gen: 2}})
+			if !s.Live(k, "doc") {
+				t.Fatal("older tombstone must not kill newer live pair")
+			}
+			// A tombstone of the same generation wins the tie (deletes win).
+			s.AddTombstones([]Item{{Key: k, Value: "doc", Gen: 3}})
+			if s.Live(k, "doc") {
+				t.Fatal("same-generation tombstone must win the tie")
+			}
+			if !s.Deleted(k, "doc") {
+				t.Fatal("pair should be tombstoned")
+			}
+			// A strictly newer live write resurrects it.
+			s.Add(Item{Key: k, Value: "doc", Gen: 4})
+			if !s.Live(k, "doc") {
+				t.Fatal("newer live generation must beat the tombstone")
+			}
+		})
+	}
+}
+
+func TestStoreConformanceGCFloor(t *testing.T) {
+	for _, kind := range storeKinds {
+		t.Run(kind, func(t *testing.T) {
+			s := newTestStoreKind(t, kind)
+			s.SetGCPolicy(GCPolicy{MinVersions: 2})
+			k := keyspace.MustFromString("01")
+			s.Add(Item{Key: k, Value: "a"})
+			s.Delete(k, "a")
+			for i := 0; i < 8; i++ {
+				s.Add(Item{Key: testKey(i), Value: "pad"})
+			}
+			if n := s.CompactTombstones(); n != 1 {
+				t.Fatalf("pruned %d tombstones, want 1", n)
+			}
+			if s.GCFloor() == 0 {
+				t.Fatal("GC floor should have advanced")
+			}
+			// Deltas from before the floor are unanswerable: the pruned
+			// tombstone can no longer be shipped.
+			if _, _, ok := s.DeltaSince(s.GCFloor() - 1); ok {
+				t.Error("delta below the GC floor must be refused")
+			}
+			if _, _, ok := s.DeltaSince(s.Clock()); !ok {
+				t.Error("delta at the clock must succeed")
+			}
+		})
+	}
+}
+
+// TestStoreEngineEquivalenceRandomOps drives a disk-engine store and a
+// mem-engine shadow through the same random mutation sequence and requires
+// identical observable state — items, tombstones, digests, deltas and
+// clocks — throughout. This is the cross-engine byte-compatibility property
+// the anti-entropy protocol depends on.
+func TestStoreEngineEquivalenceRandomOps(t *testing.T) {
+	const seed = 20260808
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("seed %d", seed)
+
+	s := newTestStoreKind(t, EngineDisk)
+	shadow := newTestStoreKind(t, EngineMem)
+	s.SetGCPolicy(GCPolicy{MinVersions: 8})
+	shadow.SetGCPolicy(GCPolicy{MinVersions: 8})
+
+	values := []string{"a", "b", "c"}
+	paths := []keyspace.Path{"0", "1", "01", "10"}
+	for step := 0; step < 600; step++ {
+		k := testKey(rng.Intn(16))
+		v := values[rng.Intn(len(values))]
+		switch op := rng.Intn(20); {
+		case op < 8:
+			it := Item{Key: k, Value: v}
+			s.Insert(it)
+			shadow.Insert(it)
+		case op < 11:
+			it := Item{Key: k, Value: v, Gen: uint64(rng.Intn(5))}
+			s.Add(it)
+			shadow.Add(it)
+		case op < 14:
+			s.Delete(k, v)
+			shadow.Delete(k, v)
+		case op < 16:
+			it := Item{Key: k, Value: v, Gen: uint64(rng.Intn(8))}
+			s.AddTombstones([]Item{it})
+			shadow.AddTombstones([]Item{it})
+		case op < 17:
+			s.CompactTombstones()
+			shadow.CompactTombstones()
+		case op < 18:
+			p := paths[rng.Intn(len(paths))]
+			s.RemovePrefix(p)
+			shadow.RemovePrefix(p)
+		case op < 19:
+			p := paths[rng.Intn(len(paths))]
+			items := []Item{{Key: k, Value: v, Gen: uint64(rng.Intn(4))}}
+			tombs := []Item{{Key: testKey(rng.Intn(16)), Value: v, Gen: uint64(rng.Intn(6))}}
+			s.ReplaceWithin(p, items, tombs)
+			shadow.ReplaceWithin(p, items, tombs)
+		default:
+			p := paths[rng.Intn(len(paths))]
+			s.RetainPrefix(p)
+			shadow.RetainPrefix(p)
+		}
+		if step%97 == 0 {
+			assertSameState(t, s, shadow)
+			if t.Failed() {
+				t.Fatalf("diverged at step %d", step)
+			}
+		}
+	}
+	assertSameState(t, s, shadow)
+}
+
+// TestStoreDiskEngineCrashReopen is the persistent variant: a durable
+// disk-engine store mutated, checkpointed (creating real segments) and
+// crash-reopened at random points must always recover to the mem shadow's
+// state — covering segment adoption via the snapshot manifest, WAL tail
+// replay on top of segments, and external-snapshot digest installation.
+func TestStoreDiskEngineCrashReopen(t *testing.T) {
+	const seed = 20260809
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("seed %d", seed)
+
+	dir := t.TempDir()
+	opts := PersistOptions{SyncAlways: true, SnapshotThreshold: 64, Engine: EngineDisk}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { s.Close() }()
+	shadow := NewStore()
+
+	values := []string{"a", "b", "c"}
+	for step := 0; step < 400; step++ {
+		k := testKey(rng.Intn(16))
+		v := values[rng.Intn(len(values))]
+		switch op := rng.Intn(10); {
+		case op < 6:
+			it := Item{Key: k, Value: v}
+			s.Insert(it)
+			shadow.Insert(it)
+		case op < 8:
+			s.Delete(k, v)
+			shadow.Delete(k, v)
+		default:
+			id := rng.Uint64() | 1
+			s.MarkMutation(id)
+			shadow.MarkMutation(id)
+		}
+		if rng.Intn(40) == 0 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("step %d: checkpoint: %v", step, err)
+			}
+		}
+		if rng.Intn(50) == 0 {
+			// Crash: abandon without Close and recover from disk.
+			r, err := OpenStore(dir, opts)
+			if err != nil {
+				t.Fatalf("step %d: crash recovery: %v", step, err)
+			}
+			s.Close()
+			s = r
+			if s.EngineKind() != EngineDisk {
+				t.Fatalf("recovered on engine %q", s.EngineKind())
+			}
+			assertSameState(t, s, shadow)
+			if t.Failed() {
+				t.Fatalf("diverged at step %d", step)
+			}
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r := reopen(t, s, dir, opts)
+	s = r
+	assertSameState(t, s, shadow)
+}
+
+// TestStoreDiskSnapshotKeepsPairsExternal asserts the sublinear-recovery
+// property: a disk-engine checkpoint must not inline the live pairs into
+// the snapshot — they stay in the segment files the snapshot's manifest
+// names, so recovery installs the digest tree from the snapshot and serves
+// without scanning the pair set.
+func TestStoreDiskSnapshotKeepsPairsExternal(t *testing.T) {
+	dir := t.TempDir()
+	opts := PersistOptions{SyncAlways: true, Engine: EngineDisk}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		s.Add(Item{Key: keyspace.MustFromFloat(float64(i)/n, 20), Value: fmt.Sprintf("v%d", i)})
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok, err := loadLatestSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("load snapshot: ok=%v err=%v", ok, err)
+	}
+	if !st.External {
+		t.Fatal("disk-engine snapshot should keep pairs external")
+	}
+	if len(st.Items) != 0 {
+		t.Fatalf("snapshot inlined %d items", len(st.Items))
+	}
+	if st.Count != n {
+		t.Fatalf("snapshot count = %d, want %d", st.Count, n)
+	}
+	if len(st.Manifest) == 0 {
+		t.Fatal("snapshot names no segments")
+	}
+	for _, name := range st.Manifest {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("manifest segment %s: %v", name, err)
+		}
+	}
+	if len(st.Digests) == 0 {
+		t.Fatal("external snapshot carries no digest cells")
+	}
+	// And it really recovers: same content, still external.
+	r, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != n {
+		t.Fatalf("recovered %d pairs, want %d", r.Len(), n)
+	}
+}
+
+// TestStoreEngineMigration reopens one data directory across engine kinds
+// in both directions and requires identical observable state each time.
+func TestStoreEngineMigration(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(engine string) PersistOptions {
+		return PersistOptions{SyncAlways: true, Engine: engine}
+	}
+	s, err := OpenStore(dir, mk(EngineMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := NewStore()
+	for i := 0; i < 64; i++ {
+		it := Item{Key: testKey(i), Value: fmt.Sprintf("v%d", i%7)}
+		s.Insert(it)
+		shadow.Insert(it)
+	}
+	s.Delete(testKey(3), "v3")
+	shadow.Delete(testKey(3), "v3")
+	s.MarkMutation(42)
+	shadow.MarkMutation(42)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// mem → disk: the inline snapshot loads into the disk engine's memtable.
+	s = reopen(t, s, dir, mk(EngineDisk))
+	if s.EngineKind() != EngineDisk {
+		t.Fatalf("engine = %q, want disk", s.EngineKind())
+	}
+	assertSameState(t, s, shadow)
+	if s.MarkMutation(42) {
+		t.Error("dedup ring lost across mem→disk migration")
+	}
+	shadow.MarkMutation(42)
+	it := Item{Key: testKey(17), Value: "post-migration"}
+	s.Insert(it)
+	shadow.Insert(it)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// disk → mem: the external snapshot's segments are inlined back.
+	s = reopen(t, s, dir, mk(EngineMem))
+	if s.EngineKind() != EngineMem {
+		t.Fatalf("engine = %q, want mem", s.EngineKind())
+	}
+	assertSameState(t, s, shadow)
+	// A mem checkpoint after the migration must leave no stale segment
+	// files behind for a later disk reopen to mis-adopt.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			t.Errorf("stale segment file %s after mem checkpoint", e.Name())
+		}
+	}
+	s = reopen(t, s, dir, mk(EngineDisk))
+	assertSameState(t, s, shadow)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreMutationDedupSurvivesRestart pins the exactly-once property the
+// overlay's coordinators rely on: an ID marked before a crash is still
+// recognised as a duplicate after recovery, and the ring still evicts
+// oldest-first.
+func TestStoreMutationDedupSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := PersistOptions{SyncAlways: true}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MarkMutation(7) {
+		t.Fatal("first mark should be new")
+	}
+	if s.MarkMutation(7) {
+		t.Fatal("second mark should be a duplicate")
+	}
+	if !s.MarkMutation(0) {
+		t.Fatal("zero ID is never deduplicated")
+	}
+	s = reopen(t, s, dir, opts)
+	if s.MarkMutation(7) {
+		t.Error("dedup ring lost across restart")
+	}
+	// Overflow the ring: the oldest ID is evicted and becomes new again.
+	for i := 0; i < mutationDedupWindow; i++ {
+		s.MarkMutation(uint64(1000 + i))
+	}
+	if !s.MarkMutation(7) {
+		t.Error("evicted ID should be markable again")
+	}
+	s = reopen(t, s, dir, opts)
+	if s.MarkMutation(uint64(1000 + mutationDedupWindow - 1)) {
+		t.Error("newest ring entry lost across restart")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -75,6 +75,14 @@ type PersistOptions struct {
 	// CheckpointIfNeeded writes a snapshot and truncates the log. Zero
 	// means DefaultSnapshotThreshold.
 	SnapshotThreshold int
+	// Engine selects the storage engine backing the live pairs: EngineMem,
+	// EngineDisk, or "" for the process default (PGRID_ENGINE). The disk
+	// engine keeps its segment files in the store's data directory, next to
+	// the WAL and snapshots. A directory written under one engine opens
+	// cleanly under the other: the pairs migrate at open (mem reads the
+	// segments back; disk starts from the inlined snapshot) and the next
+	// checkpoint rewrites the directory in the new engine's shape.
+	Engine string
 }
 
 // normalize fills in defaults.
@@ -118,14 +126,43 @@ type Persistence struct {
 // stores.
 func OpenStore(dir string, opts PersistOptions) (*Store, error) {
 	opts = opts.normalize()
+	kind := opts.Engine
+	switch kind {
+	case "":
+		kind = defaultEngineKind
+	case EngineMem, EngineDisk:
+	default:
+		return nil, fmt.Errorf("replication: unknown storage engine %q", opts.Engine)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := NewStore()
 	snap, haveSnap, err := loadLatestSnapshot(dir)
 	if err != nil {
 		return nil, err
 	}
+	if haveSnap && snap.External && kind == EngineMem {
+		// Disk-to-mem migration: inline the segment pairs into the snapshot
+		// state so the ordinary load path below installs them.
+		if err := inlineSegmentPairs(dir, snap); err != nil {
+			return nil, err
+		}
+	}
+	var eng Engine
+	if kind == EngineDisk {
+		var manifest []string
+		count := 0
+		if haveSnap && snap.External {
+			manifest, count = snap.Manifest, snap.Count
+		}
+		eng, err = openDiskEngine(dir, manifest, count)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		eng = newMemEngine()
+	}
+	s := newStoreWithEngine(eng, kind)
 	var startSeq uint64
 	if haveSnap {
 		s.loadSnapshot(snap)
@@ -267,6 +304,11 @@ func (s *Store) Persistent() bool { return s.persist != nil }
 // can alarm and fail the peer over instead of discovering the rollback at
 // the next restart.
 func (s *Store) PersistenceErr() error {
+	if ee, ok := s.eng.(interface{ Err() error }); ok {
+		if err := ee.Err(); err != nil {
+			return err
+		}
+	}
 	if s.persist == nil {
 		return nil
 	}
@@ -284,13 +326,19 @@ func (s *Store) Sync() error {
 	return s.persist.sync()
 }
 
-// Close syncs and closes the store's persistence (no-op for in-memory
-// stores). The store must not be mutated afterwards.
+// Close syncs and closes the store's persistence, then releases the
+// storage engine (for a throwaway disk engine this removes its temp
+// directory). The store must not be used afterwards.
 func (s *Store) Close() error {
-	if s.persist == nil {
-		return nil
+	var perr error
+	if s.persist != nil {
+		perr = s.persist.close()
 	}
-	return s.persist.close()
+	eerr := s.eng.Close()
+	if perr != nil {
+		return perr
+	}
+	return eerr
 }
 
 // WALRecords returns the number of records in the current WAL segment
@@ -305,7 +353,15 @@ func (s *Store) WALRecords() int {
 // Checkpoint compacts the store's persistence: it captures a snapshot of
 // the full durable state at a fresh WAL segment boundary, writes it
 // atomically, and deletes the WAL segments the snapshot covers. It is a
-// no-op for in-memory stores.
+// no-op for non-persistent stores.
+//
+// On the disk engine the pairs are not inlined into the snapshot: the
+// memtable is frozen at the same boundary, flushed to a new segment file
+// (with compaction once enough segments accumulate) outside the store
+// lock, and the snapshot records the resulting segment manifest. Segment
+// files replaced by compaction are deleted only after the snapshot naming
+// their replacement is durable, so a crash at any point leaves a manifest
+// whose files all exist.
 func (s *Store) Checkpoint() error {
 	p := s.persist
 	if p == nil {
@@ -313,18 +369,98 @@ func (s *Store) Checkpoint() error {
 	}
 	p.ckptMu.Lock()
 	defer p.ckptMu.Unlock()
+	disk, isDisk := s.eng.(*diskEngine)
 	s.mu.Lock()
-	st := s.snapshotStateLocked()
+	st := s.snapshotStateLocked(!isDisk)
+	if isDisk {
+		disk.freeze()
+	}
 	err := p.rotate()
 	st.Seq = p.seq
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	var cleanup func()
+	if isDisk {
+		manifest, cl, ferr := disk.flushFrozen()
+		if ferr != nil {
+			// The frozen memtable stays pending (retried by the next
+			// checkpoint); the rotated WAL still covers everything since the
+			// previous snapshot, so no state is lost.
+			return ferr
+		}
+		st.Manifest = manifest
+		cleanup = cl
+	}
 	if err := writeSnapshot(p.dir, st); err != nil {
 		return err
 	}
+	if cleanup != nil {
+		cleanup()
+	}
+	if !isDisk {
+		// A mem-engine snapshot inlines every pair: segment files left over
+		// from an earlier disk-engine era are now unreferenced.
+		removeSegmentFiles(p.dir)
+	}
 	removeBelow(p.dir, st.Seq)
+	return nil
+}
+
+// removeSegmentFiles deletes every storage-engine segment file in dir (best
+// effort; only called when the current snapshot references none).
+func removeSegmentFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), "seg-", ".seg"); ok {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// inlineSegmentPairs rewrites an external-pairs snapshot state into inline
+// form by merging the manifest's segment files (disk-to-mem migration at
+// open).
+func inlineSegmentPairs(dir string, st *snapshotState) error {
+	var segs []*segment
+	defer func() {
+		for _, g := range segs {
+			g.close()
+		}
+	}()
+	for _, name := range st.Manifest {
+		g, err := openSegment(filepath.Join(dir, name), name)
+		if err != nil {
+			return fmt.Errorf("replication: open segment %s: %w", name, err)
+		}
+		segs = append(segs, g)
+	}
+	sources := make([]pairSource, 0, len(segs))
+	for i := len(segs) - 1; i >= 0; i-- { // newest first: merge keeps the newest state
+		it, err := segs[i].iter("", "")
+		if err != nil {
+			return err
+		}
+		sources = append(sources, it)
+	}
+	err := mergeSources(sources, "", func(rec segRec) bool {
+		if !rec.del {
+			st.Items = append(st.Items, snapItem{K: rec.key, V: rec.value, Gen: rec.gen, Ver: rec.ver})
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Inline mode rebuilds the digest tree from the installed pairs; the
+	// carried cells are no longer needed.
+	st.External = false
+	st.Manifest, st.Digests = nil, nil
+	st.Count = 0
 	return nil
 }
 
@@ -534,7 +670,6 @@ func (s *Store) applyWAL(payload []byte) error {
 				if len(s.tombs[ks]) == 0 {
 					delete(s.tombs, ks)
 				}
-				s.clearVerLocked(ks, value)
 			}
 		}
 		floor := d.Uvarint()
@@ -585,6 +720,11 @@ func (s *Store) applyWAL(payload []byte) error {
 			}
 			s.metadata[key] = value
 		}
+	case opMutSeen:
+		id := d.Uvarint()
+		if d.Err() == nil {
+			s.markMutationLocked(id)
+		}
 	default:
 		return fmt.Errorf("replication: unknown WAL op %d", payload[0])
 	}
@@ -617,17 +757,29 @@ func walItems(d *wire.Decoder) []Item {
 // --- snapshot capture and restore -------------------------------------------
 
 // snapshotStateLocked serialises the store's durable state (callers must
-// hold s.mu).
-func (s *Store) snapshotStateLocked() *snapshotState {
+// hold s.mu). With inlinePairs the live pairs are scanned out of the engine
+// into the snapshot (mem engine); without it the snapshot carries the pair
+// count and the dense digest tree instead, and Checkpoint fills in the
+// segment manifest after the flush (disk engine).
+func (s *Store) snapshotStateLocked(inlinePairs bool) *snapshotState {
 	st := &snapshotState{Clock: s.clock, GCFloor: s.gcFloor}
-	for ks, its := range s.items {
-		for _, it := range its {
-			st.Items = append(st.Items, snapItem{K: ks, V: it.Value, Gen: it.Gen, Ver: s.vers[ks][it.Value]})
+	if inlinePairs {
+		st.Items = make([]snapItem, 0, s.eng.Len())
+		s.eng.ScanPrefix("", func(rec PairRecord) bool {
+			st.Items = append(st.Items, snapItem{K: rec.Key, V: rec.Value, Gen: rec.Gen, Ver: rec.Ver})
+			return true
+		})
+	} else {
+		st.External = true
+		st.Count = s.eng.Len()
+		st.Digests = make([]snapDigest, 0, len(s.dig))
+		for p, cell := range s.dig {
+			st.Digests = append(st.Digests, snapDigest{P: p, H: cell.hash, N: cell.n})
 		}
 	}
 	for ks, vals := range s.tombs {
 		for v, t := range vals {
-			st.Tombs = append(st.Tombs, snapTomb{K: ks, V: v, Gen: t.gen, Born: t.born, At: t.at.UnixNano(), Ver: s.vers[ks][v]})
+			st.Tombs = append(st.Tombs, snapTomb{K: ks, V: v, Gen: t.gen, Born: t.born, At: t.at.UnixNano(), Ver: t.ver})
 		}
 	}
 	if len(s.baselines) > 0 {
@@ -642,26 +794,40 @@ func (s *Store) snapshotStateLocked() *snapshotState {
 			st.Meta[k] = v
 		}
 	}
+	st.MutLog = s.mutationRingLocked()
 	return st
 }
 
 // loadSnapshot installs a decoded snapshot into the (empty, un-attached)
-// store, rebuilding the digest tree and version index.
+// store. Inline snapshots rebuild the digest tree pair by pair; external
+// ones install the carried dense cells directly — the pairs are already in
+// the engine's segments and are never scanned.
 func (s *Store) loadSnapshot(st *snapshotState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, si := range st.Items {
-		it := Item{Key: keyspace.MustFromString(si.K), Value: si.V, Gen: si.Gen}
-		s.appendLiveLocked(si.K, it)
-		s.setVerLocked(si.K, si.V, si.Ver)
-	}
-	for _, tb := range st.Tombs {
-		if s.tombs[tb.K] == nil {
-			s.tombs[tb.K] = make(map[string]tombstone)
+	if st.External {
+		for _, dc := range st.Digests {
+			s.dig[dc.P] = digestCell{hash: dc.H, n: dc.N}
 		}
-		s.digestXorLocked(tb.K, tombHash(tb.K, tb.V, tb.Gen), 1)
-		s.tombs[tb.K][tb.V] = tombstone{gen: tb.Gen, born: tb.Born, at: time.Unix(0, tb.At)}
-		s.setVerLocked(tb.K, tb.V, tb.Ver)
+		// The carried cells already include the tombstones' contributions.
+		for _, tb := range st.Tombs {
+			if s.tombs[tb.K] == nil {
+				s.tombs[tb.K] = make(map[string]tombstone)
+			}
+			s.tombs[tb.K][tb.V] = tombstone{gen: tb.Gen, born: tb.Born, at: time.Unix(0, tb.At), ver: tb.Ver}
+		}
+	} else {
+		for _, si := range st.Items {
+			s.digestXorLocked(si.K, liveHash(si.K, si.V, si.Gen), 1)
+			s.eng.Put(PairRecord{Key: si.K, Value: si.V, Gen: si.Gen, Ver: si.Ver}, true)
+		}
+		for _, tb := range st.Tombs {
+			if s.tombs[tb.K] == nil {
+				s.tombs[tb.K] = make(map[string]tombstone)
+			}
+			s.digestXorLocked(tb.K, tombHash(tb.K, tb.V, tb.Gen), 1)
+			s.tombs[tb.K][tb.V] = tombstone{gen: tb.Gen, born: tb.Born, at: time.Unix(0, tb.At), ver: tb.Ver}
+		}
 	}
 	s.clock = st.Clock
 	s.gcFloor = st.GCFloor
@@ -677,16 +843,7 @@ func (s *Store) loadSnapshot(st *snapshotState) {
 			s.metadata[k] = v
 		}
 	}
-}
-
-// setVerLocked installs a pair's last-modified version without advancing
-// the clock (snapshot restore only; callers must hold s.mu).
-func (s *Store) setVerLocked(ks, value string, ver uint64) {
-	if ver == 0 {
-		return
+	for _, id := range st.MutLog {
+		s.markMutationLocked(id)
 	}
-	if s.vers[ks] == nil {
-		s.vers[ks] = make(map[string]uint64)
-	}
-	s.vers[ks][value] = ver
 }

@@ -1,0 +1,388 @@
+package replication
+
+// Sorted segment files for the disk storage engine (diskengine.go). A
+// segment is an immutable run of pair records in (key, value) order — a
+// flushed memtable, or the merge of every earlier segment produced by
+// compaction — plus a sparse index for point lookups.
+//
+// File layout, using the shared wire codec (internal/wire) for the records:
+//
+//	"PGSG"  uvarint version (1)
+//	records:  flags byte (1 = delete marker) | string key | string value |
+//	          uvarint gen | uvarint ver
+//	index:    uvarint entry count, entries of
+//	          string key | string value | uvarint record offset
+//	footer:   uint64 index offset | uint32 index length |
+//	          uint32 CRC-32 (IEEE) of the index block | "GSGP"   (20 bytes, LE)
+//
+// The index holds every segIndexEvery-th record, so a Get seeks to the
+// nearest preceding indexed record and scans a bounded run. Records are not
+// CRC-protected individually: segments only become reachable through the
+// manifest of a committed snapshot, which is CRC-trailed, and the index CRC
+// catches a torn or truncated file at open.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"pgrid/internal/wire"
+)
+
+// segMagic and segFooterMagic frame a segment file.
+const (
+	segMagic       = "PGSG"
+	segFooterMagic = "GSGP"
+	segVersion     = 1
+	segFooterLen   = 20
+)
+
+// segIndexEvery is the sparse-index stride: one index entry per this many
+// records, bounding a point lookup's scan run.
+const segIndexEvery = 64
+
+// errSegmentCorrupt reports an unreadable segment file.
+var errSegmentCorrupt = errors.New("replication: segment corrupt")
+
+// segRec is one record of a segment or memtable: a pair state, or a delete
+// marker shadowing the pair in older segments.
+type segRec struct {
+	key   string
+	value string
+	gen   uint64
+	ver   uint64
+	del   bool
+}
+
+// segIndexEntry locates an indexed record inside the file.
+type segIndexEntry struct {
+	key   string
+	value string
+	off   int64
+}
+
+// segment is one open, immutable segment file.
+type segment struct {
+	f       *os.File
+	name    string // file name inside the data directory (manifest entry)
+	dataEnd int64  // offset where records end and the index begins
+	index   []segIndexEntry
+	records int
+}
+
+// segmentFileName renders the file name of segment seq.
+func segmentFileName(seq uint64) string { return fmt.Sprintf("seg-%016d.seg", seq) }
+
+// segWriter streams records into a new segment file in one pass, collecting
+// the sparse index as it goes. Callers must add records in (key, value)
+// order.
+type segWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	off     int64
+	records int
+	index   []segIndexEntry
+	scratch []byte
+}
+
+// newSegWriter creates the segment file at path and writes the header.
+func newSegWriter(path string) (*segWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &segWriter{f: f, bw: bufio.NewWriterSize(f, 256<<10)}
+	hdr := append([]byte(segMagic), byte(segVersion)) // version 1 fits one uvarint byte
+	if _, err := w.bw.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.off = int64(len(hdr))
+	return w, nil
+}
+
+// add appends one record.
+func (w *segWriter) add(rec segRec) error {
+	if w.records%segIndexEvery == 0 {
+		w.index = append(w.index, segIndexEntry{key: rec.key, value: rec.value, off: w.off})
+	}
+	b := w.scratch[:0]
+	var flags byte
+	if rec.del {
+		flags = 1
+	}
+	b = append(b, flags)
+	b = wire.AppendString(b, rec.key)
+	b = wire.AppendString(b, rec.value)
+	b = wire.AppendUvarint(b, rec.gen)
+	b = wire.AppendUvarint(b, rec.ver)
+	w.scratch = b
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	w.off += int64(len(b))
+	w.records++
+	return nil
+}
+
+// finish writes the index block and footer, fsyncs and closes the file.
+func (w *segWriter) finish() error {
+	dataEnd := w.off
+	b := w.scratch[:0]
+	b = wire.AppendUvarint(b, uint64(len(w.index)))
+	for _, e := range w.index {
+		b = wire.AppendString(b, e.key)
+		b = wire.AppendString(b, e.value)
+		b = wire.AppendUvarint(b, uint64(e.off))
+	}
+	crc := crc32.ChecksumIEEE(b)
+	var footer [segFooterLen]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(dataEnd))
+	binary.LittleEndian.PutUint32(footer[8:12], uint32(len(b)))
+	binary.LittleEndian.PutUint32(footer[12:16], crc)
+	copy(footer[16:20], segFooterMagic)
+	b = append(b, footer[:]...)
+	w.scratch = b
+	if _, err := w.bw.Write(b); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// abort closes and removes a partially written segment.
+func (w *segWriter) abort() {
+	path := w.f.Name()
+	w.f.Close()
+	os.Remove(path)
+}
+
+// openSegment opens the segment file at path and loads its sparse index.
+func openSegment(path, name string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	hdrLen := int64(len(segMagic) + 1)
+	if fi.Size() < hdrLen+segFooterLen {
+		f.Close()
+		return nil, errSegmentCorrupt
+	}
+	var hdr [5]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr[:4]) != segMagic || hdr[4] != segVersion {
+		f.Close()
+		return nil, errSegmentCorrupt
+	}
+	var footer [segFooterLen]byte
+	if _, err := f.ReadAt(footer[:], fi.Size()-segFooterLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(footer[16:20]) != segFooterMagic {
+		f.Close()
+		return nil, errSegmentCorrupt
+	}
+	dataEnd := int64(binary.LittleEndian.Uint64(footer[0:8]))
+	indexLen := int64(binary.LittleEndian.Uint32(footer[8:12]))
+	crc := binary.LittleEndian.Uint32(footer[12:16])
+	if dataEnd < hdrLen || dataEnd+indexLen+segFooterLen != fi.Size() {
+		f.Close()
+		return nil, errSegmentCorrupt
+	}
+	idxBuf := make([]byte, indexLen)
+	if _, err := f.ReadAt(idxBuf, dataEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(idxBuf) != crc {
+		f.Close()
+		return nil, errSegmentCorrupt
+	}
+	d := wire.NewDecoder(idxBuf)
+	n := d.Int()
+	seg := &segment{f: f, name: name, dataEnd: dataEnd}
+	for i := 0; i < n; i++ {
+		e := segIndexEntry{key: d.String(), value: d.String(), off: int64(d.Uvarint())}
+		if d.Err() != nil {
+			break
+		}
+		seg.index = append(seg.index, e)
+	}
+	if err := d.Finish(); err != nil {
+		f.Close()
+		return nil, errSegmentCorrupt
+	}
+	return seg, nil
+}
+
+func (g *segment) close() error { return g.f.Close() }
+
+// startOffset returns the file offset of the nearest indexed record at or
+// before the (key, value) target.
+func (g *segment) startOffset(key, value string) int64 {
+	// First index entry strictly after the target; scan starts at the entry
+	// before it.
+	i := sort.Search(len(g.index), func(i int) bool {
+		e := g.index[i]
+		return pairLess(key, value, e.key, e.value)
+	})
+	if i == 0 {
+		return int64(len(segMagic) + 1)
+	}
+	return g.index[i-1].off
+}
+
+// get returns the record stored for the pair, scanning the bounded run from
+// the sparse index.
+func (g *segment) get(key, value string) (segRec, bool, error) {
+	it, err := g.iter(key, value)
+	if err != nil {
+		return segRec{}, false, err
+	}
+	for {
+		rec, ok, err := it.next()
+		if err != nil || !ok {
+			return segRec{}, false, err
+		}
+		if rec.key == key && rec.value == value {
+			return rec, true, nil
+		}
+		if pairLess(key, value, rec.key, rec.value) {
+			return segRec{}, false, nil // past the target
+		}
+	}
+}
+
+// iter returns an iterator positioned at the first record not before the
+// (key, value) target ("", "" for the whole segment).
+func (g *segment) iter(key, value string) (*segmentIter, error) {
+	off := int64(len(segMagic) + 1)
+	if key != "" || value != "" {
+		off = g.startOffset(key, value)
+	}
+	sr := io.NewSectionReader(g.f, off, g.dataEnd-off)
+	it := &segmentIter{r: bufio.NewReaderSize(sr, 32<<10)}
+	// Skip the run between the index entry and the target.
+	for {
+		rec, ok, err := it.peek()
+		if err != nil {
+			return nil, err
+		}
+		if !ok || !pairLess(rec.key, rec.value, key, value) {
+			return it, nil
+		}
+		it.advance()
+	}
+}
+
+// segmentIter streams a segment's records in order with one buffered record
+// of lookahead (the shape the k-way merge in diskengine.go consumes).
+type segmentIter struct {
+	r      *bufio.Reader
+	cur    segRec
+	loaded bool
+	done   bool
+	err    error
+}
+
+// peek returns the current record without consuming it.
+func (it *segmentIter) peek() (segRec, bool, error) {
+	if it.err != nil || it.done {
+		return segRec{}, false, it.err
+	}
+	if it.loaded {
+		return it.cur, true, nil
+	}
+	rec, err := readSegRec(it.r)
+	if err == io.EOF {
+		it.done = true
+		return segRec{}, false, nil
+	}
+	if err != nil {
+		it.err = fmt.Errorf("%w: %v", errSegmentCorrupt, err)
+		return segRec{}, false, it.err
+	}
+	it.cur, it.loaded = rec, true
+	return rec, true, nil
+}
+
+// advance consumes the current record.
+func (it *segmentIter) advance() { it.loaded = false }
+
+// next consumes and returns the next record.
+func (it *segmentIter) next() (segRec, bool, error) {
+	rec, ok, err := it.peek()
+	it.advance()
+	return rec, ok, err
+}
+
+// readSegRec decodes one record from the stream. io.EOF at the first byte
+// means the clean end of the record region.
+func readSegRec(r *bufio.Reader) (segRec, error) {
+	flags, err := r.ReadByte()
+	if err != nil {
+		return segRec{}, err // io.EOF here is the clean end
+	}
+	var rec segRec
+	rec.del = flags&1 != 0
+	if rec.key, err = readSegString(r); err != nil {
+		return segRec{}, noEOF(err)
+	}
+	if rec.value, err = readSegString(r); err != nil {
+		return segRec{}, noEOF(err)
+	}
+	if rec.gen, err = binary.ReadUvarint(r); err != nil {
+		return segRec{}, noEOF(err)
+	}
+	if rec.ver, err = binary.ReadUvarint(r); err != nil {
+		return segRec{}, noEOF(err)
+	}
+	return rec, nil
+}
+
+// readSegString decodes one length-prefixed string.
+func readSegString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > wire.MaxLen {
+		return "", errSegmentCorrupt
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// noEOF converts a mid-record EOF into ErrUnexpectedEOF so it is reported
+// as corruption, not a clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

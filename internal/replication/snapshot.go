@@ -65,6 +65,17 @@ const (
 	snapTagTomb     byte = 2
 	snapTagBaseline byte = 3
 	snapTagMeta     byte = 4
+	// snapTagEngine marks an external-pairs snapshot (disk engine): the live
+	// pairs are not inlined as snapTagItem records but live in the segment
+	// files the record's manifest names. Carries the live pair count.
+	snapTagEngine byte = 5
+	// snapTagDigest is one dense digest-tree cell. Only written in external
+	// mode, where recovery cannot rebuild the tree from inlined items; the
+	// dense tree is bounded (prefixes up to digestDenseDepth), so this keeps
+	// recovery free of any pair scan.
+	snapTagDigest byte = 6
+	// snapTagMutation is the mutation dedup ring (oldest ID first).
+	snapTagMutation byte = 7
 )
 
 // snapItem is one live pair in a snapshot.
@@ -97,6 +108,25 @@ type snapshotState struct {
 	Tombs     []snapTomb          `json:"tombstones,omitempty"`
 	Baselines map[string]Baseline `json:"baselines,omitempty"`
 	Meta      map[string]string   `json:"meta,omitempty"`
+
+	// External-pairs mode (disk engine): the live pairs are in the segment
+	// files named by Manifest rather than inlined in Items, Count is the
+	// live pair count at the boundary, and Digests carries the dense digest
+	// tree so recovery does not scan the pairs. Binary format only.
+	External bool         `json:"-"`
+	Count    int          `json:"-"`
+	Manifest []string     `json:"-"`
+	Digests  []snapDigest `json:"-"`
+	// MutLog is the mutation dedup ring, oldest first (both engines).
+	MutLog []uint64 `json:"-"`
+}
+
+// snapDigest is one dense digest-tree cell carried by an external-pairs
+// snapshot.
+type snapDigest struct {
+	P string
+	H uint64
+	N int
 }
 
 // snapshotName renders the file name of the binary snapshot covering
@@ -191,6 +221,36 @@ func encodeSnapshotTo(w io.Writer, st *snapshotState) error {
 			return err
 		}
 	}
+	if st.External {
+		scratch = append(scratch[:0], snapTagEngine)
+		scratch = wire.AppendUvarint(scratch, uint64(st.Count))
+		scratch = wire.AppendUvarint(scratch, uint64(len(st.Manifest)))
+		for _, name := range st.Manifest {
+			scratch = wire.AppendString(scratch, name)
+		}
+		if err := emit(scratch); err != nil {
+			return err
+		}
+		for _, dc := range st.Digests {
+			scratch = append(scratch[:0], snapTagDigest)
+			scratch = wire.AppendString(scratch, dc.P)
+			scratch = wire.AppendFixed64(scratch, dc.H)
+			scratch = wire.AppendUvarint(scratch, uint64(dc.N))
+			if err := emit(scratch); err != nil {
+				return err
+			}
+		}
+	}
+	if len(st.MutLog) > 0 {
+		scratch = append(scratch[:0], snapTagMutation)
+		scratch = wire.AppendUvarint(scratch, uint64(len(st.MutLog)))
+		for _, id := range st.MutLog {
+			scratch = wire.AppendUvarint(scratch, id)
+		}
+		if err := emit(scratch); err != nil {
+			return err
+		}
+	}
 	if err := emit([]byte{snapTagEnd}); err != nil {
 		return err
 	}
@@ -269,6 +329,30 @@ func decodeBinarySnapshot(data []byte) (*snapshotState, error) {
 					st.Meta = make(map[string]string)
 				}
 				st.Meta[k] = v
+			}
+		case snapTagEngine:
+			st.Count = int(d.Uvarint())
+			n := d.Uvarint()
+			if d.Err() != nil || n > uint64(wire.MaxLen) {
+				return nil, errSnapshotCorrupt
+			}
+			for i := uint64(0); i < n; i++ {
+				st.Manifest = append(st.Manifest, d.String())
+			}
+			st.External = true
+		case snapTagDigest:
+			var dc snapDigest
+			dc.P = d.String()
+			dc.H = d.Fixed64()
+			dc.N = int(d.Uvarint())
+			st.Digests = append(st.Digests, dc)
+		case snapTagMutation:
+			n := d.Uvarint()
+			if d.Err() != nil || n > uint64(wire.MaxLen) {
+				return nil, errSnapshotCorrupt
+			}
+			for i := uint64(0); i < n; i++ {
+				st.MutLog = append(st.MutLog, d.Uvarint())
 			}
 		default:
 			return nil, errSnapshotCorrupt

@@ -1,0 +1,112 @@
+package replication
+
+// Soak test for the disk engine's headline property: a node storing far
+// more pairs than fit comfortably in memory keeps a bounded resident set,
+// because checkpoints flush the memtable into segment files and the index
+// layer holds only tombstones and the dense digest tree. The test loads the
+// same pair volume into a disk-engine store (checkpointing as a maintenance
+// loop would) and a mem-engine store, and requires the disk store's live
+// heap to stay under half the mem store's.
+//
+// The default volume is sized for CI; set PGRID_SOAK=1 to run the full
+// million-key version.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pgrid/internal/keyspace"
+)
+
+// soakPairs returns the number of pairs to load and whether this is the
+// full-scale run.
+func soakPairs() (int, bool) {
+	if os.Getenv("PGRID_SOAK") == "1" {
+		return 1_000_000, true
+	}
+	return 150_000, false
+}
+
+// liveHeap reports the live heap after a full GC.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// loadSoakStore fills a fresh store on the engine with n pairs,
+// checkpointing every checkpointEvery inserts the way the maintenance loop
+// bounds the WAL — which for the disk engine is also what flushes the
+// memtable into segments. It returns the live-heap growth attributable to
+// the loaded store, measured with the store still open (the serving state).
+func loadSoakStore(t *testing.T, engine string, n int) (s *Store, heapGrowth uint64) {
+	t.Helper()
+	before := liveHeap()
+	s, err := OpenStore(t.TempDir(), PersistOptions{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const checkpointEvery = 50_000
+	for i := 0; i < n; i++ {
+		s.Insert(Item{Key: mustSoakKey(i, n), Value: fmt.Sprintf("value-%08d", i)})
+		if (i+1)%checkpointEvery == 0 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint at %d: %v", i+1, err)
+			}
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after := liveHeap()
+	if after <= before {
+		return s, 0
+	}
+	return s, after - before
+}
+
+func TestDiskEngineBoundedMemorySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	n, full := soakPairs()
+	t.Logf("loading %d pairs per engine (full=%v)", n, full)
+
+	disk, diskHeap := loadSoakStore(t, EngineDisk, n)
+	if disk.Len() != n {
+		t.Fatalf("disk store holds %d pairs, want %d", disk.Len(), n)
+	}
+	// Spot-check that the pairs are really servable from segments.
+	for i := 0; i < n; i += n / 97 {
+		if got := disk.Lookup(mustSoakKey(i, n)); len(got) != 1 {
+			t.Fatalf("disk lookup %d returned %d items", i, len(got))
+		}
+	}
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, memHeap := loadSoakStore(t, EngineMem, n)
+	if mem.Len() != n {
+		t.Fatalf("mem store holds %d pairs, want %d", mem.Len(), n)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("live heap growth: disk %.1f MiB, mem %.1f MiB",
+		float64(diskHeap)/(1<<20), float64(memHeap)/(1<<20))
+	if diskHeap*2 >= memHeap {
+		t.Errorf("disk engine resident set not bounded: disk %d B vs mem %d B (want < mem/2)",
+			diskHeap, memHeap)
+	}
+}
+
+// mustSoakKey spreads i over the keyspace at a depth wide enough that all n
+// keys are distinct (24 bits covers the full-scale million-key run).
+func mustSoakKey(i, n int) keyspace.Key {
+	return keyspace.MustFromFloat(float64(i)/float64(n), 24)
+}

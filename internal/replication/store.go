@@ -6,13 +6,21 @@
 // that the construction protocol uses in place of global knowledge
 // (Section 4.2 of the paper).
 //
-// Stores are in-memory by default. OpenStore binds one to a data
+// A Store is split into two layers. The index layer — this file — owns the
+// anti-entropy brain: digest tree, logical clock, tombstones, GC horizon,
+// sync baselines and WAL hooks. The raw live pairs live behind the Engine
+// interface (engine.go): an in-memory map (memengine.go, the default) or a
+// disk-backed LSM of sorted segment files (diskengine.go) for stores far
+// bigger than RAM. Digests, deltas and WAL replay are byte-identical on
+// either engine.
+//
+// Stores are non-durable by default. OpenStore binds one to a data
 // directory instead, making its state durable through an append-only,
 // CRC-framed, fsync-batched write-ahead log plus periodic compacted
 // snapshots (wal.go, snapshot.go, persist.go): items, tombstones, the
-// logical clock, the GC floor, per-replica sync baselines and overlay
-// metadata all survive a crash, and recovery replays the log exactly —
-// tolerating the torn final record a crash can leave behind.
+// logical clock, the GC floor, per-replica sync baselines, mutation dedup
+// state and overlay metadata all survive a crash, and recovery replays the
+// log exactly — tolerating the torn final record a crash can leave behind.
 package replication
 
 import (
@@ -49,9 +57,13 @@ const DigestDepth = 20
 // O(1) reads; deeper bucket digests are computed by scanning the bucket,
 // which only happens during walk rounds between diverged replicas and costs
 // a fraction of the partition scan. Keeping the dense tree shallow caps the
-// write amplification (9 cell updates per mutation) and, more importantly,
-// the live heap the GC re-scans on every cycle.
+// write amplification (9 cell updates per mutation) and bounds the dense
+// state a snapshot carries for the disk engine.
 const digestDenseDepth = 8
+
+// mutationDedupWindow is the number of recent mutation IDs a store remembers
+// for exactly-once coordination (MarkMutation).
+const mutationDedupWindow = 1024
 
 // GCPolicy is a Cassandra-style gc_grace horizon for delete tombstones: a
 // tombstone is pruned once it is old enough that every replica syncing at the
@@ -87,12 +99,14 @@ type BucketDigest struct {
 }
 
 // tombstone is the store-local record of a deleted pair: the generation that
-// orders it against live copies, plus the local clock/time of its recording
-// used by the GC horizon.
+// orders it against live copies, the local clock/time of its recording used
+// by the GC horizon, and the pair's last-modified clock (what DeltaSince
+// keys on; live pairs carry theirs in the engine's PairRecord.Ver).
 type tombstone struct {
 	gen  uint64
 	born uint64    // store clock when the tombstone was recorded locally
 	at   time.Time // local wall-clock time of the recording
+	ver  uint64    // store clock of the last modification
 }
 
 // digestCell is one node of the incremental digest tree.
@@ -119,21 +133,27 @@ type digestCell struct {
 //     DigestChildren), so replicas can find the few differing buckets by
 //     comparing O(log n) hashes;
 //   - a GC horizon (SetGCPolicy, CompactTombstones) that prunes tombstones
-//     and their per-pair version metadata once every replica syncing at the
-//     maintenance cadence must have seen them. GCFloor reports the clock of
-//     the latest prune: deltas reaching further back are incomparable and
-//     callers must fall back to a full sync/rebuild.
+//     once every replica syncing at the maintenance cadence must have seen
+//     them. GCFloor reports the clock of the latest prune: deltas reaching
+//     further back are incomparable and callers must fall back to a full
+//     sync/rebuild.
 type Store struct {
 	mu      sync.RWMutex
-	items   map[string][]Item               // live items by key bit string
+	eng     Engine                          // live pairs (engine.go)
+	engKind string                          // EngineMem or EngineDisk
 	tombs   map[string]map[string]tombstone // key bit string -> value -> tombstone
-	vers    map[string]map[string]uint64    // key bit string -> value -> last-modified clock
-	dig     map[string]digestCell           // key-bit prefix (len <= DigestDepth) -> digest
-	count   int
+	dig     map[string]digestCell           // key-bit prefix (len <= digestDenseDepth) -> digest
 	clock   uint64
 	gcFloor uint64
 	gc      GCPolicy
 	now     func() time.Time
+
+	// Mutation dedup ring (MarkMutation): the overlay's exactly-once write
+	// coordination. Persisted through the WAL and snapshots so a restarted
+	// coordinator does not re-apply a retransmitted mutation.
+	mutSeen map[uint64]bool
+	mutLog  []uint64
+	mutPos  int
 
 	// persist, when non-nil, is the WAL + snapshot machinery every mutation
 	// is logged to (see persist.go); baselines and metadata are the small
@@ -162,16 +182,48 @@ type Store struct {
 	}
 }
 
-// NewStore creates an empty store.
+// NewStore creates an empty store on the process-default storage engine
+// (EngineMem unless PGRID_ENGINE=disk). It panics if the engine cannot be
+// set up — which for the disk engine means the temp directory could not be
+// created, an environment failure; use NewStoreKind to handle it.
 func NewStore() *Store {
+	s, err := NewStoreKind("")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewStoreKind creates an empty store on the given storage engine kind
+// (EngineMem, EngineDisk, or "" for the process default). A disk-engine
+// store created this way keeps its segments in a throwaway directory that
+// is removed on Close; durable disk stores are opened through OpenStore
+// with PersistOptions.Engine instead.
+func NewStoreKind(kind string) (*Store, error) {
+	eng, err := newEngine(kind)
+	if err != nil {
+		return nil, err
+	}
+	if kind == "" {
+		kind = defaultEngineKind
+	}
+	return newStoreWithEngine(eng, kind), nil
+}
+
+// newStoreWithEngine wires a store around an existing engine.
+func newStoreWithEngine(eng Engine, kind string) *Store {
 	return &Store{
-		items: make(map[string][]Item),
-		tombs: make(map[string]map[string]tombstone),
-		vers:  make(map[string]map[string]uint64),
-		dig:   make(map[string]digestCell),
-		now:   time.Now,
+		eng:     eng,
+		engKind: kind,
+		tombs:   make(map[string]map[string]tombstone),
+		dig:     make(map[string]digestCell),
+		now:     time.Now,
 	}
 }
+
+// EngineKind returns the storage engine kind backing the store (EngineMem
+// or EngineDisk).
+func (s *Store) EngineKind() string { return s.engKind }
 
 // SetTimeSource replaces the wall-clock source used to age tombstones
 // (virtual clocks in simulations, frozen clocks in tests).
@@ -223,9 +275,9 @@ func (s *Store) TombstoneCount() int {
 	return n
 }
 
-// CompactTombstones prunes every tombstone past the GC horizon together with
-// its per-pair version metadata, advances the GC floor, and returns the
-// number of tombstones pruned. It is a no-op when no GC policy is set.
+// CompactTombstones prunes every tombstone past the GC horizon, advances
+// the GC floor, and returns the number of tombstones pruned. It is a no-op
+// when no GC policy is set.
 func (s *Store) CompactTombstones() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -251,12 +303,11 @@ func (s *Store) CompactTombstones() int {
 			// time during the tombstone's lifetime has seen it and remains
 			// delta-comparable; only replicas that missed the whole window
 			// (offline longer than the horizon) must rebuild.
-			if ver := s.vers[ks][v]; ver > s.gcFloor {
-				s.gcFloor = ver
+			if t.ver > s.gcFloor {
+				s.gcFloor = t.ver
 			}
 			s.digestXorLocked(ks, tombHash(ks, v, t.gen), -1)
 			delete(vals, v)
-			s.clearVerLocked(ks, v)
 			prunedPairs = append(prunedPairs, prunedPair{ks: ks, value: v})
 		}
 		if len(vals) == 0 {
@@ -357,26 +408,6 @@ func (s *Store) digestXorLocked(ks string, h uint64, dn int) {
 	}
 }
 
-// touchLocked advances the clock and stamps the pair's last-modified
-// version. Callers must hold mu.
-func (s *Store) touchLocked(ks, value string) {
-	s.clock++
-	if s.vers[ks] == nil {
-		s.vers[ks] = make(map[string]uint64)
-	}
-	s.vers[ks][value] = s.clock
-}
-
-// clearVerLocked forgets the pair's version metadata (callers must hold mu).
-func (s *Store) clearVerLocked(ks, value string) {
-	if vals, ok := s.vers[ks]; ok {
-		delete(vals, value)
-		if len(vals) == 0 {
-			delete(s.vers, ks)
-		}
-	}
-}
-
 // tombLocked returns the pair's tombstone (callers must hold mu).
 func (s *Store) tombLocked(ks, value string) (tombstone, bool) {
 	t, ok := s.tombs[ks][value]
@@ -397,52 +428,53 @@ func (s *Store) clearTombLocked(ks, value string) {
 	}
 }
 
-// setTombLocked records or re-stamps a tombstone, maintaining the digest
-// (callers must hold mu).
-func (s *Store) setTombLocked(ks, value string, gen uint64) {
+// stampTombLocked records or re-stamps a tombstone, maintaining the digest,
+// and advances the clock, stamping the tombstone's last-modified version
+// (callers must hold mu). A new tombstone's born clock is the clock value
+// before the advance — the recording instant.
+func (s *Store) stampTombLocked(ks, value string, gen uint64) {
 	if old, ok := s.tombs[ks][value]; ok {
-		if old.gen == gen {
-			return
+		if old.gen != gen {
+			s.digestXorLocked(ks, tombHash(ks, value, old.gen), 0)
+			s.digestXorLocked(ks, tombHash(ks, value, gen), 0)
 		}
-		s.digestXorLocked(ks, tombHash(ks, value, old.gen), 0)
-		s.digestXorLocked(ks, tombHash(ks, value, gen), 0)
-		s.tombs[ks][value] = tombstone{gen: gen, born: old.born, at: old.at}
+		s.clock++
+		s.tombs[ks][value] = tombstone{gen: gen, born: old.born, at: old.at, ver: s.clock}
 		return
 	}
 	if s.tombs[ks] == nil {
 		s.tombs[ks] = make(map[string]tombstone)
 	}
 	s.digestXorLocked(ks, tombHash(ks, value, gen), 1)
-	s.tombs[ks][value] = tombstone{gen: gen, born: s.clock, at: s.now()}
+	born := s.clock
+	s.clock++
+	s.tombs[ks][value] = tombstone{gen: gen, born: born, at: s.now(), ver: s.clock}
 }
 
 // removeLiveLocked drops the live copy of the pair if present, maintaining
 // the digest (callers must hold mu). It returns whether a copy was removed.
 func (s *Store) removeLiveLocked(ks, value string) bool {
-	its := s.items[ks]
-	for i, it := range its {
-		if it.Value == value {
-			s.digestXorLocked(ks, liveHash(ks, value, it.Gen), -1)
-			its[i] = its[len(its)-1]
-			its = its[:len(its)-1]
-			if len(its) == 0 {
-				delete(s.items, ks)
-			} else {
-				s.items[ks] = its
-			}
-			s.count--
-			return true
-		}
+	rec, ok := s.eng.Delete(ks, value)
+	if !ok {
+		return false
 	}
-	return false
+	s.digestXorLocked(ks, liveHash(ks, value, rec.Gen), -1)
+	return true
 }
 
-// appendLiveLocked stores a new live copy, maintaining the digest (callers
-// must hold mu; the pair must not be present).
-func (s *Store) appendLiveLocked(ks string, it Item) {
-	s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), 1)
-	s.items[ks] = append(s.items[ks], it)
-	s.count++
+// putLiveLocked upserts a live copy through the engine, maintaining the
+// digest and stamping the pair's version from a fresh clock tick (callers
+// must hold mu). isNew tells the engine whether the pair is currently
+// absent; oldGen is only meaningful when it is not.
+func (s *Store) putLiveLocked(ks, value string, gen, oldGen uint64, isNew bool) {
+	if isNew {
+		s.digestXorLocked(ks, liveHash(ks, value, gen), 1)
+	} else {
+		s.digestXorLocked(ks, liveHash(ks, value, oldGen), 0)
+		s.digestXorLocked(ks, liveHash(ks, value, gen), 0)
+	}
+	s.clock++
+	s.eng.Put(PairRecord{Key: ks, Value: value, Gen: gen, Ver: s.clock}, isNew)
 }
 
 // Add inserts a replicated item. Duplicate (key, value) pairs are ignored so
@@ -464,20 +496,14 @@ func (s *Store) addLocked(ks string, it Item) bool {
 		}
 		s.clearTombLocked(ks, it.Value)
 	}
-	for i, existing := range s.items[ks] {
-		if existing.Value == it.Value {
-			if it.Gen > existing.Gen {
-				s.digestXorLocked(ks, liveHash(ks, it.Value, existing.Gen), 0)
-				s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), 0)
-				s.items[ks][i].Gen = it.Gen
-				s.touchLocked(ks, it.Value)
-				s.logPairLocked(opAdd, ks, it.Value, it.Gen)
-			}
-			return false
+	if existing, ok := s.eng.Get(ks, it.Value); ok {
+		if it.Gen > existing.Gen {
+			s.putLiveLocked(ks, it.Value, it.Gen, existing.Gen, false)
+			s.logPairLocked(opAdd, ks, it.Value, it.Gen)
 		}
+		return false
 	}
-	s.appendLiveLocked(ks, it)
-	s.touchLocked(ks, it.Value)
+	s.putLiveLocked(ks, it.Value, it.Gen, 0, true)
 	s.logPairLocked(opAdd, ks, it.Value, it.Gen)
 	return true
 }
@@ -497,25 +523,18 @@ func (s *Store) Insert(it Item) Item {
 	if t, ok := s.tombLocked(ks, it.Value); ok && t.gen >= gen {
 		gen = t.gen + 1
 	}
-	for i, existing := range s.items[ks] {
-		if existing.Value == it.Value {
-			if existing.Gen >= gen {
-				gen = existing.Gen + 1
-			}
-			s.digestXorLocked(ks, liveHash(ks, it.Value, existing.Gen), 0)
-			s.digestXorLocked(ks, liveHash(ks, it.Value, gen), 0)
-			s.items[ks][i].Gen = gen
-			s.touchLocked(ks, it.Value)
-			s.logPairLocked(opAdd, ks, it.Value, gen)
-			return Item{Key: it.Key, Value: it.Value, Gen: gen}
+	if existing, ok := s.eng.Get(ks, it.Value); ok {
+		if existing.Gen >= gen {
+			gen = existing.Gen + 1
 		}
+		s.putLiveLocked(ks, it.Value, gen, existing.Gen, false)
+		s.logPairLocked(opAdd, ks, it.Value, gen)
+		return Item{Key: it.Key, Value: it.Value, Gen: gen}
 	}
 	s.clearTombLocked(ks, it.Value)
-	stamped := Item{Key: it.Key, Value: it.Value, Gen: gen}
-	s.appendLiveLocked(ks, stamped)
-	s.touchLocked(ks, it.Value)
+	s.putLiveLocked(ks, it.Value, gen, 0, true)
 	s.logPairLocked(opAdd, ks, it.Value, gen)
-	return stamped
+	return Item{Key: it.Key, Value: it.Value, Gen: gen}
 }
 
 // Delete removes the (key, value) pair and records a tombstone stamped
@@ -551,23 +570,19 @@ func (s *Store) deleteStamped(key keyspace.Key, value string, floor uint64) (Ite
 		gen = t.gen
 	}
 	changed := false
-	for _, it := range s.items[ks] {
-		if it.Value == value {
-			if it.Gen > gen {
-				gen = it.Gen
-			}
-			break
+	if live, ok := s.eng.Get(ks, value); ok {
+		if live.Gen > gen {
+			gen = live.Gen
 		}
-	}
-	if s.removeLiveLocked(ks, value) {
+		s.digestXorLocked(ks, liveHash(ks, value, live.Gen), -1)
+		s.eng.Delete(ks, value)
 		changed = true
 	}
 	if _, ok := s.tombLocked(ks, value); !ok {
 		changed = true
 	}
 	gen++
-	s.setTombLocked(ks, value, gen)
-	s.touchLocked(ks, value)
+	s.stampTombLocked(ks, value, gen)
 	s.logPairLocked(opTomb, ks, value, gen)
 	return Item{Key: key, Value: value, Gen: gen}, changed
 }
@@ -584,12 +599,8 @@ func (s *Store) Deleted(key keyspace.Key, value string) bool {
 func (s *Store) Live(key keyspace.Key, value string) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, it := range s.items[key.String()] {
-		if it.Value == value {
-			return true
-		}
-	}
-	return false
+	_, ok := s.eng.Get(key.String(), value)
+	return ok
 }
 
 // PairGen returns the highest generation this store has seen for the
@@ -602,10 +613,8 @@ func (s *Store) PairGen(key keyspace.Key, value string) uint64 {
 	if t, ok := s.tombLocked(ks, value); ok {
 		return t.gen
 	}
-	for _, it := range s.items[ks] {
-		if it.Value == value {
-			return it.Gen
-		}
+	if rec, ok := s.eng.Get(ks, value); ok {
+		return rec.Gen
 	}
 	return 0
 }
@@ -666,22 +675,76 @@ func (s *Store) AddTombstones(items []Item) int {
 func (s *Store) applyTombLocked(ks, value string, gen uint64) bool {
 	if t, ok := s.tombLocked(ks, value); ok {
 		if gen > t.gen {
-			s.setTombLocked(ks, value, gen)
-			s.touchLocked(ks, value)
+			s.stampTombLocked(ks, value, gen)
 			s.logPairLocked(opTomb, ks, value, gen)
 		}
 		return false
 	}
-	for _, existing := range s.items[ks] {
-		if existing.Value == value && existing.Gen > gen {
+	if existing, ok := s.eng.Get(ks, value); ok {
+		if existing.Gen > gen {
 			return false // a newer live write supersedes this tombstone
 		}
+		s.digestXorLocked(ks, liveHash(ks, value, existing.Gen), -1)
+		s.eng.Delete(ks, value)
 	}
-	s.removeLiveLocked(ks, value)
-	s.setTombLocked(ks, value, gen)
-	s.touchLocked(ks, value)
+	s.stampTombLocked(ks, value, gen)
 	s.logPairLocked(opTomb, ks, value, gen)
 	return true
+}
+
+// MarkMutation records a coordinated mutation ID in the store's dedup ring
+// and reports whether it was new — false means the mutation was already
+// applied and must not run again. The ring (and thus exactly-once
+// coordination) survives restarts on persistent stores: marks are
+// WAL-logged and snapshot-carried. The zero ID is never deduplicated.
+func (s *Store) MarkMutation(id uint64) bool {
+	if id == 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.markMutationLocked(id) {
+		return false
+	}
+	if s.persist != nil && !s.muted {
+		var e walEncoder
+		e.op(opMutSeen)
+		e.uint(id)
+		s.logLocked(e.buf)
+	}
+	return true
+}
+
+// markMutationLocked inserts the ID into the dedup ring, evicting the
+// oldest entry once the window is full (callers must hold mu).
+func (s *Store) markMutationLocked(id uint64) bool {
+	if s.mutSeen[id] {
+		return false
+	}
+	if s.mutSeen == nil {
+		s.mutSeen = make(map[uint64]bool)
+	}
+	if len(s.mutLog) < mutationDedupWindow {
+		s.mutLog = append(s.mutLog, id)
+	} else {
+		delete(s.mutSeen, s.mutLog[s.mutPos])
+		s.mutLog[s.mutPos] = id
+		s.mutPos = (s.mutPos + 1) % mutationDedupWindow
+	}
+	s.mutSeen[id] = true
+	return true
+}
+
+// mutationRingLocked returns the dedup ring's IDs oldest-first (callers
+// must hold mu; snapshot capture).
+func (s *Store) mutationRingLocked() []uint64 {
+	if len(s.mutLog) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(s.mutLog))
+	out = append(out, s.mutLog[s.mutPos:]...)
+	out = append(out, s.mutLog[:s.mutPos]...)
+	return out
 }
 
 // AddAll inserts a batch of items and returns how many were new.
@@ -699,17 +762,22 @@ func (s *Store) AddAll(items []Item) int {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.count
+	return s.eng.Len()
 }
 
 // Keys returns the distinct keys present in the store.
 func (s *Store) Keys() keyspace.Keys {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make(keyspace.Keys, 0, len(s.items))
-	for ks := range s.items {
-		out = append(out, keyspace.MustFromString(ks))
-	}
+	var out keyspace.Keys
+	last, first := "", true
+	s.eng.ScanPrefix("", func(rec PairRecord) bool {
+		if first || rec.Key != last {
+			out = append(out, keyspace.MustFromString(rec.Key))
+			last, first = rec.Key, false
+		}
+		return true
+	})
 	out.Sort()
 	return out
 }
@@ -717,10 +785,11 @@ func (s *Store) Keys() keyspace.Keys {
 // Items returns all items ordered by key. The slice is freshly allocated.
 func (s *Store) Items() []Item {
 	s.mu.RLock()
-	out := make([]Item, 0, s.count)
-	for _, its := range s.items {
-		out = append(out, its...)
-	}
+	out := make([]Item, 0, s.eng.Len())
+	s.eng.ScanPrefix("", func(rec PairRecord) bool {
+		out = append(out, Item{Key: keyspace.MustFromString(rec.Key), Value: rec.Value, Gen: rec.Gen})
+		return true
+	})
 	s.mu.RUnlock()
 	sortItems(out)
 	return out
@@ -729,37 +798,69 @@ func (s *Store) Items() []Item {
 // Lookup returns the items stored under the exact key. The slice is freshly
 // allocated.
 func (s *Store) Lookup(k keyspace.Key) []Item {
+	ks := k.String()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]Item(nil), s.items[k.String()]...)
+	var out []Item
+	s.eng.ScanKey(ks, func(rec PairRecord) bool {
+		out = append(out, Item{Key: k, Value: rec.Value, Gen: rec.Gen})
+		return true
+	})
+	return out
 }
 
 // ItemsWithPrefix returns the items whose keys start with the given path.
 func (s *Store) ItemsWithPrefix(p keyspace.Path) []Item {
 	s.mu.RLock()
 	var out []Item
-	for ks, its := range s.items {
-		if strings.HasPrefix(ks, string(p)) {
-			out = append(out, its...)
-		}
-	}
+	s.eng.ScanPrefix(string(p), func(rec PairRecord) bool {
+		out = append(out, Item{Key: keyspace.MustFromString(rec.Key), Value: rec.Value, Gen: rec.Gen})
+		return true
+	})
 	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
 	return out
 }
 
 // ItemsInRange returns the items whose keys fall into the range.
 func (s *Store) ItemsInRange(r keyspace.Range) []Item {
-	s.mu.RLock()
 	var out []Item
-	for ks, its := range s.items {
-		if r.ContainsKey(keyspace.MustFromString(ks)) {
-			out = append(out, its...)
-		}
-	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
+	s.ScanRange(r, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
 	return out
+}
+
+// ScanRange streams, in key order, the items whose keys fall into the range,
+// without materialising the partition: the scan is narrowed to the common
+// key-bit prefix of the range's bounds and runs on the engine's iterator,
+// stopping at the first key past the upper bound. fn returns false to stop
+// early; it must not call back into the store.
+func (s *Store) ScanRange(r keyspace.Range, fn func(Item) bool) {
+	// Every key in [Lo, Hi) shares the bounds' longest common bit prefix:
+	// a key diverging below it sorts before Lo, one diverging above sorts
+	// after Hi, and a proper prefix of it sorts before Lo too.
+	prefix := ""
+	if !r.HiUnbounded {
+		lo, hi := r.Lo.String(), r.Hi.String()
+		i := 0
+		for i < len(lo) && i < len(hi) && lo[i] == hi[i] {
+			i++
+		}
+		prefix = lo[:i]
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.eng.ScanPrefix(prefix, func(rec PairRecord) bool {
+		k := keyspace.MustFromString(rec.Key)
+		if k.Compare(r.Lo) < 0 {
+			return true
+		}
+		if !r.HiUnbounded && k.Compare(r.Hi) >= 0 {
+			return false // scan order matches key order: nothing further fits
+		}
+		return fn(Item{Key: k, Value: rec.Value, Gen: rec.Gen})
+	})
 }
 
 // CountWithPrefix returns the number of items under the given path.
@@ -767,11 +868,10 @@ func (s *Store) CountWithPrefix(p keyspace.Path) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := 0
-	for ks, its := range s.items {
-		if strings.HasPrefix(ks, string(p)) {
-			n += len(its)
-		}
-	}
+	s.eng.ScanPrefix(string(p), func(PairRecord) bool {
+		n++
+		return true
+	})
 	return n
 }
 
@@ -782,25 +882,18 @@ func (s *Store) RemovePrefix(p keyspace.Path) []Item {
 	s.mu.Lock()
 	removed := s.removePrefixLocked(p)
 	s.mu.Unlock()
-	sort.Slice(removed, func(i, j int) bool { return removed[i].Key.Compare(removed[j].Key) < 0 })
 	return removed
 }
 
-// removePrefixLocked is RemovePrefix without the lock or ordering (shared
-// with WAL replay; callers must hold mu).
+// removePrefixLocked is RemovePrefix without the lock (shared with WAL
+// replay; callers must hold mu).
 func (s *Store) removePrefixLocked(p keyspace.Path) []Item {
-	var removed []Item
-	for ks, its := range s.items {
-		if strings.HasPrefix(ks, string(p)) {
-			for _, it := range its {
-				s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), -1)
-				s.clearVerLocked(ks, it.Value)
-			}
-			removed = append(removed, its...)
-			s.count -= len(its)
-			delete(s.items, ks)
-		}
-	}
+	var recs []PairRecord
+	s.eng.ScanPrefix(string(p), func(rec PairRecord) bool {
+		recs = append(recs, rec)
+		return true
+	})
+	removed := s.dropLiveLocked(recs)
 	if len(removed) > 0 {
 		s.clock++
 		s.logPrefixLocked(opRemovePrefix, p)
@@ -819,21 +912,29 @@ func (s *Store) RetainPrefix(p keyspace.Path) []Item {
 // retainPrefixLocked is RetainPrefix's body (shared with WAL replay;
 // callers must hold mu).
 func (s *Store) retainPrefixLocked(p keyspace.Path) []Item {
-	var removed []Item
-	for ks, its := range s.items {
-		if !strings.HasPrefix(ks, string(p)) {
-			for _, it := range its {
-				s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), -1)
-				s.clearVerLocked(ks, it.Value)
-			}
-			removed = append(removed, its...)
-			s.count -= len(its)
-			delete(s.items, ks)
+	var recs []PairRecord
+	s.eng.ScanPrefix("", func(rec PairRecord) bool {
+		if !strings.HasPrefix(rec.Key, string(p)) {
+			recs = append(recs, rec)
 		}
-	}
+		return true
+	})
+	removed := s.dropLiveLocked(recs)
 	if len(removed) > 0 {
 		s.clock++
 		s.logPrefixLocked(opRetainPrefix, p)
+	}
+	return removed
+}
+
+// dropLiveLocked deletes the collected records from the engine and digest,
+// returning them as items (callers must hold mu).
+func (s *Store) dropLiveLocked(recs []PairRecord) []Item {
+	var removed []Item
+	for _, rec := range recs {
+		s.digestXorLocked(rec.Key, liveHash(rec.Key, rec.Value, rec.Gen), -1)
+		s.eng.Delete(rec.Key, rec.Value)
+		removed = append(removed, Item{Key: keyspace.MustFromString(rec.Key), Value: rec.Value, Gen: rec.Gen})
 	}
 	return removed
 }
@@ -865,9 +966,9 @@ func (s *Store) Digest(prefix keyspace.Path) (uint64, int) {
 	return h, n
 }
 
-// digestLocked computes a bucket digest below the dense tree with one pass
-// over the store's maps, filtered by the padded-prefix membership rule
-// (callers must hold mu; shallow prefixes are served by the dense cells).
+// digestLocked computes a bucket digest below the dense tree by scanning the
+// bucket, filtered by the padded-prefix membership rule (callers must hold
+// mu; shallow prefixes are served by the dense cells).
 func (s *Store) digestLocked(prefix keyspace.Path) (uint64, int) {
 	if len(prefix) <= digestDenseDepth {
 		cell := s.dig[string(prefix)]
@@ -875,14 +976,11 @@ func (s *Store) digestLocked(prefix keyspace.Path) (uint64, int) {
 	}
 	var h uint64
 	n := 0
-	for ks, its := range s.items {
-		if underDigest(ks, string(prefix)) {
-			for _, it := range its {
-				h ^= liveHash(ks, it.Value, it.Gen)
-				n++
-			}
-		}
-	}
+	s.scanLiveUnderLocked(string(prefix), func(rec PairRecord) bool {
+		h ^= liveHash(rec.Key, rec.Value, rec.Gen)
+		n++
+		return true
+	})
 	for ks, vals := range s.tombs {
 		if underDigest(ks, string(prefix)) {
 			for v, t := range vals {
@@ -926,8 +1024,8 @@ func (s *Store) DigestChildren(prefix keyspace.Path, width int) []BucketDigest {
 		}
 		return out
 	}
-	// Below the dense tree: one pass over the store bucketises every pair
-	// into its child by the (zero-padded) key bits at the child depth,
+	// Below the dense tree: one pass over the parent bucket bucketises every
+	// pair into its child by the (zero-padded) key bits at the child depth,
 	// instead of 2^width independent scans.
 	bucket := func(ks string) int {
 		if !underDigest(ks, string(prefix)) {
@@ -942,14 +1040,13 @@ func (s *Store) DigestChildren(prefix keyspace.Path, width int) []BucketDigest {
 		}
 		return idx
 	}
-	for ks, its := range s.items {
-		if idx := bucket(ks); idx >= 0 {
-			for _, it := range its {
-				out[idx].Hash ^= liveHash(ks, it.Value, it.Gen)
-				out[idx].Count++
-			}
+	s.scanLiveUnderLocked(string(prefix), func(rec PairRecord) bool {
+		if idx := bucket(rec.Key); idx >= 0 {
+			out[idx].Hash ^= liveHash(rec.Key, rec.Value, rec.Gen)
+			out[idx].Count++
 		}
-	}
+		return true
+	})
 	for ks, vals := range s.tombs {
 		if idx := bucket(ks); idx >= 0 {
 			for v, t := range vals {
@@ -978,29 +1075,28 @@ func (s *Store) DeltaSinceWithPrefix(p keyspace.Path, since uint64) (items, tomb
 		s.mu.RUnlock()
 		return nil, nil, false
 	}
-	for ks, vals := range s.vers {
-		if !underDigest(ks, string(p)) {
-			continue
-		}
-		var key keyspace.Key
-		parsed := false
-		for v, ver := range vals {
-			if ver <= since {
+	if since < s.clock { // nothing can be newer than the clock itself
+		s.scanLiveUnderLocked(string(p), func(rec PairRecord) bool {
+			if rec.Ver > since {
+				items = append(items, Item{Key: keyspace.MustFromString(rec.Key), Value: rec.Value, Gen: rec.Gen})
+			}
+			return true
+		})
+		for ks, vals := range s.tombs {
+			if !underDigest(ks, string(p)) {
 				continue
 			}
-			if !parsed {
-				key = keyspace.MustFromString(ks)
-				parsed = true
-			}
-			if t, isTomb := s.tombs[ks][v]; isTomb {
-				tombs = append(tombs, Item{Key: key, Value: v, Gen: t.gen})
-				continue
-			}
-			for _, it := range s.items[ks] {
-				if it.Value == v {
-					items = append(items, it)
-					break
+			var key keyspace.Key
+			parsed := false
+			for v, t := range vals {
+				if t.ver <= since {
+					continue
 				}
+				if !parsed {
+					key = keyspace.MustFromString(ks)
+					parsed = true
+				}
+				tombs = append(tombs, Item{Key: key, Value: v, Gen: t.gen})
 			}
 		}
 	}
@@ -1017,10 +1113,11 @@ func (s *Store) DeltaSinceWithPrefix(p keyspace.Path, since uint64) (items, tomb
 // prefixes are expected to be non-overlapping.
 func (s *Store) ContentWithin(prefixes []keyspace.Path) (items, tombs []Item) {
 	s.mu.RLock()
-	for ks, its := range s.items {
-		if underAnyDigest(ks, prefixes) {
-			items = append(items, its...)
-		}
+	for _, p := range prefixes {
+		s.scanLiveUnderLocked(string(p), func(rec PairRecord) bool {
+			items = append(items, Item{Key: keyspace.MustFromString(rec.Key), Value: rec.Value, Gen: rec.Gen})
+			return true
+		})
 	}
 	for ks, vals := range s.tombs {
 		if underAnyDigest(ks, prefixes) {
@@ -1039,11 +1136,11 @@ func (s *Store) ContentWithin(prefixes []keyspace.Path) (items, tombs []Item) {
 // ReplaceWithin atomically replaces the store's content under the path with
 // the given live items and tombstones: a rebuild from an authoritative
 // replica after the local copy went stale past the replica's GC horizon.
-// Local live copies, tombstones and version metadata under the path are
-// dropped first, so a stale pair that was deleted-and-pruned elsewhere
-// cannot survive the rebuild. It returns the store clock after the
-// replacement, taken atomically with it, so callers can record a sync
-// baseline that provably covers the installed content and nothing newer.
+// Local live copies and tombstones under the path are dropped first, so a
+// stale pair that was deleted-and-pruned elsewhere cannot survive the
+// rebuild. It returns the store clock after the replacement, taken
+// atomically with it, so callers can record a sync baseline that provably
+// covers the installed content and nothing newer.
 func (s *Store) ReplaceWithin(p keyspace.Path, items, tombs []Item) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -1056,16 +1153,14 @@ func (s *Store) ReplaceWithin(p keyspace.Path, items, tombs []Item) uint64 {
 // replaceWithinLocked is ReplaceWithin's body (shared with WAL replay;
 // callers must hold mu).
 func (s *Store) replaceWithinLocked(p keyspace.Path, items, tombs []Item) uint64 {
-	for ks, its := range s.items {
-		if !underDigest(ks, string(p)) {
-			continue
-		}
-		for _, it := range its {
-			s.digestXorLocked(ks, liveHash(ks, it.Value, it.Gen), -1)
-			s.clearVerLocked(ks, it.Value)
-		}
-		s.count -= len(its)
-		delete(s.items, ks)
+	var recs []PairRecord
+	s.scanLiveUnderLocked(string(p), func(rec PairRecord) bool {
+		recs = append(recs, rec)
+		return true
+	})
+	for _, rec := range recs {
+		s.digestXorLocked(rec.Key, liveHash(rec.Key, rec.Value, rec.Gen), -1)
+		s.eng.Delete(rec.Key, rec.Value)
 	}
 	for ks, vals := range s.tombs {
 		if !underDigest(ks, string(p)) {
@@ -1073,7 +1168,6 @@ func (s *Store) replaceWithinLocked(p keyspace.Path, items, tombs []Item) uint64
 		}
 		for v, t := range vals {
 			s.digestXorLocked(ks, tombHash(ks, v, t.gen), -1)
-			s.clearVerLocked(ks, v)
 		}
 		delete(s.tombs, ks)
 	}
@@ -1083,8 +1177,7 @@ func (s *Store) replaceWithinLocked(p keyspace.Path, items, tombs []Item) uint64
 		if !underDigest(ks, string(p)) {
 			continue
 		}
-		s.setTombLocked(ks, it.Value, it.Gen)
-		s.touchLocked(ks, it.Value)
+		s.stampTombLocked(ks, it.Value, it.Gen)
 	}
 	for _, it := range items {
 		ks := it.Key.String()
@@ -1098,9 +1191,10 @@ func (s *Store) replaceWithinLocked(p keyspace.Path, items, tombs []Item) uint64
 
 // Clone returns a deep copy of the store's logical content (items and
 // tombstones; the clone's clock, digests and tombstone ages are rebuilt
-// fresh).
+// fresh). The clone always lives on the in-memory engine, whatever backs
+// the original.
 func (s *Store) Clone() *Store {
-	c := NewStore()
+	c := newStoreWithEngine(newMemEngine(), EngineMem)
 	c.AddAll(s.Items())
 	c.AddTombstones(s.Tombstones())
 	return c

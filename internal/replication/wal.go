@@ -64,6 +64,9 @@ const (
 	// opMeta records one small key/value metadata pair (the overlay stores
 	// its partition path here).
 	opMeta walOp = 8
+	// opMutSeen records one coordinated-mutation ID entering the dedup ring
+	// (Store.MarkMutation), so exactly-once coordination survives restarts.
+	opMutSeen walOp = 9
 )
 
 // walFrameHeader is the fixed per-record framing overhead.

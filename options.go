@@ -146,6 +146,20 @@ func WithPersistence(dir string) Option {
 	return func(o *options) { o.dataDir = dir }
 }
 
+// WithStorageEngine selects the pair-storage engine backing every peer's
+// replica store: "mem" (the default; an in-memory map) or "disk"
+// (log-structured on-disk segments with a small memtable, keeping a
+// partition's resident set bounded regardless of how many pairs it holds —
+// for nodes storing millions of keys). The engine is independent of
+// WithPersistence: a disk-engine store without persistence keeps its
+// segments in a throwaway directory removed on Close, while with
+// persistence the segments live in the peer's data directory and a restart
+// recovers from them without rescanning every pair. An empty engine name
+// uses the PGRID_ENGINE environment variable, falling back to "mem".
+func WithStorageEngine(engine string) Option {
+	return func(o *options) { o.overlay.StorageEngine = engine }
+}
+
 // WithFullSyncAntiEntropy restores the legacy full-set anti-entropy
 // exchange, in which every maintenance tick ships the partition's entire
 // item and tombstone set to the chosen replica. It exists as the baseline

@@ -13,9 +13,17 @@
 //	          -put "datalog=doc-3" -interactions 8 -get database
 //
 // The node keeps serving incoming protocol messages until the -serve
-// duration elapses (0 means exit right after the local work is done);
-// -maintain additionally runs the background maintenance loop while
-// serving.
+// duration elapses (0 means exit right after the local work is done, unless
+// -http keeps the node up); -maintain additionally runs the background
+// maintenance loop while serving. SIGINT or SIGTERM while serving triggers
+// a clean shutdown: maintenance stops, the HTTP front door (if any) drains,
+// durable state is checkpointed so the next start recovers from the
+// snapshot with an empty WAL tail, and the process exits 0.
+//
+// With -http the node also serves the gateway HTTP API (see internal/gate):
+// /v1 search/range/batch/insert/delete plus /healthz, /readyz and
+// Prometheus-text /metrics with the peer's protocol counters and
+// replication gauges.
 //
 // With -data-dir the node's replica state is durable: items, delete
 // tombstones, the partition path and the anti-entropy sync baselines are
@@ -29,12 +37,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"pgrid/internal/gate"
 	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
 	"pgrid/internal/overlay"
@@ -57,6 +71,7 @@ type nodeOptions struct {
 	dataDir      string
 	engine       string
 	maintain     time.Duration
+	httpAddr     string
 	tcp          network.TCPOptions
 }
 
@@ -72,6 +87,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "directory for durable replica state (WAL + snapshots); restarts recover items, tombstones, path and sync baselines from it")
 		engine       = flag.String("engine", "", "pair-storage engine: mem or disk; disk keeps the partition's resident set bounded for stores far larger than RAM (default: $PGRID_ENGINE, else mem)")
 		maintain     = flag.Duration("maintain", 0, "run background maintenance (anti-entropy, routing probes) at this interval while serving; 0 disables")
+		httpAddr     = flag.String("http", "", "serve the gateway HTTP API (/v1/*, /healthz, /readyz, /metrics) on this address; keeps the node serving even with -serve 0")
 		dialTimeout  = flag.Duration("dial-timeout", 0, "TCP transport: connection-establishment timeout (0 = default)")
 		callTimeout  = flag.Duration("call-timeout", 0, "TCP transport: per-call timeout when the context has no deadline (0 = default)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "TCP transport: per-connection idle horizon before a pooled connection is closed (0 = default)")
@@ -87,6 +103,7 @@ func main() {
 		listen: *listen, join: *join, puts: puts, gets: gets,
 		interactions: *interactions, nmin: *nmin, dmax: *dmax,
 		serve: *serve, dataDir: *dataDir, engine: *engine, maintain: *maintain,
+		httpAddr: *httpAddr,
 		tcp: network.TCPOptions{
 			DialTimeout: *dialTimeout,
 			CallTimeout: *callTimeout,
@@ -105,7 +122,7 @@ func main() {
 func run(opts nodeOptions) error {
 	listen, join, puts, gets := opts.listen, opts.join, opts.puts, opts.gets
 	interactions, dataDir := opts.interactions, opts.dataDir
-	serve, maintain := opts.serve, opts.maintain
+	serve := opts.serve
 	ep, err := network.ListenTCPOptions(listen, opts.tcp)
 	if err != nil {
 		return err
@@ -122,7 +139,14 @@ func run(opts nodeOptions) error {
 	if err != nil {
 		return err
 	}
-	defer peer.Close()
+	// The clean-shutdown path closes the peer explicitly (after a final
+	// checkpoint); this cleanup only covers early error returns.
+	peerClosed := false
+	defer func() {
+		if !peerClosed {
+			peer.Close()
+		}
+	}()
 	fmt.Printf("pgridnode listening on %s\n", ep.Addr())
 	if dataDir != "" {
 		fmt.Printf("recovered durable state from %s: path %q, %d items, %d known replicas\n",
@@ -166,23 +190,96 @@ func run(opts nodeOptions) error {
 	for _, term := range gets {
 		key := keyspace.MustEncodeString(term, keyspace.DefaultDepth)
 		res, err := peer.Query(ctx, key)
-		if err != nil {
+		switch {
+		case errors.Is(err, overlay.ErrUnreachable):
+			// "Overlay down" is a different failure than "key absent":
+			// routing could not reach the responsible partition at all.
+			fmt.Printf("get %q: overlay unreachable: %v\n", term, err)
+		case err != nil:
 			fmt.Printf("get %q: %v\n", term, err)
-			continue
-		}
-		fmt.Printf("get %q: %d result(s) in %d hop(s)\n", term, len(res.Items), res.Hops)
-		for _, it := range res.Items {
-			fmt.Printf("  %s\n", it.Value)
+		case len(res.Items) == 0:
+			fmt.Printf("get %q: not found (responsible partition reached in %d hop(s))\n", term, res.Hops)
+		default:
+			fmt.Printf("get %q: %d result(s) in %d hop(s)\n", term, len(res.Items), res.Hops)
+			for _, it := range res.Items {
+				fmt.Printf("  %s\n", it.Value)
+			}
 		}
 	}
 
-	if serve > 0 {
-		if maintain > 0 {
-			stop := peer.StartMaintenance(overlay.MaintenanceOptions{Interval: maintain})
-			defer stop()
+	if serve > 0 || opts.httpAddr != "" {
+		if err := serveNode(peer, opts); err != nil {
+			return err
 		}
-		fmt.Printf("serving for %v (path %s, %d items)\n", serve, peer.Path(), peer.Store().Len())
-		time.Sleep(serve)
+	}
+
+	// Clean shutdown: checkpoint durable state so the next start recovers
+	// from the snapshot with an empty WAL tail, then close the store.
+	if dataDir != "" {
+		if err := peer.Store().Checkpoint(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+	}
+	peerClosed = true
+	if err := peer.Close(); err != nil {
+		return err
+	}
+	fmt.Println("clean shutdown: state checkpointed, store closed")
+	return nil
+}
+
+// serveNode keeps the node serving protocol traffic — and, with -http, the
+// gateway HTTP API — until the -serve duration elapses or a SIGINT/SIGTERM
+// arrives. On signal it stops maintenance and drains the HTTP front door
+// (readyz flips first, in-flight requests finish) before returning.
+func serveNode(peer *overlay.Peer, opts nodeOptions) error {
+	if opts.maintain > 0 {
+		stop := peer.StartMaintenance(overlay.MaintenanceOptions{Interval: opts.maintain})
+		defer stop()
+	}
+
+	var gateSrv *gate.Server
+	var httpSrv *http.Server
+	if opts.httpAddr != "" {
+		ln, err := net.Listen("tcp", opts.httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listen: %w", err)
+		}
+		gateSrv = gate.New(gate.Config{Backend: gate.PeerBackend{Peer: peer}})
+		httpSrv = &http.Server{Handler: gateSrv.Handler()}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "pgridnode: http serve:", err)
+			}
+		}()
+		fmt.Printf("http API on http://%s (search/range/batch/items, /metrics, /healthz, /readyz)\n", ln.Addr())
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	var timer <-chan time.Time
+	if opts.serve > 0 {
+		timer = time.After(opts.serve)
+		fmt.Printf("serving for %v (path %s, %d items)\n", opts.serve, peer.Path(), peer.Store().Len())
+	} else {
+		fmt.Printf("serving until signalled (path %s, %d items)\n", peer.Path(), peer.Store().Len())
+	}
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("received %s, shutting down\n", sig)
+	case <-timer:
+	}
+
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := gateSrv.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "pgridnode:", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "pgridnode: http shutdown:", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,354 @@
+package gate
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync/atomic"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/overlay"
+	"pgrid/internal/replication"
+)
+
+// Backend is what the HTTP layer needs from the overlay: the five data
+// operations, a readiness probe, and (optionally, via MetricsSource) the
+// peer metrics the /metrics endpoint exports. Two implementations exist:
+// PeerBackend drives a peer living in the same process (pgridnode -http),
+// RemoteBackend speaks the wire protocol to peers across the network
+// (standalone pgridgate).
+//
+// Errors returned by a Backend are classified with the overlay sentinels so
+// the HTTP layer can map them to statuses uniformly: overlay.ErrNotFound
+// (the responsible partition holds nothing under the key),
+// overlay.ErrNoQuorum (mutation applied but under-replicated),
+// overlay.ErrUnreachable (no route to the responsible partition), plus
+// context.DeadlineExceeded when the per-request budget ran out mid-route.
+type Backend interface {
+	// Search resolves an exact-match lookup for the key.
+	Search(ctx context.Context, key keyspace.Key) (SearchResult, error)
+	// SearchMany resolves many exact-match lookups as one batch; the
+	// result aligns with keys by index and carries per-key errors.
+	SearchMany(ctx context.Context, keys []keyspace.Key) []BatchEntry
+	// Range returns every item with a key in r.
+	Range(ctx context.Context, r keyspace.Range) (RangeResult, error)
+	// Insert routes a live write to the responsible partition.
+	Insert(ctx context.Context, it replication.Item) (MutateResult, error)
+	// Delete routes a live delete of the (key, value) pair.
+	Delete(ctx context.Context, key keyspace.Key, value string) (MutateResult, error)
+	// Ready reports whether the backend can currently serve traffic; its
+	// error is surfaced on /readyz.
+	Ready(ctx context.Context) error
+}
+
+// MetricsSource is implemented by backends that can surface overlay peer
+// metrics for the /metrics endpoint.
+type MetricsSource interface {
+	MetricsSnapshot() overlay.MetricsSnapshot
+}
+
+// SearchResult is the outcome of an exact-match lookup.
+type SearchResult struct {
+	Items []replication.Item
+	Hops  int
+}
+
+// BatchEntry is one key's outcome within a batch lookup.
+type BatchEntry struct {
+	SearchResult
+	Err error
+}
+
+// RangeResult is the outcome of a range query.
+type RangeResult struct {
+	Items      []replication.Item
+	Hops       int
+	Partitions int
+	Incomplete bool
+}
+
+// MutateResult is the outcome of a routed insert or delete.
+type MutateResult struct {
+	Acks     int
+	Replicas int
+	Hops     int
+}
+
+// PeerBackend serves the gateway API from an overlay peer in the same
+// process. The zero quorum semantics are the peer's own configured
+// WriteQuorum.
+type PeerBackend struct {
+	Peer *overlay.Peer
+}
+
+// Search implements Backend.
+func (b PeerBackend) Search(ctx context.Context, key keyspace.Key) (SearchResult, error) {
+	res, err := b.Peer.Query(ctx, key)
+	if err != nil {
+		return SearchResult{}, classifyCtx(ctx, err)
+	}
+	if len(res.Items) == 0 {
+		return SearchResult{Hops: res.Hops}, overlay.ErrNotFound
+	}
+	return SearchResult{Items: res.Items, Hops: res.Hops}, nil
+}
+
+// SearchMany implements Backend.
+func (b PeerBackend) SearchMany(ctx context.Context, keys []keyspace.Key) []BatchEntry {
+	out := make([]BatchEntry, len(keys))
+	for i, r := range b.Peer.QueryBatch(ctx, keys) {
+		if r.Err != nil {
+			out[i].Err = classifyCtx(ctx, r.Err)
+			continue
+		}
+		if len(r.Items) == 0 {
+			out[i].Err = overlay.ErrNotFound
+			out[i].Hops = r.Hops
+			continue
+		}
+		out[i].SearchResult = SearchResult{Items: r.Items, Hops: r.Hops}
+	}
+	return out
+}
+
+// Range implements Backend.
+func (b PeerBackend) Range(ctx context.Context, r keyspace.Range) (RangeResult, error) {
+	res, err := b.Peer.RangeQuery(ctx, r)
+	if err != nil {
+		return RangeResult{}, classifyCtx(ctx, err)
+	}
+	return RangeResult{Items: res.Items, Hops: res.Hops, Partitions: res.Partitions, Incomplete: res.Incomplete}, nil
+}
+
+// Insert implements Backend.
+func (b PeerBackend) Insert(ctx context.Context, it replication.Item) (MutateResult, error) {
+	res, err := b.Peer.Insert(ctx, it)
+	return MutateResult{Acks: res.Acks, Replicas: res.Replicas, Hops: res.Hops}, classifyCtx(ctx, err)
+}
+
+// Delete implements Backend.
+func (b PeerBackend) Delete(ctx context.Context, key keyspace.Key, value string) (MutateResult, error) {
+	res, err := b.Peer.Delete(ctx, key, value)
+	return MutateResult{Acks: res.Acks, Replicas: res.Replicas, Hops: res.Hops}, classifyCtx(ctx, err)
+}
+
+// Ready implements Backend: a local peer is ready as soon as it exists.
+func (b PeerBackend) Ready(context.Context) error { return nil }
+
+// MetricsSnapshot implements MetricsSource.
+func (b PeerBackend) MetricsSnapshot() overlay.MetricsSnapshot { return b.Peer.MetricsSnapshot() }
+
+// RemoteBackend serves the gateway API by speaking the overlay wire
+// protocol to one of a set of entry peers; the contacted peer routes the
+// operation onward like any forwarded request. Entry peers are rotated
+// round-robin, and an entry peer that fails at the transport level is
+// skipped in favour of the next one within the same request.
+type RemoteBackend struct {
+	// Transport is the gateway's own endpoint (TCP in production, the
+	// simulated network in tests).
+	Transport network.Transport
+	// Peers are the overlay entry points.
+	Peers []network.Addr
+	// TTL bounds routing hops per operation (0 = DefaultTTL).
+	TTL int
+	// WriteQuorum is the number of replica acks an insert or delete needs
+	// before the gateway reports it successful (0 = 1). The gateway
+	// applies it to the coordinator's reported ack count.
+	WriteQuorum int
+
+	next atomic.Uint64
+}
+
+// DefaultTTL is the default per-operation routing-hop bound of a
+// RemoteBackend.
+const DefaultTTL = 64
+
+func (b *RemoteBackend) ttl() int {
+	if b.TTL > 0 {
+		return b.TTL
+	}
+	return DefaultTTL
+}
+
+func (b *RemoteBackend) quorum() int {
+	if b.WriteQuorum > 0 {
+		return b.WriteQuorum
+	}
+	return 1
+}
+
+// call sends req to entry peers in rotation until one answers, classifying
+// total failure as ErrUnreachable.
+func (b *RemoteBackend) call(ctx context.Context, req any) (any, error) {
+	if len(b.Peers) == 0 {
+		return nil, fmt.Errorf("gate: no entry peers configured: %w", overlay.ErrUnreachable)
+	}
+	start := int(b.next.Add(1) - 1)
+	var lastErr error
+	for i := 0; i < len(b.Peers); i++ {
+		addr := b.Peers[(start+i)%len(b.Peers)]
+		raw, err := b.Transport.Call(ctx, addr, req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		return raw, nil
+	}
+	return nil, fmt.Errorf("gate: all %d entry peers failed (last: %v): %w", len(b.Peers), lastErr, overlay.ErrUnreachable)
+}
+
+// Search implements Backend.
+func (b *RemoteBackend) Search(ctx context.Context, key keyspace.Key) (SearchResult, error) {
+	raw, err := b.call(ctx, overlay.QueryRequest{Key: key, TTL: b.ttl()})
+	if err != nil {
+		return SearchResult{}, err
+	}
+	resp, ok := raw.(overlay.QueryResponse)
+	if !ok {
+		return SearchResult{}, fmt.Errorf("gate: unexpected response %T: %w", raw, overlay.ErrUnreachable)
+	}
+	if !resp.Found {
+		return SearchResult{}, fmt.Errorf("gate: routing exhausted: %w", overlay.ErrUnreachable)
+	}
+	if len(resp.Items) == 0 {
+		return SearchResult{Hops: resp.Hops}, overlay.ErrNotFound
+	}
+	return SearchResult{Items: resp.Items, Hops: resp.Hops}, nil
+}
+
+// SearchMany implements Backend.
+func (b *RemoteBackend) SearchMany(ctx context.Context, keys []keyspace.Key) []BatchEntry {
+	out := make([]BatchEntry, len(keys))
+	raw, err := b.call(ctx, overlay.BatchQueryRequest{Keys: keys, TTL: b.ttl()})
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	resp, ok := raw.(overlay.BatchQueryResponse)
+	if !ok || len(resp.Results) != len(keys) {
+		for i := range out {
+			out[i].Err = fmt.Errorf("gate: malformed batch response: %w", overlay.ErrUnreachable)
+		}
+		return out
+	}
+	for i, qr := range resp.Results {
+		switch {
+		case !qr.Found:
+			out[i].Err = fmt.Errorf("gate: routing exhausted: %w", overlay.ErrUnreachable)
+		case len(qr.Items) == 0:
+			out[i].Err = overlay.ErrNotFound
+			out[i].Hops = qr.Hops
+		default:
+			out[i].SearchResult = SearchResult{Items: qr.Items, Hops: qr.Hops}
+		}
+	}
+	return out
+}
+
+// Range implements Backend. Replicas can contribute the same item through
+// different branches, so the merged result is deduplicated and key-ordered
+// here (a local peer's RangeQuery does the same before returning).
+func (b *RemoteBackend) Range(ctx context.Context, r keyspace.Range) (RangeResult, error) {
+	raw, err := b.call(ctx, overlay.RangeRequest{Lo: r.Lo, Hi: r.Hi, HiUnbounded: r.HiUnbounded, TTL: b.ttl()})
+	if err != nil {
+		return RangeResult{}, err
+	}
+	resp, ok := raw.(overlay.RangeResponse)
+	if !ok {
+		return RangeResult{}, fmt.Errorf("gate: unexpected response %T: %w", raw, overlay.ErrUnreachable)
+	}
+	return RangeResult{
+		Items:      dedupeItems(resp.Items),
+		Hops:       resp.Hops,
+		Partitions: resp.Partitions,
+		Incomplete: resp.Incomplete,
+	}, nil
+}
+
+// Insert implements Backend.
+func (b *RemoteBackend) Insert(ctx context.Context, it replication.Item) (MutateResult, error) {
+	raw, err := b.call(ctx, overlay.InsertRequest{Item: it, ID: mutationID(), TTL: b.ttl()})
+	if err != nil {
+		return MutateResult{}, err
+	}
+	return b.finishMutation(raw)
+}
+
+// Delete implements Backend.
+func (b *RemoteBackend) Delete(ctx context.Context, key keyspace.Key, value string) (MutateResult, error) {
+	raw, err := b.call(ctx, overlay.DeleteRequest{Key: key, Value: value, ID: mutationID(), TTL: b.ttl()})
+	if err != nil {
+		return MutateResult{}, err
+	}
+	return b.finishMutation(raw)
+}
+
+// finishMutation converts a wire MutateResponse and applies the gateway's
+// write quorum to the coordinator's ack count.
+func (b *RemoteBackend) finishMutation(raw any) (MutateResult, error) {
+	resp, ok := raw.(overlay.MutateResponse)
+	if !ok {
+		return MutateResult{}, fmt.Errorf("gate: unexpected response %T: %w", raw, overlay.ErrUnreachable)
+	}
+	if !resp.Found {
+		return MutateResult{}, fmt.Errorf("gate: routing exhausted: %w", overlay.ErrUnreachable)
+	}
+	res := MutateResult{Acks: resp.Acks, Replicas: resp.Replicas, Hops: resp.Hops}
+	if res.Acks < b.quorum() {
+		return res, overlay.ErrNoQuorum
+	}
+	return res, nil
+}
+
+// Ready implements Backend: at least one entry peer must answer a ping.
+func (b *RemoteBackend) Ready(ctx context.Context) error {
+	_, err := b.call(ctx, overlay.PingRequest{From: b.Transport.Addr()})
+	return err
+}
+
+// mutationID draws a non-zero mutation identity for the overlay's
+// exactly-once coordination (a zero ID is never deduplicated).
+func mutationID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// classifyCtx prefers the context's own verdict over the overlay error: a
+// race that lost because the request deadline fired mid-route must surface
+// as a timeout, not as "unreachable".
+func classifyCtx(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// dedupeItems removes duplicate (key, value) pairs and orders by key.
+func dedupeItems(items []replication.Item) []replication.Item {
+	seen := make(map[string]bool, len(items))
+	out := make([]replication.Item, 0, len(items))
+	for _, it := range items {
+		k := it.Key.String() + "\x00" + it.Value
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Key.Compare(out[j].Key); c != 0 {
+			return c < 0
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

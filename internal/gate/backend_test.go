@@ -1,0 +1,137 @@
+package gate
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/overlay"
+	"pgrid/internal/replication"
+)
+
+// newSinglePeerOverlay builds a one-peer overlay on a simulated network:
+// the peer's path is the root, so it is responsible for every key and no
+// routing is required. Returns the sim (to knock the peer offline), the
+// peer and its address.
+func newSinglePeerOverlay(t *testing.T) (*network.Sim, *overlay.Peer) {
+	t.Helper()
+	sim := network.NewSim(network.SimConfig{Seed: 1})
+	p := overlay.New(overlay.Config{MinReplicas: 1, WriteQuorum: 1}, sim.Endpoint("p0"))
+	t.Cleanup(func() { p.Close() })
+	items := []replication.Item{
+		{Key: keyspace.MustEncodeString("apple", keyspace.DefaultDepth), Value: "doc1"},
+		{Key: keyspace.MustEncodeString("banana", keyspace.DefaultDepth), Value: "doc2"},
+		{Key: keyspace.MustEncodeString("cherry", keyspace.DefaultDepth), Value: "doc3"},
+	}
+	p.AddItems(items)
+	return sim, p
+}
+
+// TestPeerBackend drives the HTTP server over a real in-process peer.
+func TestPeerBackend(t *testing.T) {
+	_, p := newSinglePeerOverlay(t)
+	srv := New(Config{Backend: PeerBackend{Peer: p}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var got searchResponse
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/search/apple", "", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d", resp.StatusCode)
+	}
+	if len(got.Items) != 1 || got.Items[0].Value != "doc1" {
+		t.Errorf("search items: %+v", got.Items)
+	}
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/search/absent", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("absent key: status %d, want 404", resp.StatusCode)
+	}
+	var rng rangeResponse
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/range?lo=a&hi=z", "", &rng); resp.StatusCode != http.StatusOK {
+		t.Fatalf("range: status %d", resp.StatusCode)
+	}
+	if len(rng.Items) != 3 {
+		t.Errorf("range returned %d items, want 3", len(rng.Items))
+	}
+
+	// The peer implements MetricsSource, so /metrics carries peer families.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+}
+
+// TestRemoteBackend drives the full remote path: HTTP server → RemoteBackend
+// → wire protocol over the simulated network → peer.
+func TestRemoteBackend(t *testing.T) {
+	sim, p := newSinglePeerOverlay(t)
+	rb := &RemoteBackend{
+		Transport: sim.Endpoint("gate"),
+		Peers:     []network.Addr{p.Addr()},
+	}
+	srv := New(Config{Backend: rb})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp := doJSON(t, ts, http.MethodGet, "/readyz", "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: status %d", resp.StatusCode)
+	}
+
+	var put mutateResponse
+	if resp := doJSON(t, ts, http.MethodPut, "/v1/items/durian", `{"value":"doc4"}`, &put); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: status %d", resp.StatusCode)
+	}
+	if put.Acks < 1 {
+		t.Errorf("put acks: %+v", put)
+	}
+
+	var got searchResponse
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/search/durian", "", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d", resp.StatusCode)
+	}
+	if len(got.Items) != 1 || got.Items[0].Value != "doc4" {
+		t.Errorf("search items: %+v", got.Items)
+	}
+
+	var batch batchResponse
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/batch", `{"keys":["apple","durian","nope"]}`, &batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if len(batch.Results) != 3 || !batch.Results[0].Found || !batch.Results[1].Found || batch.Results[2].Found {
+		t.Errorf("batch results: %+v", batch.Results)
+	}
+
+	var rng rangeResponse
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/range?lo=a&hi=z", "", &rng); resp.StatusCode != http.StatusOK {
+		t.Fatalf("range: status %d", resp.StatusCode)
+	}
+	if len(rng.Items) != 4 {
+		t.Errorf("range returned %d items, want 4", len(rng.Items))
+	}
+
+	if resp := doJSON(t, ts, http.MethodDelete, "/v1/items/durian?value=doc4", "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/search/durian", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("search after delete: status %d, want 404", resp.StatusCode)
+	}
+
+	// Entry peer down: operations classify as unreachable → 503, and the
+	// backend's own error is the exported sentinel.
+	sim.SetOnline(p.Addr(), false)
+	if _, err := rb.Search(context.Background(), keyspace.MustEncodeString("apple", keyspace.DefaultDepth)); !errors.Is(err, overlay.ErrUnreachable) {
+		t.Errorf("search with peer down: %v, want ErrUnreachable", err)
+	}
+	if resp := doJSON(t, ts, http.MethodGet, "/v1/search/apple", "", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("search with peer down: status %d, want 503", resp.StatusCode)
+	}
+	if resp := doJSON(t, ts, http.MethodGet, "/readyz", "", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz with peer down: status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,103 @@
+package overlay
+
+import "pgrid/internal/replication"
+
+// This file is the peer's observability read path. The Metrics counters are
+// written from the protocol hot paths via atomic adds; MetricsSnapshot
+// collects them — plus the replication gauges that were previously
+// invisible outside the store (item count, tombstones, WAL shape,
+// disk-engine segments) — into one plain-value struct that exporters
+// (internal/gate's Prometheus endpoint, pgridbench) can read while a
+// workload runs, without half-updated figures and without stalling the
+// protocol.
+
+// MetricsSnapshot is a point-in-time, plain-value copy of a peer's protocol
+// counters and replication gauges. All counter fields are cumulative since
+// the peer started.
+type MetricsSnapshot struct {
+	// Construction activity: interactions initiated and data items moved.
+	Interactions float64
+	KeysMoved    float64
+	// Query activity this peer originated, and the hops those queries took.
+	Queries   float64
+	QueryHops float64
+	// Routed mutations this peer originated, and their routing hops.
+	Mutations    float64
+	MutationHops float64
+	// Bandwidth by purpose, in bytes.
+	MaintenanceBytes float64
+	QueryBytes       float64
+	// Completed anti-entropy syncs by protocol path.
+	SyncsInSync float64
+	SyncsDelta  float64
+	SyncsFull   float64
+	// Tombstones removed by the GC horizon.
+	TombstonesPruned float64
+	// Maintenance ticks that observed a sticky persistence failure.
+	PersistenceErrors float64
+
+	// Path is the peer's partition path.
+	Path string
+	// Replicas is the number of peers currently known to replicate this
+	// peer's partition.
+	Replicas int
+	// Store carries the replica store's gauges: live items, tombstones,
+	// logical clock, WAL records/segments, storage engine shape.
+	Store replication.StoreStats
+}
+
+// MetricsSnapshot returns a consistent point-in-time copy of the peer's
+// counters and gauges. Each counter is read with one atomic load and each
+// gauge under its own lock, so it is safe to call at scrape frequency while
+// queries, mutations and maintenance run concurrently.
+func (p *Peer) MetricsSnapshot() MetricsSnapshot {
+	m := &p.Metrics
+	return MetricsSnapshot{
+		Interactions:      m.Interactions.Value(),
+		KeysMoved:         m.KeysMoved.Value(),
+		Queries:           m.Queries.Value(),
+		QueryHops:         m.QueryHops.Value(),
+		Mutations:         m.Mutations.Value(),
+		MutationHops:      m.MutationHops.Value(),
+		MaintenanceBytes:  m.MaintenanceBytes.Value(),
+		QueryBytes:        m.QueryBytes.Value(),
+		SyncsInSync:       m.SyncsInSync.Value(),
+		SyncsDelta:        m.SyncsDelta.Value(),
+		SyncsFull:         m.SyncsFull.Value(),
+		TombstonesPruned:  m.TombstonesPruned.Value(),
+		PersistenceErrors: m.PersistenceErrors.Value(),
+		Path:              string(p.Path()),
+		Replicas:          len(p.Replicas()),
+		Store:             p.store.Stats(),
+	}
+}
+
+// Merge adds the counters of o into s and sums the size gauges (items,
+// tombstones, replicas, WAL records/segments, engine shape), producing a
+// cluster-wide aggregate; Path is cleared because an aggregate has none.
+func (s MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
+	s.Interactions += o.Interactions
+	s.KeysMoved += o.KeysMoved
+	s.Queries += o.Queries
+	s.QueryHops += o.QueryHops
+	s.Mutations += o.Mutations
+	s.MutationHops += o.MutationHops
+	s.MaintenanceBytes += o.MaintenanceBytes
+	s.QueryBytes += o.QueryBytes
+	s.SyncsInSync += o.SyncsInSync
+	s.SyncsDelta += o.SyncsDelta
+	s.SyncsFull += o.SyncsFull
+	s.TombstonesPruned += o.TombstonesPruned
+	s.PersistenceErrors += o.PersistenceErrors
+	s.Replicas += o.Replicas
+	s.Path = ""
+	s.Store.Items += o.Store.Items
+	s.Store.Tombstones += o.Store.Tombstones
+	s.Store.Clock += o.Store.Clock
+	s.Store.WALRecords += o.Store.WALRecords
+	s.Store.WALSegments += o.Store.WALSegments
+	s.Store.EngineStats.Segments += o.Store.EngineStats.Segments
+	s.Store.EngineStats.MemtableLen += o.Store.EngineStats.MemtableLen
+	s.Store.EngineStats.FrozenLen += o.Store.EngineStats.FrozenLen
+	return s
+}

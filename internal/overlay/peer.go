@@ -231,7 +231,10 @@ type Peer struct {
 	// clocks of the last completed digest/delta sync).
 	syncStates map[network.Addr]syncState
 
-	// Metrics are exported counters; they are updated without holding mu.
+	// Metrics are exported counters. They are updated without holding mu:
+	// each stats.Counter is internally atomic, and MetricsSnapshot reads
+	// them through the same atomic loads, so concurrent scrapes never see
+	// a half-updated figure.
 	Metrics Metrics
 }
 
@@ -562,9 +565,26 @@ func (p *Peer) handle(ctx context.Context, from network.Addr, req any) (any, err
 	}
 }
 
+// ErrUnreachable classifies routed operations that could not reach the
+// partition responsible for their key: every candidate reference was
+// exhausted (peers down, refs stale, TTL spent). It is the overlay's
+// "service unavailable" signal — the key may well exist, but no route led
+// to it — and callers (the HTTP gateway, pgridnode -get) use it to
+// distinguish "overlay down" from "key absent" (ErrNotFound) and "write
+// under-replicated" (ErrNoQuorum). Test with errors.Is.
+var ErrUnreachable = errors.New("overlay: responsible partition unreachable")
+
+// ErrNotFound classifies lookups that did reach the responsible partition
+// but found no item stored under the key. Query itself reports this case as
+// an empty result set; the sentinel exists so service layers above the
+// overlay (internal/gate, pgridnode) map "absent" uniformly — e.g. to HTTP
+// 404 — instead of inventing their own marker. Test with errors.Is.
+var ErrNotFound = errors.New("overlay: key not found")
+
 // errNotResponsible is returned by query handling when routing cannot make
-// progress.
-var errNotResponsible = errors.New("overlay: no route towards responsible peer")
+// progress. It wraps ErrUnreachable so callers above the protocol layer can
+// classify the failure without knowing the internal control-flow error.
+var errNotResponsible = fmt.Errorf("overlay: no route towards responsible peer: %w", ErrUnreachable)
 
 // random returns a random float using the peer's RNG under the state lock's
 // protection (callers must hold p.mu).

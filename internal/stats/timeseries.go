@@ -2,9 +2,11 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -94,22 +96,26 @@ func (ts *TimeSeries) Table() string {
 }
 
 // Counter is a concurrency-safe monotonically increasing counter used for
-// bandwidth and message accounting.
+// bandwidth and message accounting. It is lock-free: the value lives in an
+// atomic word holding float64 bits, so the query hot path increments it
+// without contending on a mutex and exporters read a consistent snapshot
+// with a single atomic load.
 type Counter struct {
-	mu  sync.Mutex
-	val float64
+	bits atomic.Uint64
 }
 
 // Add increments the counter by delta.
 func (c *Counter) Add(delta float64) {
-	c.mu.Lock()
-	c.val += delta
-	c.mu.Unlock()
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value returns the current counter value.
 func (c *Counter) Value() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.val
+	return math.Float64frombits(c.bits.Load())
 }

@@ -381,6 +381,31 @@ var ErrNotBuilt = errors.New("pgrid: live mutations require a built overlay; use
 // acknowledge, and background maintenance spreads it further.
 var ErrNoQuorum = overlay.ErrNoQuorum
 
+// ErrNotFound classifies a lookup that reached the responsible partition
+// and found nothing under the key — the overlay is healthy, the key is
+// absent. Service layers map it to 404.
+var ErrNotFound = overlay.ErrNotFound
+
+// ErrUnreachable classifies an operation that could not reach the
+// partition responsible for its key at all (routing exhausted its
+// references, every candidate offline). Unlike ErrNotFound it signals an
+// overlay problem, not an absent key; service layers map it to 503.
+var ErrUnreachable = overlay.ErrUnreachable
+
+// MetricsSnapshot aggregates every peer's protocol counters and replication
+// gauges into one cluster-wide overlay.MetricsSnapshot: counters sum, size
+// gauges (items, tombstones, replica links, WAL shape) sum, and the
+// per-peer partition path is cleared. Each peer is snapshotted with atomic
+// loads, so this is safe to call while searches, mutations and maintenance
+// run.
+func (c *Cluster) MetricsSnapshot() overlay.MetricsSnapshot {
+	var agg overlay.MetricsSnapshot
+	for _, p := range c.peerList() {
+		agg = agg.Merge(p.MetricsSnapshot())
+	}
+	return agg
+}
+
 // MutateReport summarises a routed live write.
 type MutateReport struct {
 	// Acks is the number of replicas (including the responsible peer) that

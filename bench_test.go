@@ -585,6 +585,67 @@ func BenchmarkClusterQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterQueryCacheHit measures the answer-cache hot path: every
+// entry peer holds the answer after warm-up, so each search costs a cache
+// lookup plus the one-hop clock revalidation probe instead of routing.
+// Compare with BenchmarkClusterQuery for the uncached cost.
+func BenchmarkClusterQueryCacheHit(b *testing.B) {
+	c, err := NewCluster(WithPeers(48), WithMaxKeys(20), WithMinReplicas(2), WithSeed(1),
+		WithQueryCache(64, time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 300; j++ {
+		_ = c.IndexFloat(float64(j)/300, fmt.Sprintf("v%d", j))
+	}
+	if _, err := c.Build(contextBackground()); err != nil {
+		b.Fatal(err)
+	}
+	// Warm every peer's cache for the measured key.
+	for j := 0; j < 4*c.Peers(); j++ {
+		if _, err := c.Search(contextBackground(), FloatKey(0.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(contextBackground(), FloatKey(0.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotReplicaWidenedQuery measures lookups against a partition that
+// has recruited shadow replicas: the raced router spreads reads across the
+// widened set, each serve revalidating with a clock probe.
+func BenchmarkHotReplicaWidenedQuery(b *testing.B) {
+	c, err := NewCluster(WithPeers(48), WithMaxKeys(20), WithMinReplicas(2), WithSeed(1),
+		WithHotReplication(50, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 300; j++ {
+		_ = c.IndexFloat(float64(j)/300, fmt.Sprintf("v%d", j))
+	}
+	if _, err := c.Build(contextBackground()); err != nil {
+		b.Fatal(err)
+	}
+	// Drive the hot key's read rate over the threshold, then let one
+	// maintenance round run the widening state machine.
+	for j := 0; j < 400; j++ {
+		if _, err := c.Search(contextBackground(), FloatKey(0.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.MaintenanceRound(contextBackground())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(contextBackground(), FloatKey(0.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSyncPeers builds two in-sync replica peers of the root partition with
 // the given number of items, for anti-entropy protocol benchmarks.
 func benchSyncPeers(b *testing.B, items int, full bool) (*overlay.Peer, *overlay.Peer) {

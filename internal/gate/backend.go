@@ -27,8 +27,10 @@ import (
 // overlay.ErrUnreachable (no route to the responsible partition), plus
 // context.DeadlineExceeded when the per-request budget ran out mid-route.
 type Backend interface {
-	// Search resolves an exact-match lookup for the key.
-	Search(ctx context.Context, key keyspace.Key) (SearchResult, error)
+	// Search resolves an exact-match lookup for the key. opts selects
+	// between the default cache-eligible read and a consistent read that
+	// bypasses every query-path answer cache.
+	Search(ctx context.Context, key keyspace.Key, opts SearchOptions) (SearchResult, error)
 	// SearchMany resolves many exact-match lookups as one batch; the
 	// result aligns with keys by index and carries per-key errors.
 	SearchMany(ctx context.Context, keys []keyspace.Key) []BatchEntry
@@ -49,10 +51,20 @@ type MetricsSource interface {
 	MetricsSnapshot() overlay.MetricsSnapshot
 }
 
+// SearchOptions selects the read path of a Search.
+type SearchOptions struct {
+	// Consistent forces the lookup to bypass every query-path answer cache
+	// and route to the responsible partition.
+	Consistent bool
+}
+
 // SearchResult is the outcome of an exact-match lookup.
 type SearchResult struct {
 	Items []replication.Item
 	Hops  int
+	// Cached reports that the answer was served from a peer's query-path
+	// answer cache (after clock revalidation) rather than routed.
+	Cached bool
 }
 
 // BatchEntry is one key's outcome within a batch lookup.
@@ -84,15 +96,15 @@ type PeerBackend struct {
 }
 
 // Search implements Backend.
-func (b PeerBackend) Search(ctx context.Context, key keyspace.Key) (SearchResult, error) {
-	res, err := b.Peer.Query(ctx, key)
+func (b PeerBackend) Search(ctx context.Context, key keyspace.Key, opts SearchOptions) (SearchResult, error) {
+	res, err := b.Peer.QueryWith(ctx, key, overlay.QueryOptions{Consistent: opts.Consistent})
 	if err != nil {
 		return SearchResult{}, classifyCtx(ctx, err)
 	}
 	if len(res.Items) == 0 {
 		return SearchResult{Hops: res.Hops}, overlay.ErrNotFound
 	}
-	return SearchResult{Items: res.Items, Hops: res.Hops}, nil
+	return SearchResult{Items: res.Items, Hops: res.Hops, Cached: res.Cached}, nil
 }
 
 // SearchMany implements Backend.
@@ -203,8 +215,8 @@ func (b *RemoteBackend) call(ctx context.Context, req any) (any, error) {
 }
 
 // Search implements Backend.
-func (b *RemoteBackend) Search(ctx context.Context, key keyspace.Key) (SearchResult, error) {
-	raw, err := b.call(ctx, overlay.QueryRequest{Key: key, TTL: b.ttl()})
+func (b *RemoteBackend) Search(ctx context.Context, key keyspace.Key, opts SearchOptions) (SearchResult, error) {
+	raw, err := b.call(ctx, overlay.QueryRequest{Key: key, TTL: b.ttl(), Bypass: opts.Consistent})
 	if err != nil {
 		return SearchResult{}, err
 	}
@@ -218,7 +230,7 @@ func (b *RemoteBackend) Search(ctx context.Context, key keyspace.Key) (SearchRes
 	if len(resp.Items) == 0 {
 		return SearchResult{Hops: resp.Hops}, overlay.ErrNotFound
 	}
-	return SearchResult{Items: resp.Items, Hops: resp.Hops}, nil
+	return SearchResult{Items: resp.Items, Hops: resp.Hops, Cached: resp.Cached}, nil
 }
 
 // SearchMany implements Backend.

@@ -125,7 +125,7 @@ func TestRemoteBackend(t *testing.T) {
 	// Entry peer down: operations classify as unreachable → 503, and the
 	// backend's own error is the exported sentinel.
 	sim.SetOnline(p.Addr(), false)
-	if _, err := rb.Search(context.Background(), keyspace.MustEncodeString("apple", keyspace.DefaultDepth)); !errors.Is(err, overlay.ErrUnreachable) {
+	if _, err := rb.Search(context.Background(), keyspace.MustEncodeString("apple", keyspace.DefaultDepth), SearchOptions{}); !errors.Is(err, overlay.ErrUnreachable) {
 		t.Errorf("search with peer down: %v, want ErrUnreachable", err)
 	}
 	if resp := doJSON(t, ts, http.MethodGet, "/v1/search/apple", "", nil); resp.StatusCode != http.StatusServiceUnavailable {

@@ -22,7 +22,7 @@
 //
 // Routes:
 //
-//	GET    /v1/search/{key}        exact-match lookup
+//	GET    /v1/search/{key}        exact-match lookup (?consistent=1 bypasses caches)
 //	GET    /v1/range?lo=&hi=       range query (hi omitted = unbounded)
 //	POST   /v1/batch               {"keys": [...]} batch lookup
 //	PUT    /v1/items/{key}         {"value": ...} routed insert
@@ -31,9 +31,22 @@
 //
 // Keys are UTF-8 terms by default, order-preservingly encoded like
 // pgrid.StringKey; ?enc=bits switches to raw "0101..." bit-string keys.
-// Failures map to statuses by class: 404 key absent, 503 overlay
-// unreachable or write quorum missed, 504 deadline exceeded mid-route,
-// 429 shed by the concurrency limiter.
+//
+// Search answers carry an X-Pgrid-Cache header telling how the read was
+// served: "hit" (a peer's query-path answer cache, revalidated against the
+// partition's logical clock), "miss" (routed normally, cache-eligible) or
+// "bypass" (?consistent=1 forced routing). Consistent reads cost the full
+// route but are never served from any cache.
+//
+// Every failure returns the JSON error envelope
+//
+//	{"error": {"code": "...", "message": "..."}}
+//
+// with a stable machine-readable code alongside the HTTP status:
+// bad_request (400), not_found (404), overloaded (429, shed by the
+// concurrency limiter), unavailable (503, overlay unreachable or write
+// quorum missed), timeout (504, deadline exceeded mid-route) and internal
+// (500).
 package gate
 
 import (
@@ -160,9 +173,41 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// errorResponse is the JSON error body.
+// errorBody is the machine-readable error payload of the envelope.
+type errorBody struct {
+	// Code is a stable slug clients can branch on (bad_request, not_found,
+	// overloaded, unavailable, timeout, internal).
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// errorResponse is the JSON error envelope every failing route returns.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
+}
+
+// errEnvelope builds the envelope for one status/message pair.
+func errEnvelope(status int, msg string) errorResponse {
+	return errorResponse{Error: errorBody{Code: codeFor(status), Message: msg}}
+}
+
+// codeFor maps an HTTP status to the envelope's stable error code.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
 }
 
 // itemJSON is one (key, value) pair on the wire.
@@ -214,8 +259,9 @@ func statusFor(err error) int {
 // api wraps an operation handler with the service-layer concerns: the
 // in-flight semaphore (shedding with 429 + Retry-After when full), the
 // per-request deadline, drain tracking, JSON rendering and the per-route
-// metrics.
-func (s *Server) api(route string, fn func(r *http.Request) (any, error)) http.Handler {
+// metrics. Handlers receive the ResponseWriter only to set response
+// headers (e.g. X-Pgrid-Cache); the wrapper owns status and body.
+func (s *Server) api(route string, fn func(w http.ResponseWriter, r *http.Request) (any, error)) http.Handler {
 	rs := s.metrics.route(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -227,7 +273,7 @@ func (s *Server) api(route string, fn func(r *http.Request) (any, error)) http.H
 			// an unbounded convoy of doomed requests.
 			s.metrics.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded, retry later"})
+			writeJSON(w, http.StatusTooManyRequests, errEnvelope(http.StatusTooManyRequests, "overloaded, retry later"))
 			rs.observe(http.StatusTooManyRequests, time.Since(start))
 			return
 		}
@@ -243,10 +289,10 @@ func (s *Server) api(route string, fn func(r *http.Request) (any, error)) http.H
 		defer cancel()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
-		payload, err := fn(r.WithContext(ctx))
+		payload, err := fn(w, r.WithContext(ctx))
 		code := statusFor(err)
 		if err != nil {
-			writeJSON(w, code, errorResponse{Error: err.Error()})
+			writeJSON(w, code, errEnvelope(code, err.Error()))
 		} else {
 			writeJSON(w, code, payload)
 		}
@@ -284,21 +330,37 @@ func (s *Server) parseKey(raw, enc string) (keyspace.Key, error) {
 
 // searchResponse is the GET /v1/search/{key} body.
 type searchResponse struct {
-	Key   string     `json:"key"`
-	Items []itemJSON `json:"items"`
-	Hops  int        `json:"hops"`
+	Key    string     `json:"key"`
+	Items  []itemJSON `json:"items"`
+	Hops   int        `json:"hops"`
+	Cached bool       `json:"cached,omitempty"`
 }
 
-func (s *Server) handleSearch(r *http.Request) (any, error) {
-	key, err := s.parseKey(r.PathValue("key"), r.URL.Query().Get("enc"))
+// cacheHeader is the response header reporting how a search was served.
+const cacheHeader = "X-Pgrid-Cache"
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) (any, error) {
+	q := r.URL.Query()
+	key, err := s.parseKey(r.PathValue("key"), q.Get("enc"))
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.cfg.Backend.Search(r.Context(), key)
+	consistent := q.Get("consistent") == "1" || q.Get("consistent") == "true"
+	res, err := s.cfg.Backend.Search(r.Context(), key, SearchOptions{Consistent: consistent})
+	switch {
+	case consistent:
+		w.Header().Set(cacheHeader, "bypass")
+	case res.Cached:
+		w.Header().Set(cacheHeader, "hit")
+		s.metrics.cacheHits.Add(1)
+	default:
+		w.Header().Set(cacheHeader, "miss")
+		s.metrics.cacheMisses.Add(1)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return searchResponse{Key: key.String(), Items: itemsJSON(res.Items), Hops: res.Hops}, nil
+	return searchResponse{Key: key.String(), Items: itemsJSON(res.Items), Hops: res.Hops, Cached: res.Cached}, nil
 }
 
 // rangeResponse is the GET /v1/range body.
@@ -311,7 +373,7 @@ type rangeResponse struct {
 	Incomplete bool       `json:"incomplete,omitempty"`
 }
 
-func (s *Server) handleRange(r *http.Request) (any, error) {
+func (s *Server) handleRange(_ http.ResponseWriter, r *http.Request) (any, error) {
 	q := r.URL.Query()
 	enc := q.Get("enc")
 	loRaw := q.Get("lo")
@@ -362,7 +424,7 @@ type batchResponse struct {
 	Results []batchEntryJSON `json:"results"`
 }
 
-func (s *Server) handleBatch(r *http.Request) (any, error) {
+func (s *Server) handleBatch(_ http.ResponseWriter, r *http.Request) (any, error) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return nil, badRequestf("bad batch body: %v", err)
@@ -409,7 +471,7 @@ type mutateResponse struct {
 	Hops     int    `json:"hops"`
 }
 
-func (s *Server) handleInsert(r *http.Request) (any, error) {
+func (s *Server) handleInsert(_ http.ResponseWriter, r *http.Request) (any, error) {
 	key, err := s.parseKey(r.PathValue("key"), r.URL.Query().Get("enc"))
 	if err != nil {
 		return nil, err
@@ -425,7 +487,7 @@ func (s *Server) handleInsert(r *http.Request) (any, error) {
 	return mutateResponse{Key: key.String(), Acks: res.Acks, Replicas: res.Replicas, Hops: res.Hops}, nil
 }
 
-func (s *Server) handleDelete(r *http.Request) (any, error) {
+func (s *Server) handleDelete(_ http.ResponseWriter, r *http.Request) (any, error) {
 	key, err := s.parseKey(r.PathValue("key"), r.URL.Query().Get("enc"))
 	if err != nil {
 		return nil, err

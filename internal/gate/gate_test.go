@@ -55,7 +55,7 @@ func (f *fakeBackend) gate(ctx context.Context) error {
 	return f.forceErr
 }
 
-func (f *fakeBackend) Search(ctx context.Context, key keyspace.Key) (SearchResult, error) {
+func (f *fakeBackend) Search(ctx context.Context, key keyspace.Key, _ SearchOptions) (SearchResult, error) {
 	if err := f.gate(ctx); err != nil {
 		return SearchResult{}, err
 	}
@@ -71,7 +71,7 @@ func (f *fakeBackend) Search(ctx context.Context, key keyspace.Key) (SearchResul
 func (f *fakeBackend) SearchMany(ctx context.Context, keys []keyspace.Key) []BatchEntry {
 	out := make([]BatchEntry, len(keys))
 	for i, k := range keys {
-		res, err := f.Search(ctx, k)
+		res, err := f.Search(ctx, k, SearchOptions{})
 		out[i] = BatchEntry{SearchResult: res, Err: err}
 	}
 	return out
@@ -224,8 +224,11 @@ func TestErrorStatusMapping(t *testing.T) {
 		if resp.StatusCode != tc.want {
 			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
 		}
-		if body.Error == "" {
-			t.Errorf("%s: empty error body", tc.name)
+		if body.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+		if body.Error.Code != codeFor(tc.want) {
+			t.Errorf("%s: error code %q, want %q", tc.name, body.Error.Code, codeFor(tc.want))
 		}
 	}
 

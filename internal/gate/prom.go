@@ -75,6 +75,10 @@ type gateMetrics struct {
 
 	inflight atomic.Int64
 	shed     atomic.Uint64
+	// cacheHits and cacheMisses count cache-eligible searches by how the
+	// overlay served them (consistent reads bypass and count in neither).
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 func newGateMetrics() *gateMetrics {
@@ -114,6 +118,14 @@ func (g *gateMetrics) writeExposition(w io.Writer, ready bool, snap *overlay.Met
 	fmt.Fprintf(w, "# HELP pgrid_gate_shed_total Requests rejected with 429 by the concurrency limiter.\n")
 	fmt.Fprintf(w, "# TYPE pgrid_gate_shed_total counter\n")
 	fmt.Fprintf(w, "pgrid_gate_shed_total %d\n", g.shed.Load())
+
+	fmt.Fprintf(w, "# HELP pgrid_gate_cache_hits_total Searches served from the overlay's query answer cache.\n")
+	fmt.Fprintf(w, "# TYPE pgrid_gate_cache_hits_total counter\n")
+	fmt.Fprintf(w, "pgrid_gate_cache_hits_total %d\n", g.cacheHits.Load())
+
+	fmt.Fprintf(w, "# HELP pgrid_gate_cache_misses_total Cache-eligible searches that routed to the responsible partition.\n")
+	fmt.Fprintf(w, "# TYPE pgrid_gate_cache_misses_total counter\n")
+	fmt.Fprintf(w, "pgrid_gate_cache_misses_total %d\n", g.cacheMisses.Load())
 
 	g.mu.Lock()
 	names := make([]string, 0, len(g.routes))
@@ -188,6 +200,10 @@ func writePeerExposition(w io.Writer, s *overlay.MetricsSnapshot) {
 	fmt.Fprintf(w, "pgrid_peer_syncs_total{kind=\"delta\"} %s\n", fmtFloat(s.SyncsDelta))
 	fmt.Fprintf(w, "pgrid_peer_syncs_total{kind=\"full\"} %s\n", fmtFloat(s.SyncsFull))
 	counter("pgrid_peer_tombstones_pruned_total", "Tombstones removed by the GC horizon.", s.TombstonesPruned)
+	counter("pgrid_peer_cache_hits_total", "Exact lookups served from the query answer cache.", s.CacheHits)
+	counter("pgrid_peer_cache_misses_total", "Exact lookups that had to route (cache miss or revalidation failure).", s.CacheMisses)
+	counter("pgrid_peer_widening_recruits_total", "Temporary hot-key replicas enlisted by replica widening.", s.WideningRecruits)
+	counter("pgrid_peer_widening_releases_total", "Temporary hot-key replicas dismissed by replica widening.", s.WideningReleases)
 	counter("pgrid_peer_persistence_errors_total", "Maintenance ticks observing a sticky persistence failure.", s.PersistenceErrors)
 	gauge("pgrid_peer_replicas", "Peers known to replicate this partition.", float64(s.Replicas))
 	gauge("pgrid_peer_path_depth", "Partition path depth (trie level).", float64(len(s.Path)))

@@ -28,6 +28,24 @@ func PlanetLabLatency(base time.Duration) LatencyModel {
 	}
 }
 
+// ServiceModel parameterises receiver-side processing capacity: each
+// delivered request occupies the destination endpoint for
+// Fixed + PerByte*(request+response bytes) of virtual service time, and
+// requests queue FIFO while the endpoint is busy. This is what makes load
+// matter in the simulation — a hot endpoint's queue grows with sustained
+// traffic, so skewed workloads inflate tail latency the way a saturated
+// real server would. The zero value disables the model entirely (no
+// behaviour change for latency-only simulations).
+type ServiceModel struct {
+	// Fixed is the per-request processing cost regardless of size.
+	Fixed time.Duration
+	// PerByte is the additional cost per byte of request plus response.
+	PerByte time.Duration
+}
+
+// Enabled reports whether the model imposes any cost.
+func (m ServiceModel) Enabled() bool { return m.Fixed > 0 || m.PerByte > 0 }
+
 // SimConfig parameterises a simulated network.
 type SimConfig struct {
 	// Latency is the one-way delay model; nil means no delay.
@@ -41,6 +59,9 @@ type SimConfig struct {
 	// multi-hour timeline in seconds of wall-clock time (e.g. a TimeScale
 	// of 600 turns 10 minutes into one second). Zero or negative means 1.
 	TimeScale float64
+	// Service models receiver-side processing capacity and queueing; the
+	// zero value disables it.
+	Service ServiceModel
 }
 
 // Sim is an in-process network connecting any number of endpoints. It is
@@ -103,6 +124,50 @@ type SimEndpoint struct {
 	// sent plus responses it produced), matching the per-peer bandwidth
 	// accounting of Figure 8.
 	BytesSent stats.Counter
+
+	// svcMu guards busyUntil, the virtual-FIFO service queue horizon used
+	// by SimConfig.Service: a request delivered while the endpoint is busy
+	// waits until every earlier request's service time has elapsed.
+	// busyTotal accumulates every reservation, so experiments can rank
+	// endpoints by how much service time they absorbed.
+	svcMu     sync.Mutex
+	busyUntil time.Time
+	busyTotal time.Duration
+}
+
+// BusyTotal returns the cumulative virtual service time reserved on this
+// endpoint — a direct measure of how much of the workload it absorbed.
+func (e *SimEndpoint) BusyTotal() time.Duration {
+	e.svcMu.Lock()
+	defer e.svcMu.Unlock()
+	return e.busyTotal
+}
+
+// BusyTotals returns every endpoint's cumulative service time, keyed by
+// address. Useful for spotting convoy points under skewed load.
+func (s *Sim) BusyTotals() map[Addr]time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Addr]time.Duration, len(s.endpoints))
+	for a, ep := range s.endpoints {
+		out[a] = ep.BusyTotal()
+	}
+	return out
+}
+
+// reserve books d of service time on the endpoint's virtual FIFO queue and
+// returns how long the caller must wait before its request is processed
+// (queue backlog plus its own service time).
+func (e *SimEndpoint) reserve(now time.Time, d time.Duration) time.Duration {
+	e.svcMu.Lock()
+	defer e.svcMu.Unlock()
+	start := e.busyUntil
+	if start.Before(now) {
+		start = now
+	}
+	e.busyUntil = start.Add(d)
+	e.busyTotal += d
+	return e.busyUntil.Sub(now)
 }
 
 // Endpoint creates (or returns) the endpoint with the given address. New
@@ -252,6 +317,18 @@ func (e *SimEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
 	if handler == nil {
 		return nil, ErrNoHandler
 	}
+	// Receiver-side service queue: the request waits behind everything the
+	// destination is already processing, then occupies it for its own
+	// processing cost. This is what lets skewed workloads saturate a hot
+	// peer in simulation.
+	svc := e.net.cfg.Service
+	if svc.Enabled() {
+		cost := svc.Fixed + svc.PerByte*time.Duration(MessageSize(req))
+		wait := dst.reserve(time.Now(), time.Duration(float64(cost)/e.net.cfg.TimeScale))
+		if err := sleepCtx(ctx, wait); err != nil {
+			return nil, err
+		}
+	}
 	resp, err := handler(ctx, e.addr, req)
 	if err != nil {
 		return nil, &RemoteError{Msg: err.Error()}
@@ -261,6 +338,17 @@ func (e *SimEndpoint) Call(ctx context.Context, to Addr, req any) (any, error) {
 	e.net.Bytes.Add(rsz)
 	e.net.Messages.Add(1)
 	dst.BytesSent.Add(rsz)
+
+	// The response's bytes occupy the responder too (serialisation and
+	// upstream bandwidth): large answers make a hot peer slower for
+	// everyone, tiny probe responses barely register.
+	if svc.Enabled() && rsz > 0 {
+		cost := svc.PerByte * time.Duration(rsz)
+		wait := dst.reserve(time.Now(), time.Duration(float64(cost)/e.net.cfg.TimeScale))
+		if err := sleepCtx(ctx, wait); err != nil {
+			return nil, err
+		}
+	}
 
 	if err := sleepCtx(ctx, e.net.delay(to, e.addr)); err != nil {
 		return nil, err

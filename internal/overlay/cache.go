@@ -1,0 +1,145 @@
+package overlay
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/replication"
+)
+
+// This file implements the query-path answer cache. Peers along a
+// successful exact-lookup route memoize the answer together with a
+// freshness token: the responsible replica's store logical clock at answer
+// time. A cached entry is only ever served after a one-round-trip clock
+// probe to that same replica confirms the token still matches — every
+// visible mutation of a replica store (routed insert/delete, anti-entropy
+// merge, tombstone compaction) advances its clock, so writes invalidate
+// cached answers naturally and read-your-writes survives. The win over
+// re-routing is that a probe is one hop carrying a few dozen bytes, while
+// a routed lookup is several hops ending in an item-carrying response from
+// an already-hot replica.
+
+// cacheEntry is one memoized exact-lookup answer.
+type cacheEntry struct {
+	key   string // key bit-string, the map key
+	items []replication.Item
+	// clock is the responsible replica's store clock when the answer was
+	// produced; the entry is served only while a probe of that replica
+	// returns the same value.
+	clock       uint64
+	responsible network.Addr
+	path        keyspace.Path
+	expires     time.Time
+}
+
+// queryCache is a bounded LRU of exact-lookup answers. nil *queryCache is
+// valid and behaves as an always-miss cache, so the query path needs no
+// enabled-check.
+type queryCache struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+// newQueryCache returns a cache holding up to capacity entries, each living
+// at most ttl. A capacity <= 0 returns nil (caching disabled).
+func newQueryCache(capacity int, ttl time.Duration) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if ttl <= 0 {
+		ttl = DefaultQueryCacheTTL
+	}
+	return &queryCache{
+		cap:     capacity,
+		ttl:     ttl,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry of key if present and not expired, refreshing its
+// LRU position. Expired entries are removed on the way.
+func (c *queryCache) get(key keyspace.Key, now time.Time) (cacheEntry, bool) {
+	if c == nil {
+		return cacheEntry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key.String()]
+	if !ok {
+		return cacheEntry{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if now.After(ent.expires) {
+		c.removeLocked(el)
+		return cacheEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return *ent, true
+}
+
+// put memoizes an answer, evicting the least recently used entry when full.
+func (c *queryCache) put(key keyspace.Key, items []replication.Item, clock uint64, responsible network.Addr, path keyspace.Path, now time.Time) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ks := key.String()
+	if el, ok := c.entries[ks]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.items = items
+		ent.clock = clock
+		ent.responsible = responsible
+		ent.path = path
+		ent.expires = now.Add(c.ttl)
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		c.removeLocked(c.ll.Back())
+	}
+	ent := &cacheEntry{
+		key:         ks,
+		items:       items,
+		clock:       clock,
+		responsible: responsible,
+		path:        path,
+		expires:     now.Add(c.ttl),
+	}
+	c.entries[ks] = c.ll.PushFront(ent)
+}
+
+// invalidate drops the entry of key, if any.
+func (c *queryCache) invalidate(key keyspace.Key) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key.String()]; ok {
+		c.removeLocked(el)
+	}
+}
+
+// len reports the number of entries, expired or not.
+func (c *queryCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *queryCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.entries, ent.key)
+}

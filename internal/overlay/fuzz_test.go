@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 	"unicode/utf8"
 
 	"pgrid/internal/keyspace"
@@ -20,8 +21,9 @@ func wireSeedMessages() []any {
 	key := keyspace.MustFromString("1011")
 	item := replication.Item{Key: key, Value: "doc-1"}
 	return []any{
-		QueryRequest{Key: key, Hops: 1, TTL: 7},
-		QueryResponse{Found: true, Items: []replication.Item{item}, Hops: 2, Responsible: "peer-1", ResponsiblePath: "10"},
+		QueryRequest{Key: key, Hops: 1, TTL: 7, Bypass: true},
+		QueryResponse{Found: true, Items: []replication.Item{item}, Hops: 2, Responsible: "peer-1", ResponsiblePath: "10",
+			Clock: 19, Cached: true, Wide: []network.Addr{"peer-9", "peer-10"}},
 		BatchQueryRequest{Keys: []keyspace.Key{key}, TTL: 3},
 		BatchQueryResponse{Results: []QueryResponse{{Found: true, Hops: 1}}},
 		RangeRequest{Lo: key, Hi: key, TTL: 4},
@@ -41,6 +43,12 @@ func wireSeedMessages() []any {
 		DeltaRequest{From: "peer-8", Path: "10", Clock: 44, Since: 17, Prefixes: []keyspace.Path{"100"},
 			Items: []replication.Item{item}, Tombstones: []replication.Item{{Key: key, Value: "gone", Gen: 3}}},
 		DeltaResponse{Path: "10", Clock: 45, Applied: 2, Items: []replication.Item{item}},
+		ClockRequest{From: "peer-11"},
+		ClockResponse{Path: "10", Clock: 46},
+		RecruitRequest{From: "peer-12", Path: "10", Clock: 47, Lease: 10 * time.Second, Items: []replication.Item{item}},
+		RecruitResponse{Accepted: true, Path: "0"},
+		TombstonePruneRequest{From: "peer-13", Path: "10", Pairs: []replication.Item{{Key: key, Value: "gone", Gen: 5}}},
+		TombstonePruneResponse{Dropped: 1},
 	}
 }
 

@@ -1,0 +1,342 @@
+package overlay
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/replication"
+	"pgrid/internal/routing"
+)
+
+// This file implements load-triggered replica widening. A responsible peer
+// tracks the rate of exact lookups it answers locally; when the rate stays
+// above Config.HotReadThreshold, its maintenance tick recruits up to
+// HotMaxExtra peers from the routing neighbourhood as temporary shadow
+// replicas — each receives the partition's live content plus the sender's
+// store clock, and serves lookups for the partition only while a one-hop
+// probe confirms that clock has not moved (the same freshness protocol as
+// the answer cache, so widened reads stay read-your-writes safe). Query
+// answers from the hot peer advertise the widened set; forwarding peers
+// absorb those addresses as extra routing references at the divergence
+// level, which is what makes the α-raced router spread subsequent lookups
+// across the recruits. When the rate subsides the hot peer releases its
+// recruits; shadows also die on lease expiry or on any clock mismatch, and
+// the stale widened references are pruned by the normal ping probes.
+
+// shadowPartition is the state a recruited peer serves a foreign hot
+// partition from.
+type shadowPartition struct {
+	// source is the responsible peer that recruited us; every serve probes
+	// its clock.
+	source network.Addr
+	// path is the shadowed partition.
+	path keyspace.Path
+	// clock is the source's store clock when items was snapshotted.
+	clock uint64
+	// items is the partition's live content, keyed for exact lookup.
+	items map[keyspace.Key][]replication.Item
+	// expires ends the lease; an expired shadow is dropped, not served.
+	expires time.Time
+}
+
+// handleRecruit installs (or, for Release, tears down) a shadow of the
+// sender's partition.
+func (p *Peer) handleRecruit(req RecruitRequest) RecruitResponse {
+	if req.Release {
+		p.hotMu.Lock()
+		if p.shadow != nil && p.shadow.source == req.From {
+			p.shadow = nil
+		}
+		p.hotMu.Unlock()
+		return RecruitResponse{Accepted: true, Path: p.Path()}
+	}
+	// A peer inside the same partition is already a real replica; shadowing
+	// would be pointless.
+	if req.From == "" || req.Path.SamePartition(p.Path()) {
+		return RecruitResponse{Accepted: false, Path: p.Path()}
+	}
+	items := make(map[keyspace.Key][]replication.Item, len(req.Items))
+	for _, it := range req.Items {
+		items[it.Key] = append(items[it.Key], it)
+	}
+	lease := req.Lease
+	if lease <= 0 {
+		lease = DefaultHotReplicaLease
+	}
+	p.hotMu.Lock()
+	p.shadow = &shadowPartition{
+		source:  req.From,
+		path:    req.Path,
+		clock:   req.Clock,
+		items:   items,
+		expires: p.now().Add(lease),
+	}
+	p.hotMu.Unlock()
+	return RecruitResponse{Accepted: true, Path: p.Path()}
+}
+
+// shadowServe answers a lookup from the local shadow partition, if one
+// covers the key and its clock token still matches the source's. A failed
+// probe (clock moved, source gone, path changed) drops the shadow so the
+// query falls through to normal routing.
+func (p *Peer) shadowServe(ctx context.Context, req QueryRequest) (QueryResponse, bool) {
+	p.hotMu.Lock()
+	sh := p.shadow
+	if sh != nil && p.now().After(sh.expires) {
+		p.shadow = nil
+		sh = nil
+	}
+	p.hotMu.Unlock()
+	if sh == nil || !req.Key.HasPrefix(sh.path) {
+		return QueryResponse{}, false
+	}
+	probe := ClockRequest{From: p.Addr()}
+	p.Metrics.QueryBytes.Add(float64(network.MessageSize(probe)))
+	raw, err := p.transport.Call(ctx, sh.source, probe)
+	if err == nil {
+		p.Metrics.QueryBytes.Add(float64(network.MessageSize(raw)))
+		if cr, ok := raw.(ClockResponse); ok && cr.Clock == sh.clock && cr.Path.SamePartition(sh.path) {
+			return QueryResponse{
+				Found:           true,
+				Items:           sh.items[req.Key],
+				Hops:            req.Hops,
+				Responsible:     sh.source,
+				ResponsiblePath: sh.path,
+				Clock:           sh.clock,
+			}, true
+		}
+	}
+	p.hotMu.Lock()
+	if p.shadow == sh {
+		p.shadow = nil
+	}
+	p.hotMu.Unlock()
+	return QueryResponse{}, false
+}
+
+// ShadowActive reports whether the peer currently serves a shadow of a
+// foreign hot partition (observability and tests).
+func (p *Peer) ShadowActive() bool {
+	p.hotMu.Lock()
+	defer p.hotMu.Unlock()
+	return p.shadow != nil && !p.now().After(p.shadow.expires)
+}
+
+// HotRecruits returns the addresses of the temporary replicas this peer
+// currently holds for its own partition, sorted for determinism.
+func (p *Peer) HotRecruits() []network.Addr {
+	p.hotMu.Lock()
+	defer p.hotMu.Unlock()
+	now := p.now()
+	out := make([]network.Addr, 0, len(p.recruits))
+	for a, exp := range p.recruits {
+		if now.Before(exp) {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// noteRead records one locally answered exact lookup for the read-rate
+// estimate.
+func (p *Peer) noteRead() {
+	if p.readRate != nil {
+		p.readRate.Note(p.now())
+	}
+}
+
+// wideSet returns the current unexpired recruit addresses for advertising
+// on query answers.
+func (p *Peer) wideSet() []network.Addr {
+	p.hotMu.Lock()
+	defer p.hotMu.Unlock()
+	if len(p.recruits) == 0 {
+		return nil
+	}
+	now := p.now()
+	var out []network.Addr
+	for a, exp := range p.recruits {
+		if now.Before(exp) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// absorbWideRefs adds the widened replica set advertised on a query answer
+// as routing references at the divergence level, so this peer's next
+// lookups for the partition race across the recruits too. The references
+// carry the partition's path; once a recruit's shadow lapses, the regular
+// ping probe sees its real path and prunes the reference.
+func (p *Peer) absorbWideRefs(level int, resp QueryResponse) {
+	if len(resp.Wide) == 0 || !refComplementary(p.Path(), level, resp.ResponsiblePath) {
+		return
+	}
+	for _, a := range resp.Wide {
+		if a == "" || a == p.Addr() {
+			continue
+		}
+		p.table.Add(level, routing.Ref{Addr: a, Path: resp.ResponsiblePath})
+	}
+}
+
+// maintainHotSet runs the widening state machine for this peer's own
+// partition: expire stale recruit leases, recruit (or refresh) shadows
+// while the read rate is above the threshold, release them once it
+// subsides. Returns how many recruits were added and released.
+func (p *Peer) maintainHotSet(ctx context.Context) (recruited, released int) {
+	if p.readRate == nil {
+		return 0, 0
+	}
+	cfg := p.Config()
+	now := p.now()
+	rate := p.readRate.Rate(now)
+
+	p.hotMu.Lock()
+	for a, exp := range p.recruits {
+		if !now.Before(exp) {
+			delete(p.recruits, a)
+		}
+	}
+	current := make([]network.Addr, 0, len(p.recruits))
+	for a := range p.recruits {
+		current = append(current, a)
+	}
+	p.hotMu.Unlock()
+
+	if rate < cfg.HotReadThreshold {
+		if len(current) == 0 {
+			return 0, 0
+		}
+		// Load subsided: dismiss every recruit. Best effort — a recruit that
+		// misses the release still stops serving at lease expiry.
+		release := RecruitRequest{From: p.Addr(), Path: p.Path(), Release: true}
+		forEachBounded(p.queryFanout(), current, func(a network.Addr) {
+			p.Metrics.MaintenanceBytes.Add(float64(network.MessageSize(release)))
+			if raw, err := p.transport.Call(ctx, a, release); err == nil {
+				p.Metrics.MaintenanceBytes.Add(float64(network.MessageSize(raw)))
+			}
+		})
+		p.hotMu.Lock()
+		released = len(p.recruits)
+		p.recruits = make(map[network.Addr]time.Time)
+		p.hotMu.Unlock()
+		p.Metrics.WideningReleases.Add(float64(released))
+		return 0, released
+	}
+
+	// Hot: refresh the existing recruits and enlist new candidates up to
+	// HotMaxExtra. Snapshot the clock BEFORE the content: a write landing
+	// between the two reads then makes the shadow's token stale (a harmless
+	// probe miss), never the content.
+	clock := p.store.Clock()
+	items := p.store.ItemsWithPrefix(p.Path())
+	targets := append([]network.Addr(nil), current...)
+	if len(targets) < cfg.HotMaxExtra {
+		targets = append(targets, p.recruitCandidates(cfg.HotMaxExtra-len(targets), targets)...)
+	}
+	if len(targets) == 0 {
+		return 0, 0
+	}
+	known := make(map[network.Addr]bool, len(current))
+	for _, a := range current {
+		known[a] = true
+	}
+	req := RecruitRequest{
+		From:  p.Addr(),
+		Path:  p.Path(),
+		Clock: clock,
+		Lease: cfg.HotReplicaLease,
+		Items: items,
+	}
+	var mu sync.Mutex
+	forEachBounded(p.queryFanout(), targets, func(a network.Addr) {
+		p.Metrics.MaintenanceBytes.Add(float64(network.MessageSize(req)))
+		raw, err := p.transport.Call(ctx, a, req)
+		if err != nil {
+			return
+		}
+		p.Metrics.MaintenanceBytes.Add(float64(network.MessageSize(raw)))
+		resp, ok := raw.(RecruitResponse)
+		if !ok || !resp.Accepted {
+			return
+		}
+		p.hotMu.Lock()
+		p.recruits[a] = now.Add(cfg.HotReplicaLease)
+		p.hotMu.Unlock()
+		mu.Lock()
+		if !known[a] {
+			recruited++
+		}
+		mu.Unlock()
+	})
+	p.Metrics.WideningRecruits.Add(float64(recruited))
+	return recruited, 0
+}
+
+// recruitCandidates picks up to n routing-table peers that are neither
+// partition members nor already recruited, shuffled so repeated recruitment
+// spreads over the neighbourhood.
+func (p *Peer) recruitCandidates(n int, exclude []network.Addr) []network.Addr {
+	if n <= 0 {
+		return nil
+	}
+	skip := make(map[network.Addr]bool, len(exclude)+1)
+	skip[p.Addr()] = true
+	for _, a := range exclude {
+		skip[a] = true
+	}
+	for _, a := range p.Replicas() {
+		skip[a] = true
+	}
+	var out []network.Addr
+	seen := make(map[network.Addr]bool)
+	for _, ref := range p.table.All() {
+		if skip[ref.Addr] || seen[ref.Addr] {
+			continue
+		}
+		seen[ref.Addr] = true
+		out = append(out, ref.Addr)
+	}
+	p.mu.Lock()
+	p.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	p.mu.Unlock()
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// notifyTombstonePrune pushes the batch of pairs a GC compaction just
+// pruned to every known replica, so they drop the same tombstones in this
+// round instead of re-learning the prune through later digest syncs.
+func (p *Peer) notifyTombstonePrune(ctx context.Context, pruned []replication.Item) {
+	replicas := p.Replicas()
+	if len(replicas) == 0 {
+		return
+	}
+	req := TombstonePruneRequest{From: p.Addr(), Path: p.Path(), Pairs: pruned}
+	forEachBounded(p.queryFanout(), replicas, func(a network.Addr) {
+		p.Metrics.MaintenanceBytes.Add(float64(network.MessageSize(req)))
+		if raw, err := p.transport.Call(ctx, a, req); err == nil {
+			p.Metrics.MaintenanceBytes.Add(float64(network.MessageSize(raw)))
+		}
+	})
+}
+
+// handleTombstonePrune applies a cooperative prune batch from a replica.
+func (p *Peer) handleTombstonePrune(req TombstonePruneRequest) TombstonePruneResponse {
+	if !req.Path.SamePartition(p.Path()) {
+		return TombstonePruneResponse{}
+	}
+	n := p.store.DropTombstones(req.Pairs)
+	if n > 0 {
+		p.Metrics.TombstonesPruned.Add(float64(n))
+	}
+	return TombstonePruneResponse{Dropped: n}
+}

@@ -65,6 +65,9 @@ type TickReport struct {
 	// RefsProbed and RefsPruned count the routing references pinged and the
 	// ones dropped as stale.
 	RefsProbed, RefsPruned int
+	// RecruitsAdded and RecruitsReleased count the temporary hot-key
+	// replicas the tick's widening check enlisted and dismissed.
+	RecruitsAdded, RecruitsReleased int
 	// ReplicaDiscovered reports that the tick re-discovered a replica by
 	// self-lookup after the replica set had run dry.
 	ReplicaDiscovered bool
@@ -92,12 +95,20 @@ func (p *Peer) MaintainTick(ctx context.Context, opts MaintenanceOptions) TickRe
 	// Tombstone GC: prune tombstones past the configured horizon and drop
 	// anti-entropy baselines of peers that left the replica set, so
 	// maintenance metadata stays proportional to the live working set
-	// instead of growing with lifetime deletes and churn.
-	if n := p.store.CompactTombstones(); n > 0 {
-		rep.TombstonesPruned = n
-		p.Metrics.TombstonesPruned.Add(float64(n))
+	// instead of growing with lifetime deletes and churn. The pruned batch
+	// is pushed to the replicas so they drop the same tombstones now,
+	// cooperatively, instead of each re-learning the prune on its own next
+	// sync round.
+	if pruned := p.store.CompactTombstonesCollect(); len(pruned) > 0 {
+		rep.TombstonesPruned = len(pruned)
+		p.Metrics.TombstonesPruned.Add(float64(len(pruned)))
+		p.notifyTombstonePrune(ctx, pruned)
 	}
 	p.compactSyncStates()
+
+	// Replica widening: recruit temporary shadows while the partition's
+	// read rate is above the threshold, release them once it subsides.
+	rep.RecruitsAdded, rep.RecruitsReleased = p.maintainHotSet(ctx)
 
 	// Durable overlay state: re-record the partition path (no-op when
 	// unchanged) and compact the WAL into a snapshot once it outgrew the

@@ -1,6 +1,8 @@
 package overlay
 
 import (
+	"time"
+
 	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
 	"pgrid/internal/replication"
@@ -28,6 +30,12 @@ const (
 	msgDigestResponse   = "pgrid.digest.response"
 	msgDeltaRequest     = "pgrid.delta.request"
 	msgDeltaResponse    = "pgrid.delta.response"
+	msgClockRequest     = "pgrid.clock.request"
+	msgClockResponse    = "pgrid.clock.response"
+	msgRecruitRequest   = "pgrid.recruit.request"
+	msgRecruitResponse  = "pgrid.recruit.response"
+	msgPruneRequest     = "pgrid.prune.request"
+	msgPruneResponse    = "pgrid.prune.response"
 )
 
 func init() {
@@ -50,6 +58,12 @@ func init() {
 	network.RegisterType(msgDigestResponse, DigestResponse{})
 	network.RegisterType(msgDeltaRequest, DeltaRequest{})
 	network.RegisterType(msgDeltaResponse, DeltaResponse{})
+	network.RegisterType(msgClockRequest, ClockRequest{})
+	network.RegisterType(msgClockResponse, ClockResponse{})
+	network.RegisterType(msgRecruitRequest, RecruitRequest{})
+	network.RegisterType(msgRecruitResponse, RecruitResponse{})
+	network.RegisterType(msgPruneRequest, TombstonePruneRequest{})
+	network.RegisterType(msgPruneResponse, TombstonePruneResponse{})
 }
 
 // Action describes the outcome of an exchange interaction.
@@ -149,6 +163,10 @@ type QueryRequest struct {
 	Hops int
 	// TTL bounds the remaining hops.
 	TTL int
+	// Bypass disables the answer cache and shadow replicas along the route:
+	// the query must be resolved by the responsible partition itself. Set by
+	// consistent reads (the gate's ?consistent=1).
+	Bypass bool
 }
 
 // WireSize implements network.WireSizer.
@@ -166,10 +184,21 @@ type QueryResponse struct {
 	Responsible network.Addr
 	// ResponsiblePath is that peer's path.
 	ResponsiblePath keyspace.Path
+	// Clock is the answering store's logical clock when the answer was
+	// produced — the freshness token cached copies of this answer are
+	// validated against.
+	Clock uint64
+	// Cached marks an answer served from a peer's answer cache (after its
+	// clock token was revalidated) rather than resolved by the responsible
+	// partition.
+	Cached bool
+	// Wide lists the responsible peer's temporary hot-key replicas, so
+	// forwarding peers spread future lookups across the widened set.
+	Wide []network.Addr
 }
 
 // WireSize implements network.WireSizer.
-func (r QueryResponse) WireSize() int { return messageBytes(len(r.Items), 0) }
+func (r QueryResponse) WireSize() int { return messageBytes(len(r.Items), 0) + 16*len(r.Wide) }
 
 // BatchQueryRequest asks the receiving peer to resolve many exact-match
 // queries at once. Keys that route through the same next hop travel together
@@ -475,6 +504,94 @@ type DeltaResponse struct {
 func (r DeltaResponse) WireSize() int {
 	return messageBytes(len(r.Items)+len(r.Tombstones), 0) + 16*len(r.Replicas)
 }
+
+// ClockRequest asks a peer for its store's logical clock — the one-hop
+// freshness probe of the query answer cache. It is deliberately tiny: a
+// probe must cost the (possibly hot) responsible peer a few dozen bytes,
+// not an item-carrying response.
+type ClockRequest struct {
+	// From is the prober's address.
+	From network.Addr
+}
+
+// WireSize implements network.WireSizer.
+func (ClockRequest) WireSize() int { return 32 }
+
+// ClockResponse answers a clock probe.
+type ClockResponse struct {
+	// Path is the responder's partition path; a probe also checks the
+	// responder still covers the cached key's partition.
+	Path keyspace.Path
+	// Clock is the responder's store clock.
+	Clock uint64
+}
+
+// WireSize implements network.WireSizer.
+func (ClockResponse) WireSize() int { return 48 }
+
+// RecruitRequest enlists a peer outside the partition as a temporary
+// hot-key replica: the receiver stores the partition's live content as a
+// shadow and serves exact lookups for keys under Path — each serve
+// revalidated against the sender's clock — until the lease expires or a
+// Release arrives.
+type RecruitRequest struct {
+	// From is the recruiting (responsible) peer.
+	From network.Addr
+	// Path is the hot partition.
+	Path keyspace.Path
+	// Clock is the sender's store clock when Items was snapshotted; the
+	// shadow is only served while the sender's clock still matches it.
+	Clock uint64
+	// Lease bounds how long the shadow may be served without a refresh.
+	Lease time.Duration
+	// Release tears the shadow down instead of installing one (load
+	// subsided).
+	Release bool
+	// Items is the partition's live content (deletes are already absent, so
+	// no tombstones travel).
+	Items []replication.Item
+}
+
+// WireSize implements network.WireSizer.
+func (r RecruitRequest) WireSize() int { return messageBytes(len(r.Items), 0) }
+
+// RecruitResponse acknowledges a recruit or release.
+type RecruitResponse struct {
+	// Accepted reports whether the receiver installed (or tore down) the
+	// shadow.
+	Accepted bool
+	// Path is the receiver's own partition path.
+	Path keyspace.Path
+}
+
+// WireSize implements network.WireSizer.
+func (RecruitResponse) WireSize() int { return 48 }
+
+// TombstonePruneRequest tells the replicas of a partition which tombstones
+// the sender's GC compaction just dropped, so they drop theirs in the same
+// round instead of re-learning the prune through later sync rounds.
+type TombstonePruneRequest struct {
+	// From is the compacting peer.
+	From network.Addr
+	// Path is the sender's partition; receivers outside it ignore the batch.
+	Path keyspace.Path
+	// Pairs are the pruned (key, value) pairs with the generation each
+	// tombstone carried — a receiver only drops its own tombstone when it is
+	// not newer than the pruned one.
+	Pairs []replication.Item
+}
+
+// WireSize implements network.WireSizer.
+func (r TombstonePruneRequest) WireSize() int { return messageBytes(len(r.Pairs), 0) }
+
+// TombstonePruneResponse acknowledges a cooperative prune.
+type TombstonePruneResponse struct {
+	// Dropped is the number of tombstones the receiver removed.
+	Dropped int
+}
+
+// WireSize implements network.WireSizer.
+func (TombstonePruneResponse) WireSize() int { return 32 }
 
 // messageBytes approximates the wire size of a protocol message carrying
 // nItems data items and nRefs routing references: a fixed header plus ~24

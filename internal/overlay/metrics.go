@@ -35,6 +35,13 @@ type MetricsSnapshot struct {
 	TombstonesPruned float64
 	// Maintenance ticks that observed a sticky persistence failure.
 	PersistenceErrors float64
+	// Exact lookups served from the query answer cache versus lookups that
+	// had to route.
+	CacheHits   float64
+	CacheMisses float64
+	// Temporary hot-key replicas enlisted and dismissed by replica widening.
+	WideningRecruits float64
+	WideningReleases float64
 
 	// Path is the peer's partition path.
 	Path string
@@ -66,6 +73,10 @@ func (p *Peer) MetricsSnapshot() MetricsSnapshot {
 		SyncsFull:         m.SyncsFull.Value(),
 		TombstonesPruned:  m.TombstonesPruned.Value(),
 		PersistenceErrors: m.PersistenceErrors.Value(),
+		CacheHits:         m.CacheHits.Value(),
+		CacheMisses:       m.CacheMisses.Value(),
+		WideningRecruits:  m.WideningRecruits.Value(),
+		WideningReleases:  m.WideningReleases.Value(),
 		Path:              string(p.Path()),
 		Replicas:          len(p.Replicas()),
 		Store:             p.store.Stats(),
@@ -89,6 +100,10 @@ func (s MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
 	s.SyncsFull += o.SyncsFull
 	s.TombstonesPruned += o.TombstonesPruned
 	s.PersistenceErrors += o.PersistenceErrors
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.WideningRecruits += o.WideningRecruits
+	s.WideningReleases += o.WideningReleases
 	s.Replicas += o.Replicas
 	s.Path = ""
 	s.Store.Items += o.Store.Items

@@ -110,6 +110,30 @@ type Config struct {
 	// RAM). Empty uses replication.DefaultEngine (the PGRID_ENGINE
 	// environment variable, or mem).
 	StorageEngine string
+	// QueryCacheSize bounds the peer's query answer cache (entries). Zero
+	// (the default) disables caching. A cached exact-lookup answer carries
+	// the responsible store's logical clock as a freshness token and is only
+	// served after a one-hop probe confirms the clock has not moved, so a
+	// hit costs one tiny round trip instead of a multi-hop item transfer —
+	// and writes invalidate naturally because every visible mutation bumps
+	// the clock.
+	QueryCacheSize int
+	// QueryCacheTTL bounds the lifetime of a cached answer regardless of
+	// probing (DefaultQueryCacheTTL when zero).
+	QueryCacheTTL time.Duration
+	// HotReadThreshold arms load-triggered replica widening: when the
+	// partition's locally-answered exact-lookup rate (reads/second over a
+	// sliding window) stays above this threshold, maintenance recruits up to
+	// HotMaxExtra temporary shadow replicas from the routing neighbourhood
+	// and advertises them on query answers, so the α-raced router spreads
+	// the hot partition's load. Zero (the default) disables widening.
+	HotReadThreshold float64
+	// HotMaxExtra bounds the number of temporary replicas recruited while
+	// hot (DefaultHotMaxExtra when zero).
+	HotMaxExtra int
+	// HotReplicaLease bounds how long a recruited shadow serves without a
+	// refresh from the hot peer (DefaultHotReplicaLease when zero).
+	HotReplicaLease time.Duration
 	// Seed drives the peer's local randomness.
 	Seed int64
 }
@@ -157,6 +181,17 @@ func (c Config) normalize() Config {
 	if c.WriteQuorum <= 0 {
 		c.WriteQuorum = DefaultWriteQuorum
 	}
+	if c.QueryCacheSize > 0 && c.QueryCacheTTL <= 0 {
+		c.QueryCacheTTL = DefaultQueryCacheTTL
+	}
+	if c.HotReadThreshold > 0 {
+		if c.HotMaxExtra <= 0 {
+			c.HotMaxExtra = DefaultHotMaxExtra
+		}
+		if c.HotReplicaLease <= 0 {
+			c.HotReplicaLease = DefaultHotReplicaLease
+		}
+	}
 	return c
 }
 
@@ -172,6 +207,20 @@ const (
 	// mutation needs: just the responsible peer, matching a single-copy
 	// write; raise it for stronger durability.
 	DefaultWriteQuorum = 1
+	// DefaultQueryCacheTTL is the default lifetime of a cached query answer
+	// (every serve is still clock-probed; the TTL only bounds how long an
+	// entry may occupy cache space).
+	DefaultQueryCacheTTL = 2 * time.Second
+	// DefaultHotMaxExtra is the default bound on temporary replicas
+	// recruited for a hot partition.
+	DefaultHotMaxExtra = 2
+	// DefaultHotReplicaLease is the default lease of a recruited shadow
+	// replica; the hot peer refreshes it on every maintenance tick while the
+	// load persists.
+	DefaultHotReplicaLease = 10 * time.Second
+	// hotRateWindow is the sliding window of the per-partition read-rate
+	// estimate that drives widening.
+	hotRateWindow = time.Second
 )
 
 // Metrics aggregates a peer's protocol activity for the evaluation figures.
@@ -208,6 +257,16 @@ type Metrics struct {
 	// persistence failure (WAL append/rotation error): the peer keeps
 	// serving from memory but its mutations are no longer durable.
 	PersistenceErrors stats.Counter
+	// CacheHits and CacheMisses count exact lookups served from the query
+	// answer cache (after a successful clock probe) versus lookups that had
+	// to route (no entry, expired entry, or a probe that found the clock
+	// moved).
+	CacheHits   stats.Counter
+	CacheMisses stats.Counter
+	// WideningRecruits and WideningReleases count temporary hot-key replicas
+	// enlisted and dismissed by load-triggered replica widening.
+	WideningRecruits stats.Counter
+	WideningReleases stats.Counter
 }
 
 // Peer is one P-Grid node.
@@ -230,6 +289,19 @@ type Peer struct {
 	// syncStates holds the per-replica anti-entropy baselines (the store
 	// clocks of the last completed digest/delta sync).
 	syncStates map[network.Addr]syncState
+
+	// cache is the query answer cache (nil when disabled); now is the time
+	// source it and the widening state run on (time.Now outside tests).
+	cache *queryCache
+	now   func() time.Time
+	// readRate tracks the partition's locally-answered lookup rate (nil
+	// when widening is disabled).
+	readRate *stats.RateTracker
+	// hotMu guards the widening state: the recruits this peer enlisted for
+	// its own hot partition, and the shadow it serves for someone else's.
+	hotMu    sync.Mutex
+	recruits map[network.Addr]time.Time
+	shadow   *shadowPartition
 
 	// Metrics are exported counters. They are updated without holding mu:
 	// each stats.Counter is internally atomic, and MetricsSnapshot reads
@@ -309,6 +381,12 @@ func NewPersistent(cfg Config, transport network.Transport) (*Peer, error) {
 		store:    store,
 		replicas: make(map[network.Addr]bool),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cache:    newQueryCache(cfg.QueryCacheSize, cfg.QueryCacheTTL),
+		now:      time.Now,
+	}
+	if cfg.HotReadThreshold > 0 {
+		p.readRate = stats.NewRateTracker(hotRateWindow)
+		p.recruits = make(map[network.Addr]time.Time)
 	}
 	// The GC horizon is only armed with the digest/delta protocol: the
 	// legacy full-set exchange cannot tell a stale live copy from a fresh
@@ -467,6 +545,14 @@ func (p *Peer) SetQueryConcurrency(alpha, fanout int, hedge time.Duration) {
 	}
 }
 
+// SetTimeSource replaces the clock the answer cache and widening state run
+// on (tests with a simulated clock). Call before the peer serves traffic.
+func (p *Peer) SetTimeSource(now func() time.Time) {
+	if now != nil {
+		p.now = now
+	}
+}
+
 // queryAlpha returns the current per-hop lookup parallelism.
 func (p *Peer) queryAlpha() int {
 	p.mu.Lock()
@@ -558,6 +644,12 @@ func (p *Peer) handle(ctx context.Context, from network.Addr, req any) (any, err
 		// grow handle's stack frame, and every α-raced query hop pays for
 		// the resulting goroutine stack growth.
 		return p.handleAntiEntropy(req)
+	case ClockRequest:
+		return ClockResponse{Path: p.Path(), Clock: p.store.Clock()}, nil
+	case RecruitRequest:
+		return p.handleRecruit(m), nil
+	case TombstonePruneRequest:
+		return p.handleTombstonePrune(m), nil
 	case PingRequest:
 		return PingResponse{Path: p.Path(), Done: p.Done()}, nil
 	default:

@@ -36,12 +36,28 @@ type QueryResult struct {
 	Hops int
 	// Responsible is the peer that answered.
 	Responsible network.Addr
+	// Cached reports that the answer was served from a peer's answer cache
+	// (revalidated against the responsible store's clock) rather than
+	// resolved by the responsible partition.
+	Cached bool
+}
+
+// QueryOptions tunes one exact-match query.
+type QueryOptions struct {
+	// Consistent bypasses the answer cache and shadow replicas along the
+	// route: the query is resolved by the responsible partition itself.
+	Consistent bool
 }
 
 // Query resolves an exact-match query for the given key, starting at this
 // peer.
 func (p *Peer) Query(ctx context.Context, key keyspace.Key) (QueryResult, error) {
-	resp, err := p.resolveQuery(ctx, QueryRequest{Key: key, TTL: p.cfg.QueryTTL})
+	return p.QueryWith(ctx, key, QueryOptions{})
+}
+
+// QueryWith resolves an exact-match query with explicit options.
+func (p *Peer) QueryWith(ctx context.Context, key keyspace.Key, opts QueryOptions) (QueryResult, error) {
+	resp, err := p.resolveQuery(ctx, QueryRequest{Key: key, TTL: p.cfg.QueryTTL, Bypass: opts.Consistent})
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -50,7 +66,7 @@ func (p *Peer) Query(ctx context.Context, key keyspace.Key) (QueryResult, error)
 	}
 	p.Metrics.Queries.Add(1)
 	p.Metrics.QueryHops.Add(float64(resp.Hops))
-	return QueryResult{Items: resp.Items, Hops: resp.Hops, Responsible: resp.Responsible}, nil
+	return QueryResult{Items: resp.Items, Hops: resp.Hops, Responsible: resp.Responsible, Cached: resp.Cached}, nil
 }
 
 // handleQuery serves a query received from another peer.
@@ -69,20 +85,36 @@ func (p *Peer) handleQuery(ctx context.Context, req QueryRequest) QueryResponse 
 // tried, which is what keeps the success rate high under churn.
 func (p *Peer) resolveQuery(ctx context.Context, req QueryRequest) (QueryResponse, error) {
 	if p.table.Responsible(req.Key) {
+		// Read the clock BEFORE the items: a write landing between the two
+		// reads then leaves cached copies with a stale token (a harmless
+		// probe miss on their next serve), never with stale items under a
+		// fresh token.
+		clock := p.store.Clock()
+		p.noteRead()
 		return QueryResponse{
 			Found:           true,
 			Items:           p.store.Lookup(req.Key),
 			Hops:            req.Hops,
 			Responsible:     p.Addr(),
 			ResponsiblePath: p.Path(),
+			Clock:           clock,
+			Wide:            p.wideSet(),
 		}, nil
+	}
+	if !req.Bypass {
+		if resp, ok := p.cacheServe(ctx, req); ok {
+			return resp, nil
+		}
+		if resp, ok := p.shadowServe(ctx, req); ok {
+			return resp, nil
+		}
 	}
 	if req.TTL <= 0 {
 		return QueryResponse{}, errNotResponsible
 	}
 	_, level, _ := p.table.NextHop(req.Key)
 	refs := p.shuffledRefs(level)
-	forward := QueryRequest{Key: req.Key, Hops: req.Hops + 1, TTL: req.TTL - 1}
+	forward := QueryRequest{Key: req.Key, Hops: req.Hops + 1, TTL: req.TTL - 1, Bypass: req.Bypass}
 	raw, ok := p.raceCall(ctx, refs, forward, func(raw any) bool {
 		resp, ok := raw.(QueryResponse)
 		return ok && resp.Found
@@ -90,7 +122,60 @@ func (p *Peer) resolveQuery(ctx context.Context, req QueryRequest) (QueryRespons
 	if !ok {
 		return QueryResponse{}, errNotResponsible
 	}
-	return raw.(QueryResponse), nil
+	resp := raw.(QueryResponse)
+	if resp.Found {
+		p.absorbWideRefs(level, resp)
+		if !req.Bypass {
+			p.cacheFill(req.Key, resp)
+		}
+	}
+	return resp, nil
+}
+
+// cacheServe tries to answer the query from the local answer cache. A hit
+// is only served after a one-hop clock probe of the entry's responsible
+// replica confirms the freshness token; any mismatch (clock moved, path
+// changed, replica unreachable) invalidates the entry and the query routes
+// normally.
+func (p *Peer) cacheServe(ctx context.Context, req QueryRequest) (QueryResponse, bool) {
+	if p.cache == nil {
+		return QueryResponse{}, false
+	}
+	ent, ok := p.cache.get(req.Key, p.now())
+	if !ok {
+		p.Metrics.CacheMisses.Add(1)
+		return QueryResponse{}, false
+	}
+	probe := ClockRequest{From: p.Addr()}
+	p.Metrics.QueryBytes.Add(float64(network.MessageSize(probe)))
+	raw, err := p.transport.Call(ctx, ent.responsible, probe)
+	if err == nil {
+		p.Metrics.QueryBytes.Add(float64(network.MessageSize(raw)))
+		if cr, ok := raw.(ClockResponse); ok && cr.Clock == ent.clock && cr.Path.SamePartition(ent.path) {
+			p.Metrics.CacheHits.Add(1)
+			return QueryResponse{
+				Found:           true,
+				Items:           ent.items,
+				Hops:            req.Hops,
+				Responsible:     ent.responsible,
+				ResponsiblePath: ent.path,
+				Clock:           ent.clock,
+				Cached:          true,
+			}, true
+		}
+	}
+	p.cache.invalidate(req.Key)
+	p.Metrics.CacheMisses.Add(1)
+	return QueryResponse{}, false
+}
+
+// cacheFill memoizes a successful forwarded answer together with its
+// freshness token.
+func (p *Peer) cacheFill(key keyspace.Key, resp QueryResponse) {
+	if p.cache == nil || resp.Responsible == "" {
+		return
+	}
+	p.cache.put(key, resp.Items, resp.Clock, resp.Responsible, resp.ResponsiblePath, p.now())
 }
 
 // shuffledRefs returns the references at the given level in random order so

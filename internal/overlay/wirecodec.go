@@ -23,6 +23,7 @@ package overlay
 
 import (
 	"math"
+	"time"
 
 	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
@@ -334,7 +335,8 @@ func (r *ExchangeResponse) UnmarshalWire(data []byte) error {
 func (r QueryRequest) AppendWire(b []byte) []byte {
 	b = appendKey(b, r.Key)
 	b = wire.AppendVarint(b, int64(r.Hops))
-	return wire.AppendVarint(b, int64(r.TTL))
+	b = wire.AppendVarint(b, int64(r.TTL))
+	return wire.AppendBool(b, r.Bypass)
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -343,6 +345,7 @@ func (r *QueryRequest) UnmarshalWire(data []byte) error {
 	r.Key = decodeKey(d)
 	r.Hops = int(d.Varint())
 	r.TTL = int(d.Varint())
+	r.Bypass = d.Bool()
 	return d.Finish()
 }
 
@@ -351,7 +354,10 @@ func appendQueryResponse(b []byte, r QueryResponse) []byte {
 	b = appendItems(b, r.Items)
 	b = wire.AppendVarint(b, int64(r.Hops))
 	b = appendAddr(b, r.Responsible)
-	return appendPath(b, r.ResponsiblePath)
+	b = appendPath(b, r.ResponsiblePath)
+	b = wire.AppendUvarint(b, r.Clock)
+	b = wire.AppendBool(b, r.Cached)
+	return appendAddrs(b, r.Wide)
 }
 
 func decodeQueryResponse(d *wire.Decoder) QueryResponse {
@@ -361,6 +367,9 @@ func decodeQueryResponse(d *wire.Decoder) QueryResponse {
 	r.Hops = int(d.Varint())
 	r.Responsible = decodeAddr(d)
 	r.ResponsiblePath = decodePath(d)
+	r.Clock = d.Uvarint()
+	r.Cached = d.Bool()
+	r.Wide = decodeAddrs(d)
 	return r
 }
 
@@ -704,5 +713,95 @@ func (r *DeltaResponse) UnmarshalWire(data []byte) error {
 	r.Items = decodeItems(d)
 	r.Tombstones = decodeItems(d)
 	r.Replicas = decodeAddrs(d)
+	return d.Finish()
+}
+
+// --- cache and hot-replication messages ---------------------------------------
+
+// AppendWire implements wire.Marshaler.
+func (r ClockRequest) AppendWire(b []byte) []byte { return appendAddr(b, r.From) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *ClockRequest) UnmarshalWire(data []byte) error {
+	d := wire.NewDecoder(data)
+	r.From = decodeAddr(d)
+	return d.Finish()
+}
+
+// AppendWire implements wire.Marshaler.
+func (r ClockResponse) AppendWire(b []byte) []byte {
+	b = appendPath(b, r.Path)
+	return wire.AppendUvarint(b, r.Clock)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *ClockResponse) UnmarshalWire(data []byte) error {
+	d := wire.NewDecoder(data)
+	r.Path = decodePath(d)
+	r.Clock = d.Uvarint()
+	return d.Finish()
+}
+
+// AppendWire implements wire.Marshaler.
+func (r RecruitRequest) AppendWire(b []byte) []byte {
+	b = appendAddr(b, r.From)
+	b = appendPath(b, r.Path)
+	b = wire.AppendUvarint(b, r.Clock)
+	b = wire.AppendVarint(b, int64(r.Lease))
+	b = wire.AppendBool(b, r.Release)
+	return appendItems(b, r.Items)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *RecruitRequest) UnmarshalWire(data []byte) error {
+	d := wire.NewDecoder(data)
+	r.From = decodeAddr(d)
+	r.Path = decodePath(d)
+	r.Clock = d.Uvarint()
+	r.Lease = time.Duration(d.Varint())
+	r.Release = d.Bool()
+	r.Items = decodeItems(d)
+	return d.Finish()
+}
+
+// AppendWire implements wire.Marshaler.
+func (r RecruitResponse) AppendWire(b []byte) []byte {
+	b = wire.AppendBool(b, r.Accepted)
+	return appendPath(b, r.Path)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *RecruitResponse) UnmarshalWire(data []byte) error {
+	d := wire.NewDecoder(data)
+	r.Accepted = d.Bool()
+	r.Path = decodePath(d)
+	return d.Finish()
+}
+
+// AppendWire implements wire.Marshaler.
+func (r TombstonePruneRequest) AppendWire(b []byte) []byte {
+	b = appendAddr(b, r.From)
+	b = appendPath(b, r.Path)
+	return appendItems(b, r.Pairs)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *TombstonePruneRequest) UnmarshalWire(data []byte) error {
+	d := wire.NewDecoder(data)
+	r.From = decodeAddr(d)
+	r.Path = decodePath(d)
+	r.Pairs = decodeItems(d)
+	return d.Finish()
+}
+
+// AppendWire implements wire.Marshaler.
+func (r TombstonePruneResponse) AppendWire(b []byte) []byte {
+	return wire.AppendVarint(b, int64(r.Dropped))
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *TombstonePruneResponse) UnmarshalWire(data []byte) error {
+	d := wire.NewDecoder(data)
+	r.Dropped = int(d.Varint())
 	return d.Finish()
 }

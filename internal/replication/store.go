@@ -279,13 +279,23 @@ func (s *Store) TombstoneCount() int {
 // the GC floor, and returns the number of tombstones pruned. It is a no-op
 // when no GC policy is set.
 func (s *Store) CompactTombstones() int {
+	return len(s.CompactTombstonesCollect())
+}
+
+// CompactTombstonesCollect is CompactTombstones returning the pruned
+// (key, value) pairs, each stamped with the generation its tombstone
+// carried — the batch a compacting peer pushes to its replicas so they
+// drop the same tombstones cooperatively (DropTombstones) instead of
+// re-learning the prune through later sync rounds.
+func (s *Store) CompactTombstonesCollect() []Item {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.gc.Enabled() {
-		return 0
+		return nil
 	}
 	now := s.now()
 	var prunedPairs []prunedPair
+	var pruned []Item
 	for ks, vals := range s.tombs {
 		for v, t := range vals {
 			expired := false
@@ -309,6 +319,7 @@ func (s *Store) CompactTombstones() int {
 			s.digestXorLocked(ks, tombHash(ks, v, t.gen), -1)
 			delete(vals, v)
 			prunedPairs = append(prunedPairs, prunedPair{ks: ks, value: v})
+			pruned = append(pruned, Item{Key: keyspace.MustFromString(ks), Value: v, Gen: t.gen})
 		}
 		if len(vals) == 0 {
 			delete(s.tombs, ks)
@@ -317,6 +328,43 @@ func (s *Store) CompactTombstones() int {
 	if len(prunedPairs) > 0 {
 		// A prune changes the digest without touching any pair's version;
 		// advance the clock so clock-validated digest caches notice.
+		s.clock++
+		s.logPruneLocked(prunedPairs, s.gcFloor)
+	}
+	return pruned
+}
+
+// DropTombstones applies a cooperative prune notification: for each given
+// pair whose local tombstone is not newer than the notified generation, the
+// tombstone is removed and the GC floor advanced exactly as a local
+// compaction would. Returns the number of tombstones dropped. Newer local
+// tombstones (a delete this store saw after the notifier snapshotted) are
+// kept untouched.
+func (s *Store) DropTombstones(pairs []Item) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prunedPairs []prunedPair
+	for _, p := range pairs {
+		ks := p.Key.String()
+		vals, ok := s.tombs[ks]
+		if !ok {
+			continue
+		}
+		t, ok := vals[p.Value]
+		if !ok || t.gen > p.Gen {
+			continue
+		}
+		if t.ver > s.gcFloor {
+			s.gcFloor = t.ver
+		}
+		s.digestXorLocked(ks, tombHash(ks, p.Value, t.gen), -1)
+		delete(vals, p.Value)
+		if len(vals) == 0 {
+			delete(s.tombs, ks)
+		}
+		prunedPairs = append(prunedPairs, prunedPair{ks: ks, value: p.Value})
+	}
+	if len(prunedPairs) > 0 {
 		s.clock++
 		s.logPruneLocked(prunedPairs, s.gcFloor)
 	}

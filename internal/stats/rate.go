@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// RateTracker estimates an event rate (events per second) over a sliding
+// window using the classic two-bucket approximation: events are counted in
+// the current window interval, and when the interval rolls over the count
+// shifts into a "previous" bucket whose contribution decays linearly as the
+// current interval fills. The estimate is O(1) in time and space, which is
+// what a per-partition read-rate counter on the query hot path needs.
+//
+// All methods take the current time explicitly so callers that run under a
+// simulated clock (tests, the sim harness) can drive it deterministically.
+type RateTracker struct {
+	mu       sync.Mutex
+	window   time.Duration
+	curStart time.Time
+	cur      uint64
+	prev     uint64
+}
+
+// NewRateTracker returns a tracker with the given window. Windows shorter
+// than a millisecond are clamped to one second.
+func NewRateTracker(window time.Duration) *RateTracker {
+	if window < time.Millisecond {
+		window = time.Second
+	}
+	return &RateTracker{window: window}
+}
+
+// roll advances the buckets so that curStart <= now < curStart+window.
+// Callers must hold mu.
+func (r *RateTracker) roll(now time.Time) {
+	if r.curStart.IsZero() {
+		r.curStart = now
+		return
+	}
+	elapsed := now.Sub(r.curStart)
+	switch {
+	case elapsed < r.window:
+		// still inside the current interval
+	case elapsed < 2*r.window:
+		r.prev = r.cur
+		r.cur = 0
+		r.curStart = r.curStart.Add(r.window)
+	default:
+		// idle for a full window or more: both buckets are stale
+		r.prev = 0
+		r.cur = 0
+		r.curStart = now
+	}
+}
+
+// Note records one event at the given time.
+func (r *RateTracker) Note(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.roll(now)
+	r.cur++
+}
+
+// Rate returns the estimated events per second at the given time. The
+// previous interval's count is weighted by how much of the sliding window
+// still overlaps it.
+func (r *RateTracker) Rate(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.roll(now)
+	frac := 1 - now.Sub(r.curStart).Seconds()/r.window.Seconds()
+	if frac < 0 {
+		frac = 0
+	}
+	est := float64(r.prev)*frac + float64(r.cur)
+	return est / r.window.Seconds()
+}

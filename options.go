@@ -9,6 +9,21 @@ import (
 )
 
 // options holds the tunable parameters of a Cluster.
+//
+// The full option surface, by concern:
+//
+//	Topology      WithPeers, WithBootstrapDegree, WithMaxConstructionRounds
+//	Balancing     WithMaxKeys, WithMinReplicas, WithSampleSize,
+//	              WithCorrectedProbabilities, WithHeuristicProbabilities
+//	Routing       WithRoutingRedundancy, WithQueryAlpha, WithHedgeDelay,
+//	              WithQueryFanout
+//	Reads         WithQueryCache, WithHotReplication
+//	Writes        WithWriteQuorum
+//	Maintenance   WithMaintenanceInterval, WithTombstoneGC,
+//	              WithFullSyncAntiEntropy
+//	Durability    WithPersistence, WithStorageEngine
+//	Network       WithNetworkLatency, WithMessageLoss, WithServiceCost
+//	Reproducing   WithSeed
 type options struct {
 	peers         int
 	overlay       overlay.Config
@@ -17,6 +32,7 @@ type options struct {
 	seed          int64
 	latency       network.LatencyModel
 	loss          float64
+	service       network.ServiceModel
 	maintainEvery time.Duration
 	dataDir       string
 }
@@ -75,14 +91,21 @@ func WithHeuristicProbabilities() Option {
 // trie level.
 func WithRoutingRedundancy(refs int) Option { return func(o *options) { o.overlay.MaxRefs = refs } }
 
-// WithQueryParallelism sets α, the number of routing references an
-// exact-match (or batch) query races concurrently at every forwarding step.
-// The first responsible answer wins and stale references encountered by the
-// losers are pruned, so a dead reference costs at most one hedge delay
-// instead of a full timeout before an alternative is tried. 1 restores the
-// sequential try-one-reference-at-a-time behaviour; the default is
+// WithQueryAlpha sets α, the number of routing references an exact-match
+// (or batch) query races concurrently at every forwarding step. The first
+// responsible answer wins and stale references encountered by the losers
+// are pruned, so a dead reference costs at most one hedge delay instead of
+// a full timeout before an alternative is tried. 1 restores the sequential
+// try-one-reference-at-a-time behaviour; the default is
 // overlay.DefaultAlpha (3).
-func WithQueryParallelism(alpha int) Option { return func(o *options) { o.overlay.Alpha = alpha } }
+func WithQueryAlpha(alpha int) Option { return func(o *options) { o.overlay.Alpha = alpha } }
+
+// WithQueryParallelism sets α, the per-hop lookup race width.
+//
+// Deprecated: use WithQueryAlpha, which names the paper's parameter
+// directly. This alias keeps old callers compiling and behaves
+// identically.
+func WithQueryParallelism(alpha int) Option { return WithQueryAlpha(alpha) }
 
 // WithHedgeDelay staggers the launch of the additional α lookup candidates:
 // candidate i starts i*d after the first, so extra requests are only sent
@@ -90,11 +113,49 @@ func WithQueryParallelism(alpha int) Option { return func(o *options) { o.overla
 // A zero delay (the default) races all α candidates immediately.
 func WithHedgeDelay(d time.Duration) Option { return func(o *options) { o.overlay.HedgeDelay = d } }
 
-// WithRangeFanout bounds how many overlapping sub-trees a range ("shower")
+// WithQueryFanout bounds how many overlapping sub-trees a range ("shower")
 // query — or next-hop groups of a batch query — forwards to concurrently.
 // 1 restores the serial branch-after-branch behaviour; the default is
 // overlay.DefaultFanout (4).
-func WithRangeFanout(n int) Option { return func(o *options) { o.overlay.Fanout = n } }
+func WithQueryFanout(n int) Option { return func(o *options) { o.overlay.Fanout = n } }
+
+// WithRangeFanout bounds concurrent sub-tree forwards of range and batch
+// queries.
+//
+// Deprecated: use WithQueryFanout; the knob has always applied to batch
+// queries too, not only ranges. This alias keeps old callers compiling and
+// behaves identically.
+func WithRangeFanout(n int) Option { return WithQueryFanout(n) }
+
+// WithQueryCache enables the query-path answer cache on every peer: a peer
+// that forwards an exact-match lookup memoizes the answer (bounded LRU of
+// size entries, each expiring after ttl), and serves later lookups for the
+// same key after revalidating the entry with a one-round-trip logical-clock
+// probe to the responsible replica that produced it. A probe mismatch —
+// any write to the partition advances its clock — invalidates the entry and
+// routes normally, so cached reads are never stale (read-your-writes
+// holds). A size of 0 disables the cache (the default); a ttl of 0 uses
+// overlay.DefaultQueryCacheTTL.
+func WithQueryCache(size int, ttl time.Duration) Option {
+	return func(o *options) {
+		o.overlay.QueryCacheSize = size
+		o.overlay.QueryCacheTTL = ttl
+	}
+}
+
+// WithHotReplication enables load-triggered replica widening: a peer whose
+// partition sustains more than threshold locally-answered exact lookups per
+// second recruits up to maxExtra temporary read replicas from its routing
+// contacts, advertises them on query answers so forwarding peers spread
+// subsequent reads across the widened set, and releases them (leases simply
+// lapse otherwise) once the rate subsides. A threshold of 0 disables
+// widening (the default); maxExtra 0 uses overlay.DefaultHotMaxExtra.
+func WithHotReplication(threshold float64, maxExtra int) Option {
+	return func(o *options) {
+		o.overlay.HotReadThreshold = threshold
+		o.overlay.HotMaxExtra = maxExtra
+	}
+}
 
 // WithWriteQuorum sets the number of replica acknowledgements (including
 // the responsible peer itself) a routed Insert or Delete needs before it is
@@ -187,3 +248,16 @@ func WithNetworkLatency(d time.Duration) Option {
 // WithMessageLoss drops each message independently with the given
 // probability.
 func WithMessageLoss(p float64) Option { return func(o *options) { o.loss = p } }
+
+// WithServiceCost gives every simulated endpoint a finite processing
+// capacity: each delivered request occupies its receiver for
+// fixed + perByte×(request+response bytes) of service time, queueing FIFO
+// behind earlier requests. With a service cost configured, sustained load on
+// one peer inflates that peer's latency — which is what makes hot-key
+// experiments (and the cache/widening countermeasures) measurable in
+// simulation. Zero values disable the model (the default).
+func WithServiceCost(fixed, perByte time.Duration) Option {
+	return func(o *options) {
+		o.service = network.ServiceModel{Fixed: fixed, PerByte: perByte}
+	}
+}

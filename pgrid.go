@@ -154,7 +154,7 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg: cfg,
-		net: network.NewSim(network.SimConfig{Seed: cfg.seed, Latency: cfg.latency, LossProbability: cfg.loss}),
+		net: network.NewSim(network.SimConfig{Seed: cfg.seed, Latency: cfg.latency, LossProbability: cfg.loss, Service: cfg.service}),
 		rng: rand.New(rand.NewSource(cfg.seed)),
 	}
 	addrs := make([]network.Addr, cfg.peers)

@@ -1,0 +1,20 @@
+# Build the deployable P-Grid binaries (pgridnode overlay peer, pgridgate
+# HTTP gateway) into a minimal runtime image. The compose topology in
+# docker-compose.yml runs the same 3-nodes-plus-gateway cluster the
+# internal/harness smoke suite boots as local processes.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/pgridnode ./cmd/pgridnode \
+ && CGO_ENABLED=0 go build -trimpath -o /out/pgridgate ./cmd/pgridgate
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 pgrid && mkdir -p /var/lib/pgrid && chown pgrid /var/lib/pgrid
+COPY --from=build /out/pgridnode /out/pgridgate /usr/local/bin/
+USER pgrid
+VOLUME /var/lib/pgrid
+# Overlay TCP port and HTTP API port; compose overrides the command per role.
+EXPOSE 7101 8080
+ENTRYPOINT ["pgridnode"]
+CMD ["-listen", "0.0.0.0:7101", "-http", "0.0.0.0:8080", "-data-dir", "/var/lib/pgrid", "-serve", "0"]

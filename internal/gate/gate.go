@@ -292,6 +292,12 @@ func (s *Server) api(route string, fn func(w http.ResponseWriter, r *http.Reques
 		payload, err := fn(w, r.WithContext(ctx))
 		code := statusFor(err)
 		if err != nil {
+			// A 503 is a transient overlay condition (entry peers down, no
+			// quorum): tell well-behaved clients when to come back, exactly
+			// as the load shedder does for 429.
+			if code == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
 			writeJSON(w, code, errEnvelope(code, err.Error()))
 		} else {
 			writeJSON(w, code, payload)

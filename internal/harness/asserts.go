@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WaitConverged polls sampled searches through the gateway until every
+// key resolves to its expected value, or the deadline passes. Keys are
+// re-checked from scratch each pass (a key that resolved once can regress
+// while a wave of restarted replicas is still syncing); convergence means
+// one full pass where everything resolves.
+func (c *Cluster) WaitConverged(keys map[string]string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastMissing []string
+	for time.Now().Before(deadline) {
+		lastMissing = lastMissing[:0]
+		for key, want := range keys {
+			res, err := c.Gate.Search(key)
+			if err != nil {
+				lastMissing = append(lastMissing, fmt.Sprintf("%s (transport: %v)", key, err))
+				continue
+			}
+			if res.Status != http.StatusOK || !contains(res.Values, want) {
+				lastMissing = append(lastMissing, fmt.Sprintf("%s (status %d, values %v)", key, res.Status, res.Values))
+			}
+		}
+		if len(lastMissing) == 0 {
+			return nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	sort.Strings(lastMissing)
+	if len(lastMissing) > 10 {
+		lastMissing = append(lastMissing[:10], fmt.Sprintf("... and %d more", len(lastMissing)-10))
+	}
+	return fmt.Errorf("harness: %d key(s) not converged after %v:\n  %s",
+		len(lastMissing), timeout, strings.Join(lastMissing, "\n  "))
+}
+
+// WaitAbsent polls until no deleted value resolves through the gateway
+// any more — the no-resurrection assertion after deletes survive a churn
+// or crash wave. It takes key → deleted value because absence must be
+// checked per value, not per status: distinct keys that share a binary
+// prefix at trie depth are one exact-match partition, so a search for a
+// deleted key can legitimately answer 200 with the survivors' values.
+func (c *Cluster) WaitAbsent(deleted map[string]string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastAlive []string
+	for time.Now().Before(deadline) {
+		lastAlive = lastAlive[:0]
+		for key, gone := range deleted {
+			res, err := c.Gate.Search(key)
+			if err != nil {
+				lastAlive = append(lastAlive, fmt.Sprintf("%s (transport: %v)", key, err))
+				continue
+			}
+			if res.Status != http.StatusNotFound && contains(res.Values, gone) {
+				lastAlive = append(lastAlive, fmt.Sprintf("%s (status %d, values %v)", key, res.Status, res.Values))
+			}
+		}
+		if len(lastAlive) == 0 {
+			return nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	sort.Strings(lastAlive)
+	return fmt.Errorf("harness: %d deleted key(s) still resolve after %v (resurrection?):\n  %s",
+		len(lastAlive), timeout, strings.Join(lastAlive, "\n  "))
+}
+
+// LoadKeys inserts n generated key/value pairs through the gateway and
+// returns the expected mapping for WaitConverged. Keys lead with two
+// rotating characters because the keyspace encoding is order-preserving:
+// a key's partition is decided by its first ~2.5 characters, so keys
+// that all share a literal prefix would pile into a single partition and
+// exercise no routing at all.
+func (c *Cluster) LoadKeys(prefix string, n int) (map[string]string, error) {
+	keys := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%c%c-%s-%04d", 'a'+i%26, 'a'+(i/26)%26, prefix, i)
+		val := fmt.Sprintf("doc-%s-%04d", prefix, i)
+		if err := c.Gate.Put(key, val); err != nil {
+			return keys, err
+		}
+		keys[key] = val
+	}
+	return keys, nil
+}
+
+func contains(vals []string, want string) bool {
+	for _, v := range vals {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}

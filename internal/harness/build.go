@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// binaries caches one `go build` of the deployable commands per test
+// process: every cluster in a package's test run shares the same pgridnode
+// and pgridgate binaries instead of paying the build per test.
+var binaries struct {
+	once sync.Once
+	dir  string
+	err  error
+}
+
+// BuildBinaries compiles cmd/pgridnode and cmd/pgridgate into a
+// process-lifetime temp directory and returns their paths. The build runs
+// once; later calls return the cached result.
+func BuildBinaries() (node, gateBin string, err error) {
+	binaries.once.Do(func() {
+		root, err := repoRoot()
+		if err != nil {
+			binaries.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "pgrid-harness-bin-")
+		if err != nil {
+			binaries.err = err
+			return
+		}
+		for _, pkg := range []string{"pgridnode", "pgridgate"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, pkg), "./cmd/"+pkg)
+			cmd.Dir = root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				binaries.err = fmt.Errorf("harness: build %s: %v\n%s", pkg, err, out)
+				return
+			}
+		}
+		binaries.dir = dir
+	})
+	if binaries.err != nil {
+		return "", "", binaries.err
+	}
+	return filepath.Join(binaries.dir, "pgridnode"), filepath.Join(binaries.dir, "pgridgate"), nil
+}
+
+// repoRoot walks up from the working directory to the go.mod, so tests can
+// run from any package directory.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("harness: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

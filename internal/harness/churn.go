@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChurnOptions parameterises a rolling churn run.
+type ChurnOptions struct {
+	// Rounds is how many kill/rejoin waves to run.
+	Rounds int
+	// Fraction of the fleet crashed per wave (0 = one third).
+	Fraction float64
+	// Graceful uses SIGTERM (checkpointed shutdown) instead of the
+	// default SIGKILL crash.
+	Graceful bool
+	// DownFor is how long a wave's victims stay dead before restarting
+	// (0 = 500ms).
+	DownFor time.Duration
+	// Spare lists node indices never chosen as victims (e.g. the
+	// gateway's entry peers, so reads keep flowing mid-churn).
+	Spare []int
+}
+
+// ChurnReport summarises what a churn run did.
+type ChurnReport struct {
+	Waves    int
+	Killed   int
+	Restarts int
+}
+
+// Churn runs rolling kill/rejoin waves: each wave picks a random
+// Fraction of the running fleet (minus spared nodes), crash- or
+// term-stops them, waits DownFor, restarts them with their original
+// addresses and data dirs, and waits for them to listen again. Victims
+// are chosen per wave, so over several waves most of the fleet gets
+// bounced — the process-level equivalent of the sim's churn models.
+func (c *Cluster) Churn(opts ChurnOptions) (*ChurnReport, error) {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 3
+	}
+	if opts.Fraction <= 0 {
+		opts.Fraction = 1.0 / 3
+	}
+	if opts.DownFor <= 0 {
+		opts.DownFor = 500 * time.Millisecond
+	}
+	spared := make(map[int]bool, len(opts.Spare))
+	for _, idx := range opts.Spare {
+		spared[idx] = true
+	}
+	rep := &ChurnReport{}
+	for wave := 0; wave < opts.Rounds; wave++ {
+		var candidates []*Node
+		for _, n := range c.Nodes {
+			if !spared[n.Index] && n.Running() {
+				candidates = append(candidates, n)
+			}
+		}
+		k := int(float64(len(candidates)) * opts.Fraction)
+		if k < 1 {
+			k = 1
+		}
+		if k > len(candidates) {
+			k = len(candidates)
+		}
+		c.rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		victims := candidates[:k]
+
+		for _, v := range victims {
+			if opts.Graceful {
+				if err := v.Stop(10 * time.Second); err != nil {
+					return rep, fmt.Errorf("wave %d: stop %s: %w", wave, v.proc.name, err)
+				}
+			} else {
+				if err := v.Kill(); err != nil {
+					return rep, fmt.Errorf("wave %d: kill %s: %w", wave, v.proc.name, err)
+				}
+			}
+			rep.Killed++
+		}
+		time.Sleep(opts.DownFor)
+		for _, v := range victims {
+			if err := v.Restart(); err != nil {
+				return rep, fmt.Errorf("wave %d: restart %s: %w", wave, v.proc.name, err)
+			}
+			rep.Restarts++
+		}
+		for _, v := range victims {
+			if err := v.WaitListening(20 * time.Second); err != nil {
+				return rep, fmt.Errorf("wave %d: %w", wave, err)
+			}
+		}
+		rep.Waves++
+	}
+	return rep, nil
+}

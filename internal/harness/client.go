@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// httpClient is the shared client for gateway API calls; per-call
+// deadlines keep a wedged cluster from hanging the whole suite.
+var httpClient = &http.Client{Timeout: 10 * time.Second}
+
+// SearchResult is the decoded GET /v1/search/{key} answer plus transport
+// facts assertions need (status code, Retry-After header).
+type SearchResult struct {
+	Status     int
+	RetryAfter string
+	Values     []string
+	Hops       int
+}
+
+// Search runs one exact lookup through the gateway. A non-2xx answer is
+// not an error — the result carries the status so tests can assert on
+// 404s and 503s directly; err is reserved for transport failures.
+func (g *Gate) Search(key string) (*SearchResult, error) {
+	resp, err := httpClient.Get(g.URL + "/v1/search/" + url.PathEscape(key))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	res := &SearchResult{Status: resp.StatusCode, RetryAfter: resp.Header.Get("Retry-After")}
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return res, nil
+	}
+	var body struct {
+		Items []struct {
+			Value string `json:"value"`
+		} `json:"items"`
+		Hops int `json:"hops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("harness: decode search %q: %w", key, err)
+	}
+	res.Hops = body.Hops
+	for _, it := range body.Items {
+		res.Values = append(res.Values, it.Value)
+	}
+	return res, nil
+}
+
+// Put inserts one key/value pair through the gateway.
+func (g *Gate) Put(key, value string) error {
+	body, _ := json.Marshal(map[string]string{"value": value})
+	req, err := http.NewRequest(http.MethodPut, g.URL+"/v1/items/"+url.PathEscape(key), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("harness: put %q: status %d: %s", key, resp.StatusCode, b)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Delete removes one key/value pair through the gateway.
+func (g *Gate) Delete(key, value string) error {
+	req, err := http.NewRequest(http.MethodDelete,
+		g.URL+"/v1/items/"+url.PathEscape(key)+"?value="+url.QueryEscape(value), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("harness: delete %q: status %d: %s", key, resp.StatusCode, b)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// BatchEntry is one key's outcome in a POST /v1/batch answer.
+type BatchEntry struct {
+	Key    string
+	Found  bool
+	Values []string
+}
+
+// Batch looks up several keys in one gateway round trip.
+func (g *Gate) Batch(keys []string) ([]BatchEntry, error) {
+	reqBody, _ := json.Marshal(map[string]any{"keys": keys})
+	resp, err := httpClient.Post(g.URL+"/v1/batch", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("harness: batch: status %d: %s", resp.StatusCode, b)
+	}
+	var body struct {
+		Results []struct {
+			Key   string `json:"key"`
+			Found bool   `json:"found"`
+			Items []struct {
+				Value string `json:"value"`
+			} `json:"items"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("harness: decode batch: %w", err)
+	}
+	out := make([]BatchEntry, 0, len(body.Results))
+	for _, r := range body.Results {
+		e := BatchEntry{Key: r.Key, Found: r.Found}
+		for _, it := range r.Items {
+			e.Values = append(e.Values, it.Value)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Range runs a lexicographic range query [lo, hi] through the gateway and
+// returns the matched values.
+func (g *Gate) Range(lo, hi string) ([]string, error) {
+	resp, err := httpClient.Get(g.URL + "/v1/range?lo=" + url.QueryEscape(lo) + "&hi=" + url.QueryEscape(hi))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("harness: range [%s, %s]: status %d: %s", lo, hi, resp.StatusCode, b)
+	}
+	var body struct {
+		Items []struct {
+			Value string `json:"value"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("harness: decode range: %w", err)
+	}
+	var vals []string
+	for _, it := range body.Items {
+		vals = append(vals, it.Value)
+	}
+	return vals, nil
+}
+
+// Ready reports whether the gateway's /readyz answers 200 right now.
+func (g *Gate) Ready() bool {
+	resp, err := httpClient.Get(g.URL + "/readyz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}

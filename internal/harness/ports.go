@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+)
+
+// allocatePorts reserves n distinct loopback TCP ports by binding
+// ephemeral listeners and releasing them. A node must be restartable on
+// the SAME address (its identity in every other peer's routing table), so
+// the harness cannot lean on -listen 127.0.0.1:0 — it pins the allocated
+// port for the process's whole lifecycle, restarts included. The window
+// between release and the node's own bind is the standard ephemeral-port
+// race; on loopback with the kernel cycling its ephemeral range it is
+// negligible, and a collision surfaces immediately as a failed bind in
+// the node's log.
+func allocatePorts(n int) ([]int, error) {
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			_ = l.Close()
+		}
+	}()
+	ports := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("harness: allocate port %d/%d: %w", i+1, n, err)
+		}
+		listeners = append(listeners, l)
+		ports = append(ports, l.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}

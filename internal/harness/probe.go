@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pgrid/internal/gate"
+	"pgrid/internal/keyspace"
+	"pgrid/internal/network"
+	"pgrid/internal/overlay"
+)
+
+// ProbeGet issues one exact-match query for term against the node
+// listening at addr, over the real binary TCP transport — the readiness
+// probe for nodes that serve no HTTP API. The contacted node routes the
+// query onward like any forwarded request, so a successful probe means
+// the node's server loop, codec, and routing state are all live. It
+// returns whether the term resolved to at least one item; err reports
+// probe-level failures (node unreachable, routing exhausted), not a
+// clean not-found.
+//
+// A subprocess `pgridnode -get` probe cannot serve this purpose: a fresh
+// joiner sits at path ε, considers itself responsible for every key, and
+// answers the query from its own empty store.
+func ProbeGet(addr, term string, timeout time.Duration) (found bool, err error) {
+	ep, err := network.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return false, fmt.Errorf("harness: probe endpoint: %w", err)
+	}
+	defer ep.Close()
+	key, err := keyspace.EncodeString(term, keyspace.DefaultDepth)
+	if err != nil {
+		return false, fmt.Errorf("harness: probe term %q: %w", term, err)
+	}
+	backend := &gate.RemoteBackend{
+		Transport: ep,
+		Peers:     []network.Addr{network.Addr(addr)},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_, err = backend.Search(ctx, key, gate.SearchOptions{})
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, overlay.ErrNotFound):
+		return false, nil
+	default:
+		return false, fmt.Errorf("harness: -get probe of %s: %w", addr, err)
+	}
+}
+
+// WaitProbeGet polls ProbeGet until the term is found or the deadline
+// passes — the no-HTTP readiness wait: a node is "ready" when a routed
+// query through it resolves.
+func WaitProbeGet(addr, term string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		found, err := ProbeGet(addr, term, 3*time.Second)
+		if found {
+			return nil
+		}
+		lastErr = err
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("harness: %q never resolved through %s within %v (last: %v)", term, addr, timeout, lastErr)
+}

@@ -1,0 +1,76 @@
+// Package intern provides a process-wide string interning table. The
+// overlay's routing state stores the same small set of strings — peer
+// addresses and partition paths — in thousands of places: every peer's
+// routing table holds refs to a few dozen neighbours, and in a 10k-peer
+// in-process simulation those copies (each built by its own
+// strings.Builder or decode) add up to real heap. Interning collapses
+// every copy of the same content onto one canonical allocation.
+//
+// The table only ever grows. That is the right trade-off for its intended
+// inputs — addresses and paths are drawn from a bounded population — but
+// it means callers must not feed it unbounded user data (key values,
+// payload bodies).
+package intern
+
+import "sync"
+
+// shards spreads the table across independently locked maps so concurrent
+// maintenance loops on many peers do not serialise on one mutex.
+const shards = 16
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+var table [shards]shard
+
+func init() {
+	for i := range table {
+		table[i].m = make(map[string]string)
+	}
+}
+
+// fnv1a is a tiny inline hash for shard selection (hash/maphash would
+// force a heap escape of the string header here).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// String returns a canonical copy of s: every call with equal content
+// returns the identical string value, so duplicates share one allocation.
+func String(s string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	sh := &table[fnv1a(s)%shards]
+	sh.mu.RLock()
+	v, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.m[s]; ok {
+		return v
+	}
+	sh.m[s] = s
+	return s
+}
+
+// Len reports how many distinct strings the table holds (for tests and
+// footprint accounting).
+func Len() int {
+	n := 0
+	for i := range table {
+		table[i].mu.RLock()
+		n += len(table[i].m)
+		table[i].mu.RUnlock()
+	}
+	return n
+}

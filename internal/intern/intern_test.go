@@ -1,0 +1,45 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestCanonical(t *testing.T) {
+	a := String("peer-00042")
+	b := String(string([]byte("peer-00042"))) // force a distinct allocation
+	if a != b {
+		t.Fatalf("contents differ: %q vs %q", a, b)
+	}
+	ha := (*[2]uintptr)(unsafe.Pointer(&a))[0]
+	hb := (*[2]uintptr)(unsafe.Pointer(&b))[0]
+	if ha != hb {
+		t.Fatalf("interned copies do not share storage")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if String("") != "" {
+		t.Fatal("empty string must intern to empty")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := String(fmt.Sprintf("addr-%03d", i%100))
+				if s != fmt.Sprintf("addr-%03d", i%100) {
+					t.Errorf("wrong canonical value %q", s)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -173,17 +173,49 @@ func (a *fragAssembler) drop(id uint64) {
 	}
 }
 
-// encodeBinBody serialises a registered payload value into a frame body:
-// the compact wire encoding when the type has a codec, JSON (jsonBody=true)
-// otherwise. One registry resolution covers both the name and the codec
-// capability — this runs for every outgoing message.
-func encodeBinBody(v any) (name string, body []byte, jsonBody bool, err error) {
+// bodyPool recycles message-body encode buffers across calls on the hot
+// binary transport path, so a busy endpoint stops allocating one body per
+// message. Callers take a buffer with getBodyBuf, encode into it, and hand
+// it back with putBodyBuf once the transport has copied the bytes onto the
+// wire (writeMsg assembles frames into its own scratch, so the body is
+// never retained past the write).
+var bodyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+// bodyPoolMaxCap bounds what a returned buffer may retain: one oversized
+// transfer must not pin megabytes inside the pool forever.
+const bodyPoolMaxCap = 1 << 20
+
+func getBodyBuf() *[]byte { return bodyPool.Get().(*[]byte) }
+
+func putBodyBuf(b *[]byte, body []byte) {
+	// Keep the grown encode buffer when the body actually used it (binary
+	// codecs append into the pooled buffer; the JSON fallback allocates its
+	// own, leaving the pooled one untouched).
+	if cap(body) > cap(*b) && cap(body) <= bodyPoolMaxCap {
+		*b = body[:0]
+	}
+	if cap(*b) <= bodyPoolMaxCap {
+		bodyPool.Put(b)
+	}
+}
+
+// encodeBinBody serialises a registered payload value into a frame body
+// appended to dst (pass nil to allocate): the compact wire encoding when
+// the type has a codec, JSON (jsonBody=true, own allocation) otherwise.
+// One registry resolution covers both the name and the codec capability —
+// this runs for every outgoing message.
+func encodeBinBody(dst []byte, v any) (name string, body []byte, jsonBody bool, err error) {
 	name, info, ok := resolveType(v)
 	if !ok {
 		return "", nil, false, fmt.Errorf("network: payload type %T not registered", v)
 	}
 	if info.binary {
-		return name, v.(wire.Marshaler).AppendWire(nil), false, nil
+		return name, v.(wire.Marshaler).AppendWire(dst), false, nil
 	}
 	body, err = json.Marshal(v)
 	if err != nil {
@@ -243,7 +275,11 @@ func newBinFrameIter(flags byte, id uint64, from Addr, typ string, body []byte, 
 // dst and reports whether more frames follow. It must not be called again
 // after more=false.
 func (it *binFrameIter) next(dst []byte) (out []byte, more bool, err error) {
-	hdr := make([]byte, 0, 64)
+	// The header is assembled on the stack (appendFrame copies it into dst,
+	// so it never escapes); append still grows it onto the heap in the rare
+	// case an address + type name exceeds the array.
+	var hdrArr [64]byte
+	hdr := hdrArr[:0]
 	hdr = append(hdr, magicBinary, 0)
 	hdr = wire.AppendUvarint(hdr, it.id)
 	if it.first {

@@ -64,7 +64,7 @@ func DecodeMessage(data []byte) (from Addr, payload any, err error) {
 // message id is fixed to 1, making the encoding deterministic for golden
 // tests and corpora.
 func EncodeMessageBinary(from Addr, v any, frameLimit int) ([]byte, error) {
-	name, body, jsonBody, err := encodeBinBody(v)
+	name, body, jsonBody, err := encodeBinBody(nil, v)
 	if err != nil {
 		return nil, err
 	}

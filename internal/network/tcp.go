@@ -653,8 +653,10 @@ func (e *TCPEndpoint) serveBinRequest(fw *frameWriter, msg *binMsg) {
 			fail(herr)
 			return
 		}
-		name, body, jsonBody, err := encodeBinBody(resp)
+		bp := getBodyBuf()
+		name, body, jsonBody, err := encodeBinBody((*bp)[:0], resp)
 		if err != nil {
+			putBodyBuf(bp, nil)
 			fail(err)
 			return
 		}
@@ -663,6 +665,7 @@ func (e *TCPEndpoint) serveBinRequest(fw *frameWriter, msg *binMsg) {
 			fl = fJSON
 		}
 		_ = fw.writeMsg(context.Background(), fResp|fl, msg.id, e.addr, name, body, e.frameLimit())
+		putBodyBuf(bp, body)
 	}
 }
 
@@ -799,10 +802,16 @@ func (e *TCPEndpoint) callJSON(ctx context.Context, to Addr, req any) (any, erro
 // JSON fallback toward peers never seen speaking binary (see the comment
 // there for why that is safe at the protocol layer).
 func (e *TCPEndpoint) callPooled(ctx context.Context, to Addr, req any) (any, error) {
-	name, body, jsonBody, err := encodeBinBody(req)
+	bp := getBodyBuf()
+	name, body, jsonBody, err := encodeBinBody((*bp)[:0], req)
 	if err != nil {
+		putBodyBuf(bp, nil)
 		return nil, err
 	}
+	// The body is only read during writeMsg (frames are assembled into the
+	// writer's own scratch), so it can be recycled as soon as the call
+	// returns — including the retry attempt.
+	defer func() { putBodyBuf(bp, body) }()
 	// CallTimeout bounds the whole call — the write phase included — when
 	// the caller's context carries no deadline, matching what the old
 	// transport's absolute connection deadline guaranteed.

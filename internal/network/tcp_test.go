@@ -154,7 +154,7 @@ func TestEncodeUnregisteredPayload(t *testing.T) {
 	if _, err := encodePayload("me", struct{ X int }{1}); err == nil {
 		t.Error("expected error for unregistered payload type")
 	}
-	if _, _, _, err := encodeBinBody(struct{ X int }{1}); err == nil {
+	if _, _, _, err := encodeBinBody(nil, struct{ X int }{1}); err == nil {
 		t.Error("expected binary encode error for unregistered payload type")
 	}
 }

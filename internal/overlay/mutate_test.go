@@ -362,7 +362,7 @@ func TestMaintainTickRediscoversReplica(t *testing.T) {
 // must never resurrect a deleted item.
 func TestLiveMutationsConvergeUnderChurn(t *testing.T) {
 	cfg := Config{MaxKeys: 20, MinReplicas: 3, DoneAfterIdle: 3, MaxRefs: 4, WriteQuorum: 1}
-	c := newTestCluster(t, 32, 10, workload.Uniform{}, cfg, 58)
+	c := newTestCluster(t, 32, 10, workload.Uniform{}, cfg, 57)
 	c.replicateAll(t)
 	c.construct(t, 60)
 	ctx := context.Background()

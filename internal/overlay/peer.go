@@ -16,6 +16,7 @@ import (
 	"pgrid/internal/replication"
 	"pgrid/internal/routing"
 	"pgrid/internal/stats"
+	"pgrid/internal/xrand"
 )
 
 // Config parameterises a P-Grid peer.
@@ -380,7 +381,7 @@ func NewPersistent(cfg Config, transport network.Transport) (*Peer, error) {
 		table:    routing.New(cfg.MaxRefs, cfg.Seed),
 		store:    store,
 		replicas: make(map[network.Addr]bool),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      xrand.New(cfg.Seed),
 		cache:    newQueryCache(cfg.QueryCacheSize, cfg.QueryCacheTTL),
 		now:      time.Now,
 	}

@@ -774,7 +774,7 @@ func (s *Store) snapshotStateLocked(inlinePairs bool) *snapshotState {
 		st.Count = s.eng.Len()
 		st.Digests = make([]snapDigest, 0, len(s.dig))
 		for p, cell := range s.dig {
-			st.Digests = append(st.Digests, snapDigest{P: p, H: cell.hash, N: cell.n})
+			st.Digests = append(st.Digests, snapDigest{P: densePrefixString(p), H: cell.hash, N: cell.n})
 		}
 	}
 	for ks, vals := range s.tombs {
@@ -806,10 +806,16 @@ func (s *Store) loadSnapshot(st *snapshotState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if st.External {
+		if s.dig == nil && len(st.Digests) > 0 {
+			s.dig = make(map[uint16]digestCell, len(st.Digests))
+		}
 		for _, dc := range st.Digests {
-			s.dig[dc.P] = digestCell{hash: dc.H, n: dc.N}
+			s.dig[densePrefixIndex(dc.P)] = digestCell{hash: dc.H, n: dc.N}
 		}
 		// The carried cells already include the tombstones' contributions.
+		if s.tombs == nil && len(st.Tombs) > 0 {
+			s.tombs = make(map[string]map[string]tombstone)
+		}
 		for _, tb := range st.Tombs {
 			if s.tombs[tb.K] == nil {
 				s.tombs[tb.K] = make(map[string]tombstone)
@@ -820,6 +826,9 @@ func (s *Store) loadSnapshot(st *snapshotState) {
 		for _, si := range st.Items {
 			s.digestXorLocked(si.K, liveHash(si.K, si.V, si.Gen), 1)
 			s.eng.Put(PairRecord{Key: si.K, Value: si.V, Gen: si.Gen, Ver: si.Ver}, true)
+		}
+		if s.tombs == nil && len(st.Tombs) > 0 {
+			s.tombs = make(map[string]map[string]tombstone)
 		}
 		for _, tb := range st.Tombs {
 			if s.tombs[tb.K] == nil {

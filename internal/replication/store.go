@@ -142,7 +142,7 @@ type Store struct {
 	eng     Engine                          // live pairs (engine.go)
 	engKind string                          // EngineMem or EngineDisk
 	tombs   map[string]map[string]tombstone // key bit string -> value -> tombstone
-	dig     map[string]digestCell           // key-bit prefix (len <= digestDenseDepth) -> digest
+	dig     map[uint16]digestCell           // marker-bit prefix index (densePrefixIndex) -> digest
 	clock   uint64
 	gcFloor uint64
 	gc      GCPolicy
@@ -210,13 +210,14 @@ func NewStoreKind(kind string) (*Store, error) {
 	return newStoreWithEngine(eng, kind), nil
 }
 
-// newStoreWithEngine wires a store around an existing engine.
+// newStoreWithEngine wires a store around an existing engine. The digest
+// and tombstone maps are allocated lazily on first use: a freshly joined
+// peer in a large simulation holds no state yet, and thousands of empty
+// maps are pure overhead.
 func newStoreWithEngine(eng Engine, kind string) *Store {
 	return &Store{
 		eng:     eng,
 		engKind: kind,
-		tombs:   make(map[string]map[string]tombstone),
-		dig:     make(map[string]digestCell),
 		now:     time.Now,
 	}
 }
@@ -403,20 +404,42 @@ func pairHash(ks, value string, gen uint64, live bool) uint64 {
 func liveHash(ks, value string, gen uint64) uint64 { return pairHash(ks, value, gen, true) }
 func tombHash(ks, value string, gen uint64) uint64 { return pairHash(ks, value, gen, false) }
 
-// digestPad supplies the zero bits a short key is padded with for bucket
-// membership.
-const digestPad = "00000000000000000000000000000000"
-
-// digestKey returns the key bit string zero-padded to the digest depth:
-// for bucketing purposes a key shorter than a bucket's depth is treated as
-// its dyadic lower edge, so every pair belongs to exactly one bucket at
-// every depth and two replicas always bucketise identically — a pair can
-// never fall between the child buckets of a digest walk.
-func digestKey(ks string) string {
-	if len(ks) >= digestDenseDepth {
-		return ks
+// densePrefixIndex encodes a dense-tree prefix (a '0'/'1' bit string of
+// length <= digestDenseDepth) as a marker-bit integer: (1<<len(p)) | bits.
+// The marker bit disambiguates depth — "0" (idx 2) and "00" (idx 4) are
+// distinct cells — so every dense prefix maps to a unique value in
+// [1, 2^(digestDenseDepth+1)), which fits a uint16 map key instead of an
+// 8-byte string header plus heap payload per cell. Strings appear only at
+// the snapshot boundary (see persist.go), keeping the on-disk format
+// unchanged.
+func densePrefixIndex(p string) uint16 {
+	idx := uint16(1)
+	for i := 0; i < len(p); i++ {
+		idx <<= 1
+		if p[i] == '1' {
+			idx |= 1
+		}
 	}
-	return ks + digestPad[:digestDenseDepth-len(ks)]
+	return idx
+}
+
+// densePrefixString decodes a marker-bit index back into its bit string,
+// for writing snapshot digest records.
+func densePrefixString(idx uint16) string {
+	depth := 0
+	for v := idx; v > 1; v >>= 1 {
+		depth++
+	}
+	b := make([]byte, depth)
+	for i := depth - 1; i >= 0; i-- {
+		if idx&1 == 1 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+		idx >>= 1
+	}
+	return string(b)
 }
 
 // underDigest reports whether the (possibly short) key bit string belongs
@@ -442,16 +465,28 @@ func underDigest(ks, prefix string) bool {
 // replaced — callers fold the old and the new hash separately). Callers
 // must hold mu.
 func (s *Store) digestXorLocked(ks string, h uint64, dn int) {
-	kp := digestKey(ks)
-	for d := 0; d <= digestDenseDepth; d++ {
-		p := kp[:d]
-		cell := s.dig[p]
+	// Keys shorter than the dense depth are zero-padded for bucketing (the
+	// dyadic lower edge — see underDigest), which here just means missing
+	// bits read as '0' while descending the marker-bit indices.
+	if s.dig == nil {
+		s.dig = make(map[uint16]digestCell)
+	}
+	idx := uint16(1)
+	for d := 0; ; d++ {
+		cell := s.dig[idx]
 		cell.hash ^= h
 		cell.n += dn
 		if cell.hash == 0 && cell.n == 0 {
-			delete(s.dig, p)
+			delete(s.dig, idx)
 		} else {
-			s.dig[p] = cell
+			s.dig[idx] = cell
+		}
+		if d == digestDenseDepth {
+			return
+		}
+		idx <<= 1
+		if d < len(ks) && ks[d] == '1' {
+			idx |= 1
 		}
 	}
 }
@@ -489,6 +524,9 @@ func (s *Store) stampTombLocked(ks, value string, gen uint64) {
 		s.clock++
 		s.tombs[ks][value] = tombstone{gen: gen, born: old.born, at: old.at, ver: s.clock}
 		return
+	}
+	if s.tombs == nil {
+		s.tombs = make(map[string]map[string]tombstone)
 	}
 	if s.tombs[ks] == nil {
 		s.tombs[ks] = make(map[string]tombstone)
@@ -997,7 +1035,7 @@ func (s *Store) Digest(prefix keyspace.Path) (uint64, int) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if len(prefix) <= digestDenseDepth {
-		cell := s.dig[string(prefix)]
+		cell := s.dig[densePrefixIndex(string(prefix))]
 		return cell.hash, cell.n
 	}
 	s.deepMu.Lock()
@@ -1019,7 +1057,7 @@ func (s *Store) Digest(prefix keyspace.Path) (uint64, int) {
 // mu; shallow prefixes are served by the dense cells).
 func (s *Store) digestLocked(prefix keyspace.Path) (uint64, int) {
 	if len(prefix) <= digestDenseDepth {
-		cell := s.dig[string(prefix)]
+		cell := s.dig[densePrefixIndex(string(prefix))]
 		return cell.hash, cell.n
 	}
 	var h uint64
@@ -1067,7 +1105,7 @@ func (s *Store) DigestChildren(prefix keyspace.Path, width int) []BucketDigest {
 	defer s.mu.RUnlock()
 	if childDepth <= digestDenseDepth {
 		for i := range out {
-			cell := s.dig[string(out[i].Prefix)]
+			cell := s.dig[densePrefixIndex(string(out[i].Prefix))]
 			out[i].Hash, out[i].Count = cell.hash, cell.n
 		}
 		return out

@@ -14,8 +14,10 @@ import (
 	"strings"
 	"sync"
 
+	"pgrid/internal/intern"
 	"pgrid/internal/keyspace"
 	"pgrid/internal/network"
+	"pgrid/internal/xrand"
 )
 
 // DefaultMaxRefs is the default number of references kept per level;
@@ -54,7 +56,7 @@ func New(maxRefs int, seed int64) *Table {
 	if maxRefs <= 0 {
 		maxRefs = DefaultMaxRefs
 	}
-	return &Table{maxRefs: maxRefs, rng: rand.New(rand.NewSource(seed))}
+	return &Table{maxRefs: maxRefs, rng: xrand.New(seed)}
 }
 
 // SetOwner records the owning peer's address so that references to it are
@@ -77,7 +79,7 @@ func (t *Table) Path() keyspace.Path {
 func (t *Table) SetPath(p keyspace.Path) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.path = p
+	t.path = keyspace.Path(intern.String(string(p)))
 	if len(t.levels) > len(p) {
 		t.levels = t.levels[:len(p)]
 	}
@@ -91,7 +93,7 @@ func (t *Table) SetPath(p keyspace.Path) {
 func (t *Table) Extend(bit int, ref Ref) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.path = t.path.Child(bit)
+	t.path = keyspace.Path(intern.String(string(t.path.Child(bit))))
 	t.levels = append(t.levels, nil)
 	t.addLocked(len(t.path)-1, ref)
 }
@@ -109,6 +111,13 @@ func (t *Table) addLocked(level int, ref Ref) {
 	if level < 0 || level >= len(t.path) || ref.Addr == "" || ref.Addr == t.owner {
 		return
 	}
+	// Addresses and paths are drawn from a small shared population (the
+	// cluster's peers and trie partitions) but arrive as per-message copies;
+	// interning collapses every table's refs onto one canonical allocation
+	// per distinct value, which is most of the per-peer routing footprint
+	// in large in-process simulations.
+	ref.Addr = network.Addr(intern.String(string(ref.Addr)))
+	ref.Path = keyspace.Path(intern.String(string(ref.Path)))
 	for len(t.levels) <= level {
 		t.levels = append(t.levels, nil)
 	}

@@ -1,0 +1,60 @@
+package xrand
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+	c := New(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if New(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seed 42 and 43 streams coincide %d/1000 times", same)
+	}
+}
+
+func TestUniformish(t *testing.T) {
+	// Coarse sanity: Intn(10) over 100k draws should put roughly 10% in
+	// each bucket. This is a smoke test for catastrophic bias, not a
+	// statistical certification.
+	r := New(7)
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bucket %d has %d draws (expected ~%d)", i, c, n/10)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestSourceIsSmall(t *testing.T) {
+	// The whole point of the package: the source must stay pointer-sized,
+	// not the stdlib's ~5 KiB table.
+	if sz := unsafe.Sizeof(source{}); sz > 16 {
+		t.Fatalf("source grew to %d bytes", sz)
+	}
+}

@@ -1,135 +1,15 @@
 #!/usr/bin/env bash
 # Smoke test for the deployable binaries: three pgridnode processes over the
-# pooled TCP transport, fronted by one pgridgate HTTP gateway. Drives a
-# put/get/range/batch workload over HTTP, scrapes /metrics on the gateway
-# and on a node, then SIGTERMs the durable node and asserts a clean
-# checkpointed shutdown and a snapshot-only recovery (empty WAL tail).
+# pooled TCP transport, fronted by one pgridgate HTTP gateway, driven through
+# a put/search/batch/range/delete workload with /metrics scrapes, a SIGTERM
+# checkpointed shutdown, and a snapshot-only recovery (empty WAL tail).
 #
-# Usage: scripts/smoke.sh   (from the repository root; needs go and curl)
+# The boot/wait/workload/scrape logic lives in internal/harness — the same
+# process harness the churn and crash suites use — so CI smoke and
+# fault-injection testing share one startup path. This script is the thin
+# CLI entry point.
+#
+# Usage: scripts/smoke.sh   (from the repository root; needs go)
 set -euo pipefail
-
-NODE1_PORT=17101 NODE2_PORT=17102 NODE3_PORT=17103
-GATE_PORT=18180 NODE1_HTTP=18191
-GATE_URL="http://127.0.0.1:${GATE_PORT}"
-NODE1_URL="http://127.0.0.1:${NODE1_HTTP}"
-
-WORK="$(mktemp -d)"
-BIN="$WORK/bin"
-LOG="$WORK/log"
-mkdir -p "$BIN" "$LOG" "$WORK/n1"
-PIDS=()
-
-cleanup() {
-  for pid in "${PIDS[@]:-}"; do
-    kill "$pid" 2>/dev/null || true
-  done
-  wait 2>/dev/null || true
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
-
-fail() {
-  echo "SMOKE FAIL: $*" >&2
-  echo "--- logs ---" >&2
-  tail -n 40 "$LOG"/*.log >&2 || true
-  exit 1
-}
-
-wait_http() { # url what
-  for _ in $(seq 1 100); do
-    if curl -fsS -o /dev/null "$1" 2>/dev/null; then return 0; fi
-    sleep 0.2
-  done
-  fail "$2 never became ready at $1"
-}
-
-echo "== building binaries"
-go build -o "$BIN/pgridnode" ./cmd/pgridnode
-go build -o "$BIN/pgridgate" ./cmd/pgridgate
-
-echo "== starting 3 nodes + gateway"
-"$BIN/pgridnode" -listen "127.0.0.1:$NODE1_PORT" -data-dir "$WORK/n1" \
-  -put "database=doc-1" -put "overlay=doc-2" \
-  -serve 300s -maintain 250ms -http "127.0.0.1:$NODE1_HTTP" \
-  >"$LOG/node1.log" 2>&1 &
-NODE1_PID=$!; PIDS+=("$NODE1_PID")
-wait_http "$NODE1_URL/healthz" "node1 http"
-
-"$BIN/pgridnode" -listen "127.0.0.1:$NODE2_PORT" -join "127.0.0.1:$NODE1_PORT" \
-  -put "datalog=doc-3" -interactions 8 -serve 300s -maintain 250ms \
-  >"$LOG/node2.log" 2>&1 &
-PIDS+=("$!")
-"$BIN/pgridnode" -listen "127.0.0.1:$NODE3_PORT" -join "127.0.0.1:$NODE1_PORT" \
-  -put "indexing=doc-4" -interactions 8 -serve 300s -maintain 250ms \
-  >"$LOG/node3.log" 2>&1 &
-PIDS+=("$!")
-
-"$BIN/pgridgate" -listen "127.0.0.1:$GATE_PORT" \
-  -peer "127.0.0.1:$NODE1_PORT" -peer "127.0.0.1:$NODE2_PORT" -peer "127.0.0.1:$NODE3_PORT" \
-  >"$LOG/gate.log" 2>&1 &
-GATE_PID=$!; PIDS+=("$GATE_PID")
-wait_http "$GATE_URL/readyz" "gateway"
-
-echo "== HTTP workload: put / get / batch / range / delete"
-for kv in "alpha=doc-a" "beta=doc-b" "gamma=doc-c"; do
-  key="${kv%%=*}" val="${kv##*=}"
-  out="$(curl -fsS -X PUT "$GATE_URL/v1/items/$key" -d "{\"value\":\"$val\"}")" \
-    || fail "put $key"
-  echo "$out" | grep -q '"acks":' || fail "put $key: unexpected body $out"
-done
-
-out="$(curl -fsS "$GATE_URL/v1/search/alpha")" || fail "search alpha"
-echo "$out" | grep -q '"doc-a"' || fail "search alpha: unexpected body $out"
-
-code="$(curl -s -o /dev/null -w '%{http_code}' "$GATE_URL/v1/search/never-inserted-key")"
-[ "$code" = 404 ] || fail "absent key returned $code, want 404"
-
-out="$(curl -fsS -X POST "$GATE_URL/v1/batch" -d '{"keys":["alpha","beta","never-inserted-key"]}')" \
-  || fail "batch"
-echo "$out" | grep -q '"found":true' || fail "batch: no hits in $out"
-echo "$out" | grep -q '"found":false' || fail "batch: missing-key entry not reported in $out"
-
-out="$(curl -fsS "$GATE_URL/v1/range?lo=alpha&hi=omega")" || fail "range"
-echo "$out" | grep -q '"doc-a"' || fail "range: alpha missing from $out"
-echo "$out" | grep -q '"doc-c"' || fail "range: gamma missing from $out"
-
-curl -fsS -X DELETE "$GATE_URL/v1/items/beta?value=doc-b" >/dev/null || fail "delete beta"
-
-echo "== scraping /metrics"
-metrics="$(curl -fsS "$GATE_URL/metrics")" || fail "gateway metrics scrape"
-echo "$metrics" | grep -E '^pgrid_gate_requests_total\{route="insert",code="200"\} [1-9]' >/dev/null \
-  || fail "gateway insert counter not incremented"
-echo "$metrics" | grep -E '^pgrid_gate_requests_total\{route="search",code="200"\} [1-9]' >/dev/null \
-  || fail "gateway search counter not incremented"
-echo "$metrics" | grep -q '^pgrid_gate_request_duration_seconds_bucket' \
-  || fail "gateway latency histogram missing"
-
-metrics="$(curl -fsS "$NODE1_URL/metrics")" || fail "node1 metrics scrape"
-echo "$metrics" | grep -E '^pgrid_store_clock [1-9]' >/dev/null \
-  || fail "node1 store clock is zero after local puts"
-echo "$metrics" | grep -q '^pgrid_peer_queries_total' || fail "node1 peer counters missing"
-
-echo "== graceful shutdown: gateway"
-kill -TERM "$GATE_PID"
-wait "$GATE_PID" || fail "gateway exited non-zero on SIGTERM"
-grep -q "clean shutdown" "$LOG/gate.log" || fail "gateway did not log a clean shutdown"
-
-echo "== graceful shutdown: durable node (SIGTERM -> checkpoint)"
-kill -TERM "$NODE1_PID"
-wait "$NODE1_PID" || fail "node1 exited non-zero on SIGTERM"
-grep -q "clean shutdown" "$LOG/node1.log" || fail "node1 did not log a clean shutdown"
-
-echo "== restart durable node: snapshot-only recovery, empty WAL tail"
-"$BIN/pgridnode" -listen "127.0.0.1:$NODE1_PORT" -data-dir "$WORK/n1" \
-  -serve 300s -http "127.0.0.1:$NODE1_HTTP" \
-  >"$LOG/node1b.log" 2>&1 &
-NODE1B_PID=$!; PIDS+=("$NODE1B_PID")
-wait_http "$NODE1_URL/healthz" "restarted node1"
-grep -q "recovered durable state" "$LOG/node1b.log" || fail "restart did not recover durable state"
-metrics="$(curl -fsS "$NODE1_URL/metrics")" || fail "restarted node1 metrics scrape"
-echo "$metrics" | grep -q '^pgrid_store_wal_records 0$' \
-  || fail "WAL tail not empty after checkpointed shutdown: $(echo "$metrics" | grep '^pgrid_store_wal')"
-echo "$metrics" | grep -E '^pgrid_store_items [1-9]' >/dev/null \
-  || fail "restarted node recovered no items"
-
-echo "SMOKE OK"
+cd "$(dirname "$0")/.."
+exec go test ./internal/harness -run 'TestClusterSmoke' -v -count=1 -timeout 300s "$@"

@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -526,7 +527,7 @@ func liveWorkload(quick bool, seed int64) error {
 			start := time.Now()
 			_, err := c.Insert(ctx, w.key, w.val)
 			insertLat = append(insertLat, float64(time.Since(start).Microseconds())/1000)
-			if err == pgrid.ErrNoQuorum {
+			if errors.Is(err, pgrid.ErrNoQuorum) {
 				quorumMisses++
 			} else if err != nil {
 				return err
@@ -539,7 +540,7 @@ func liveWorkload(quick bool, seed int64) error {
 			w := lives[len(lives)-1]
 			lives = lives[:len(lives)-1]
 			start := time.Now()
-			if _, err := c.Delete(ctx, w.key, w.val); err != nil && err != pgrid.ErrNoQuorum {
+			if _, err := c.Delete(ctx, w.key, w.val); err != nil && !errors.Is(err, pgrid.ErrNoQuorum) {
 				return err
 			}
 			deleteLat = append(deleteLat, float64(time.Since(start).Microseconds())/1000)
@@ -576,7 +577,7 @@ func liveWorkload(quick bool, seed int64) error {
 	for i := 0; i < m; i++ {
 		key := pgrid.FloatKey((float64(i) + 0.137) / float64(m))
 		val := fmt.Sprintf("conv-%d", i)
-		if _, err := c.Insert(ctx, key, val); err != nil && err != pgrid.ErrNoQuorum {
+		if _, err := c.Insert(ctx, key, val); err != nil && !errors.Is(err, pgrid.ErrNoQuorum) {
 			// With a fifth of the peers offline a partition can lose all its
 			// replicas; such writes cannot route and are not measured.
 			unroutable++

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -55,7 +56,7 @@ func main() {
 	// A live write is routed to the responsible partition and fanned out to
 	// its replicas; the report carries the quorum acknowledgement.
 	rep, err := cluster.InsertString(ctx, "streaming", "doc-live-1")
-	if err != nil && err != pgrid.ErrNoQuorum {
+	if err != nil && !errors.Is(err, pgrid.ErrNoQuorum) {
 		log.Fatal(err)
 	}
 	fmt.Printf("insert 'streaming': %d/%d replicas acked in %d hop(s)\n", rep.Acks, rep.Replicas, rep.Hops)
@@ -68,7 +69,7 @@ func main() {
 
 	// A delete tombstones the pair at every replica, so maintenance spreads
 	// the removal instead of resurrecting the item.
-	if _, err := cluster.DeleteString(ctx, "streaming", "doc-live-1"); err != nil && err != pgrid.ErrNoQuorum {
+	if _, err := cluster.DeleteString(ctx, "streaming", "doc-live-1"); err != nil && !errors.Is(err, pgrid.ErrNoQuorum) {
 		log.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond) // let a few maintenance ticks run
@@ -86,7 +87,7 @@ func main() {
 	for i := 0; i < 8; i++ {
 		cluster.SetOnline(i, false)
 	}
-	if _, err := cluster.InsertString(ctx, "churned", "doc-live-2"); err != nil && err != pgrid.ErrNoQuorum {
+	if _, err := cluster.InsertString(ctx, "churned", "doc-live-2"); err != nil && !errors.Is(err, pgrid.ErrNoQuorum) {
 		log.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading on request paths: a function that
+// receives a context.Context must thread it, not mint a fresh root with
+// context.Background()/context.TODO() or pass a nil context. A fresh root
+// below the entry layer silently detaches the work from the caller's
+// deadline — the gate's per-request timeout and the overlay's
+// deadline-propagating routed calls both rely on the chain staying intact.
+// Entry layers (main, StartMaintenance-style lifecycle starters, tests)
+// have no incoming context parameter and are naturally exempt; the audited
+// exceptions inside request paths carry //pgridvet:allow ctxflow.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions with a context.Context parameter must thread it, not call context.Background()/TODO() or pass nil contexts",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || HasAllow(fn.Doc, pass.Analyzer.Name) {
+				continue
+			}
+			if !hasContextParam(pass.Info, fn) {
+				continue
+			}
+			checkCtxBody(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func hasContextParam(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxBody walks a function body, including function literals (they
+// close over the parameter and inherit the obligation).
+func checkCtxBody(pass *Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := calleeFunc(pass.Info, call); callee != nil &&
+			callee.Pkg() != nil && callee.Pkg().Path() == "context" {
+			if name := callee.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(), "context.%s() inside a function that already receives a context.Context; thread the parameter (or annotate a deliberately detached lifetime)",
+					name)
+				return true
+			}
+		}
+		// nil passed where the callee expects a context.Context.
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok {
+			return true
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() && !sig.Variadic() {
+				break
+			}
+			pi := i
+			if pi >= sig.Params().Len() {
+				pi = sig.Params().Len() - 1
+			}
+			if isContextType(sig.Params().At(pi).Type()) && isUntypedNil(pass.Info, arg) {
+				pass.Reportf(arg.Pos(), "nil context passed to %s; thread the function's context.Context parameter", exprString(call.Fun))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,31 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pgrid/internal/lint"
+	"pgrid/internal/lint/linttest"
+)
+
+// Each fixture under testdata/src is a real package tree whose sources mark
+// the expected diagnostics with `// want` annotations; see linttest.
+
+func TestSentErrFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/senterr", lint.SentErr)
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxflow", lint.CtxFlow)
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/atomicfield", lint.AtomicField)
+}
+
+func TestLockRPCFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockrpc", lint.LockRPC)
+}
+
+func TestWireConsistencyFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/wireconsistency", lint.WireConsistency)
+}

@@ -1,0 +1,116 @@
+// Package linttest is the fixture harness for the pgridvet analyzers, in
+// the spirit of golang.org/x/tools/go/analysis/analysistest: a fixture is a
+// real Go package under testdata/src whose source marks every expected
+// diagnostic with a trailing comment
+//
+//	// want `regexp`
+//
+// (multiple backquoted or double-quoted regexps on one line for multiple
+// diagnostics on that line). Run loads the fixture with the same go list
+// driver the pgridvet binary uses, so fixtures also exercise dependency
+// ordering and cross-package facts, and fails the test for every
+// unexpected diagnostic and every unmatched expectation.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pgrid/internal/lint"
+)
+
+// wantRe captures the expectation list of one `// want` comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.+)$")
+
+// patternRe captures one backquoted or double-quoted regexp.
+var patternRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package tree rooted at dir (a path relative to the
+// calling test, conventionally testdata/src/<name>), runs the given
+// analyzers over it, and compares the diagnostics against the fixture's
+// `// want` annotations.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunPatterns(abs, analyzers, []string{"./..."}, true)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		if match(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func match(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every fixture source file for `// want` annotations.
+func collectWants(root string) ([]*expectation, error) {
+	var wants []*expectation
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, srcLine := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(srcLine)
+			if m == nil {
+				continue
+			}
+			groups := patternRe.FindAllStringSubmatch(m[1], -1)
+			if len(groups) == 0 {
+				return fmt.Errorf("%s:%d: want comment with no quoted regexp", path, i+1)
+			}
+			for _, g := range groups {
+				text := g[1]
+				if g[1] == "" && g[2] != "" {
+					text = g[2]
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp: %v", path, i+1, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, pattern: re})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}

@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockRPC enforces the transports' and overlay's lock discipline: no
+// blocking operation — an RPC through the Transport interface, a channel
+// send or receive, a select without default, a WaitGroup/Cond wait, a
+// time.Sleep — may be reached while a sync.Mutex or sync.RWMutex is held.
+// The pooled TCP transport multiplexes every peer conversation over shared
+// connections, so a handler that blocks under the Store, Peer or pool
+// mutex stalls every other request behind that lock; in the worst case
+// (an RPC whose response handler needs the same lock) it deadlocks the
+// node. The check is reachability-based: a function that blocks anywhere
+// in its call graph (facts flow across package boundaries) is itself
+// blocking at its call sites. Audited exceptions carry
+// //pgridvet:allow lockrpc on the call line or the function's doc comment.
+var LockRPC = &Analyzer{
+	Name:      "lockrpc",
+	Doc:       "blocking operations (transport RPCs, channel ops, Waits) must not be reached while a sync mutex is held",
+	UsesFacts: true,
+	Run:       runLockRPC,
+}
+
+func runLockRPC(pass *Pass) error {
+	// Phase 1: classify this package's functions (fixpoint over the
+	// package-local call graph, seeded by blocking primitives, known
+	// blocking std functions, and facts imported from dependencies), then
+	// export the classification for dependents.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+	local := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range decls {
+			if local[obj] != "" {
+				continue
+			}
+			if reason, _ := blockingIn(pass, local, fn.Body); reason != "" {
+				local[obj] = reason
+				changed = true
+			}
+		}
+	}
+	for obj, reason := range local {
+		pass.ExportFact(obj, reason)
+	}
+
+	// Phase 2: walk each function tracking which mutexes are held, and
+	// report blocking operations reached inside a critical section.
+	for obj, fn := range decls {
+		_ = obj
+		if HasAllow(fn.Doc, pass.Analyzer.Name) {
+			continue
+		}
+		scanStmts(pass, local, fn.Body.List, lockState{})
+	}
+	return nil
+}
+
+// lockState maps a mutex expression (rendered as source, e.g. "p.mu") to
+// the position of the Lock call that acquired it.
+type lockState map[string]token.Pos
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// anyLock returns a deterministic representative held lock.
+func (s lockState) anyLock() (string, token.Pos) {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0], s[keys[0]]
+}
+
+// scanStmts threads the held-lock state through a statement list and
+// returns the state at its end.
+func scanStmts(pass *Pass, local map[*types.Func]string, stmts []ast.Stmt, held lockState) lockState {
+	for _, s := range stmts {
+		held = scanStmt(pass, local, s, held)
+	}
+	return held
+}
+
+func scanStmt(pass *Pass, local map[*types.Func]string, stmt ast.Stmt, held lockState) lockState {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lockOp(pass, s.X); ok {
+			held = held.clone()
+			if op == "Lock" || op == "RLock" {
+				held[key] = s.Pos()
+			} else {
+				delete(held, key)
+			}
+			return held
+		}
+		checkBlocking(pass, local, s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to the end of the function
+		// (no state change). Other deferred calls run at return, where the
+		// set of held locks is ambiguous — not checked.
+		return held
+	case *ast.GoStmt:
+		// The goroutine body runs outside the critical section; only the
+		// argument expressions are evaluated now.
+		for _, arg := range s.Call.Args {
+			checkBlocking(pass, local, arg, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			lock, pos := held.anyLock()
+			reportBlocked(pass, s.Pos(), "performs a channel send", lock, pos)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkBlocking(pass, local, r, held)
+		}
+	case *ast.LabeledStmt:
+		return scanStmt(pass, local, s.Stmt, held)
+	case *ast.BlockStmt:
+		return scanBranch(pass, local, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = scanStmt(pass, local, s.Init, held)
+		}
+		checkBlocking(pass, local, s.Cond, held)
+		out := scanBranch(pass, local, s.Body.List, held)
+		if s.Else != nil {
+			elseOut := scanStmt(pass, local, s.Else, held.clone())
+			// Keep a lock only if no surviving branch released it.
+			for k := range held {
+				if _, ok := elseOut[k]; !ok {
+					delete(out, k)
+				}
+			}
+		}
+		return out
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = scanStmt(pass, local, s.Init, held)
+		}
+		if s.Cond != nil {
+			checkBlocking(pass, local, s.Cond, held)
+		}
+		scanStmts(pass, local, s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		checkBlocking(pass, local, s.X, held)
+		scanStmts(pass, local, s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = scanStmt(pass, local, s.Init, held)
+		}
+		if s.Tag != nil {
+			checkBlocking(pass, local, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanBranch(pass, local, cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanBranch(pass, local, cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			lock, pos := held.anyLock()
+			reportBlocked(pass, s.Pos(), "blocks in a select with no default", lock, pos)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanBranch(pass, local, cc.Body, held)
+			}
+		}
+	default:
+		checkBlocking(pass, local, stmt, held)
+	}
+	return held
+}
+
+// scanBranch analyzes a nested statement list. Locks released by a branch
+// that falls through to the code after it propagate out; a branch that
+// terminates (returns, panics, breaks) leaves the outer state untouched.
+func scanBranch(pass *Pass, local map[*types.Func]string, stmts []ast.Stmt, held lockState) lockState {
+	out := scanStmts(pass, local, stmts, held.clone())
+	if terminates(stmts) {
+		return held
+	}
+	res := held.clone()
+	for k := range held {
+		if _, ok := out[k]; !ok {
+			delete(res, k)
+		}
+	}
+	return res
+}
+
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkBlocking reports the first blocking operation found in an
+// expression or simple statement while locks are held.
+func checkBlocking(pass *Pass, local map[*types.Func]string, n ast.Node, held lockState) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	if reason, pos := blockingIn(pass, local, n); reason != "" {
+		lock, lockPos := held.anyLock()
+		reportBlocked(pass, pos, reason, lock, lockPos)
+	}
+}
+
+func reportBlocked(pass *Pass, pos token.Pos, reason, lock string, lockPos token.Pos) {
+	pass.Reportf(pos, "%s while mutex %q is held (acquired at %s); release the lock before blocking, or annotate //pgridvet:allow lockrpc with the audit reason",
+		reason, lock, pass.Fset.Position(lockPos))
+}
+
+// blockingIn returns the first blocking operation in the subtree rooted at
+// root: a channel send or receive, a default-less select, or a call whose
+// (transitive) callee blocks. Function literal bodies are skipped unless
+// immediately invoked; go statements are skipped entirely.
+func blockingIn(pass *Pass, local map[*types.Func]string, root ast.Node) (string, token.Pos) {
+	var reason string
+	var at token.Pos
+	found := func(r string, p token.Pos) bool {
+		if reason == "" {
+			reason, at = r, p
+		}
+		return false
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if reason != "" || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // only blocks whoever eventually calls it
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if r, p := blockingIn(pass, local, arg); r != "" {
+					return found(r, p)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			return found("performs a channel send", n.Pos())
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				return found("performs a channel receive", n.Pos())
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				return found("blocks in a select with no default", n.Pos())
+			}
+		case *ast.CallExpr:
+			if fl, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				if r, p := blockingIn(pass, local, fl.Body); r != "" {
+					return found(r, p)
+				}
+			}
+			if r := callBlockReason(pass, local, n); r != "" {
+				return found(r, n.Pos())
+			}
+		}
+		return true
+	})
+	return reason, at
+}
+
+// callBlockReason explains why calling this call expression may block, or
+// returns "".
+func callBlockReason(pass *Pass, local map[*types.Func]string, call *ast.CallExpr) string {
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil {
+		// A call of a plain function value: RPC handlers and callbacks in
+		// this codebase are context-first, so a context-taking function
+		// value is treated as potentially blocking.
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || tv.IsType() {
+			return ""
+		}
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok && sigHasCtxFirst(sig) {
+			return "calls a context-taking function value"
+		}
+		return ""
+	}
+	if r := seedBlockReason(callee); r != "" {
+		return r
+	}
+	if r, ok := local[callee]; ok && r != "" {
+		return "calls " + funcLabel(callee) + ", which " + capReason(r)
+	}
+	// Blocking classification stops at the standard-library boundary: the
+	// channel plumbing deep inside fmt, reflect or context is not what this
+	// check is about, so only the explicit seeds above count there.
+	if !pass.isStdPkg(callee.Pkg()) {
+		if r, ok := pass.ImportFact(callee); ok && r != "" {
+			return "calls " + funcLabel(callee) + ", which " + capReason(r)
+		}
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok {
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type().Underlying()) && sigHasCtxFirst(sig) {
+			return "calls RPC-shaped interface method " + funcLabel(callee)
+		}
+	}
+	return ""
+}
+
+// seedBlockReason classifies the standard-library blocking primitives the
+// call graph bottoms out in.
+func seedBlockReason(f *types.Func) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if f.Name() == "Sleep" {
+			return "calls time.Sleep"
+		}
+	case "sync":
+		if f.Name() == "Wait" {
+			return "waits on " + funcLabel(f)
+		}
+	}
+	return ""
+}
+
+func sigHasCtxFirst(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// capReason bounds chained explanations so a deep call path stays readable.
+func capReason(r string) string {
+	const max = 140
+	if len(r) > max {
+		return r[:max] + "…"
+	}
+	return r
+}
+
+// funcLabel renders a function or method compactly: pkg.Func or
+// (pkg.Recv).Method.
+func funcLabel(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", named(sig.Recv().Type()), f.Name())
+	}
+	pkgName := ""
+	if f.Pkg() != nil {
+		pkgName = f.Pkg().Name() + "."
+	}
+	return pkgName + f.Name()
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync.Mutex and
+// sync.RWMutex values (including embedded ones) and names the mutex.
+func lockOp(pass *Pass, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sig, isSig := callee.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	if !namedIn(sig.Recv().Type(), "sync", "Mutex") && !namedIn(sig.Recv().Type(), "sync", "RWMutex") {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}

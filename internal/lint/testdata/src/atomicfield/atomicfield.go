@@ -1,0 +1,41 @@
+// Package atomicfield is the atomicfield analyzer fixture: fields of
+// atomic types may only be used through their accessor methods.
+package atomicfield
+
+import (
+	"sync/atomic"
+
+	"pgrid/internal/lint/testdata/src/atomicfield/stats"
+)
+
+type metrics struct {
+	hits   stats.Counter
+	inward atomic.Int64
+	plain  int64 // not atomic: raw access is fine
+}
+
+func accessors(m *metrics) (float64, int64) {
+	m.hits.Add(1)   // accessor call: fine
+	m.inward.Add(1) // accessor call: fine
+	p := &m.hits    // address taken: passing the atomic by pointer is fine
+	p.Add(1)
+	m.plain = 7 // non-atomic field: fine
+	return m.hits.Value(), m.inward.Load()
+}
+
+func violations(m *metrics, other *metrics) {
+	v := m.hits // want `raw read of atomic field atomicfield.metrics.hits copies it non-atomically`
+	_ = v
+	n := m.inward.Load() + 1
+	m.inward = atomic.Int64{} // want `raw assignment to atomic field atomicfield.metrics.inward`
+	_ = n
+	if m.inward == other.inward { // want `raw read of atomic field` `raw read of atomic field`
+		return
+	}
+}
+
+func allowed(m *metrics) {
+	//pgridvet:allow atomicfield snapshot taken under the registry's own lock
+	v := m.hits
+	_ = v
+}

@@ -1,0 +1,15 @@
+// Package stats mirrors the real internal/stats lock-free Counter just
+// closely enough for the atomicfield fixture: the analyzer matches the
+// Counter type by name in any package whose import path ends in /stats.
+package stats
+
+import "sync/atomic"
+
+// Counter is a float64 accumulator advanced with a CAS loop.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+func (c *Counter) Add(v float64) {}
+
+func (c *Counter) Value() float64 { return 0 }

@@ -1,0 +1,36 @@
+// Package ctxflow is the ctxflow analyzer fixture: functions that receive
+// a context.Context must thread it.
+package ctxflow
+
+import "context"
+
+func handler(ctx context.Context) {
+	_ = context.Background() // want `context.Background\(\) inside a function that already receives a context.Context`
+	_ = context.TODO()       // want `context.TODO\(\) inside a function that already receives a context.Context`
+	helper(nil, 1)           // want `nil context passed to helper`
+	helper(ctx, 1)           // threading the parameter: fine
+
+	// Function literals close over the parameter and inherit the obligation.
+	fresh := func() context.Context {
+		return context.Background() // want `context.Background\(\) inside a function`
+	}
+	_ = fresh
+
+	//pgridvet:allow ctxflow detached janitor lifetime is deliberate
+	_ = context.Background()
+}
+
+func helper(ctx context.Context, n int) {}
+
+// entry has no incoming context: entry layers mint roots legitimately.
+func entry() {
+	_ = context.Background()
+	helper(context.TODO(), 1)
+}
+
+// shim is exempted wholesale via its doc annotation.
+//
+//pgridvet:allow ctxflow this adapter deliberately detaches from the caller
+func shim(ctx context.Context) {
+	_ = context.Background()
+}

@@ -1,0 +1,12 @@
+// Package dep exists to prove lockrpc's blocking classification flows
+// across package boundaries as facts: Blocker is only discovered to block
+// by analyzing this package first.
+package dep
+
+import "time"
+
+func Blocker() {
+	time.Sleep(time.Millisecond)
+}
+
+func Harmless() int { return 42 }

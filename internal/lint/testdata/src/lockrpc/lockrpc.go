@@ -1,0 +1,122 @@
+// Package lockrpc is the lockrpc analyzer fixture: no blocking operation
+// may be reached while a sync mutex is held.
+package lockrpc
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pgrid/internal/lint/testdata/src/lockrpc/dep"
+)
+
+// Transport mirrors the real network.Transport shape: an interface method
+// whose first parameter is a context is treated as an RPC.
+type Transport interface {
+	Call(ctx context.Context, to string, req any) (any, error)
+}
+
+type peer struct {
+	mu sync.Mutex
+	tr Transport
+	ch chan int
+}
+
+func (p *peer) badDirectRPC(ctx context.Context) {
+	p.mu.Lock()
+	_, _ = p.tr.Call(ctx, "a", 1) // want `calls RPC-shaped interface method \(lockrpc.Transport\).Call while mutex "p.mu" is held`
+	p.mu.Unlock()
+}
+
+func (p *peer) badSend() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ch <- 1 // want `performs a channel send while mutex "p.mu" is held`
+}
+
+func (p *peer) badReceive() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.ch // want `performs a channel receive while mutex "p.mu" is held`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+func (p *peer) badTransitive() {
+	p.mu.Lock()
+	sleepy() // want `calls lockrpc.sleepy, which calls time.Sleep while mutex "p.mu" is held`
+	p.mu.Unlock()
+}
+
+func (p *peer) badCrossPackage() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dep.Blocker() // want `calls dep.Blocker, which calls time.Sleep while mutex "p.mu" is held`
+}
+
+func (p *peer) badSelect() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `blocks in a select with no default while mutex "p.mu" is held`
+	case v := <-p.ch:
+		_ = v
+	case p.ch <- 1:
+	}
+}
+
+func (p *peer) goodRelease(ctx context.Context) {
+	p.mu.Lock()
+	tr := p.tr
+	p.mu.Unlock()
+	_, _ = tr.Call(ctx, "a", 1) // lock released first: fine
+}
+
+func (p *peer) goodGoroutine() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() { p.ch <- 1 }() // runs outside the critical section: fine
+}
+
+func (p *peer) goodNonBlockingSelect() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.ch <- 1: // non-blocking attempt: fine
+	default:
+	}
+}
+
+func (p *peer) goodBranchRelease(ctx context.Context, fast bool) {
+	p.mu.Lock()
+	if fast {
+		p.mu.Unlock()
+		_, _ = p.tr.Call(ctx, "a", 1) // this branch released the lock: fine
+		return
+	}
+	p.mu.Unlock()
+}
+
+func (p *peer) goodHarmlessCalls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return dep.Harmless() // non-blocking callee: fine
+}
+
+// allowedWholeFunc ships its send under the lock deliberately; the channel
+// is buffered to the peer count and drained by the owning goroutine.
+//
+//pgridvet:allow lockrpc buffered control channel, audited 2026-08
+func (p *peer) allowedWholeFunc() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ch <- 1
+}
+
+func (p *peer) allowedLine() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//pgridvet:allow lockrpc buffered control channel cannot block
+	p.ch <- 1
+}

@@ -1,0 +1,51 @@
+// Package senterr is the senterr analyzer fixture: comparisons of errors
+// against exported Err* sentinels must use errors.Is.
+package senterr
+
+import "errors"
+
+var ErrNotFound = errors.New("not found")
+
+// errDone is package-level but unexported: loop-break tokens like this are
+// compared by identity legitimately and must not be flagged.
+var errDone = errors.New("done")
+
+// Errs is exported and error-typed but does not follow the Err+UpperCamel
+// sentinel convention (4th rune is lowercase), so it is out of scope.
+var Errs = errors.New("errs")
+
+func compare(err error) bool {
+	if err == ErrNotFound { // want `comparison with sentinel error ErrNotFound uses ==`
+		return true
+	}
+	if err != ErrNotFound { // want `uses !=; sentinels may arrive wrapped, use !errors.Is\(err, ErrNotFound\)`
+		return false
+	}
+	if ErrNotFound == err { // want `comparison with sentinel error ErrNotFound uses ==`
+		return true
+	}
+	switch err {
+	case ErrNotFound: // want `switch case compares error to sentinel ErrNotFound`
+		return true
+	}
+	return false
+}
+
+func negatives(err error) bool {
+	if err == nil || ErrNotFound == nil { // nil checks are fine
+		return false
+	}
+	if err == errDone || err == Errs { // non-sentinels are fine
+		return false
+	}
+	if errors.Is(err, ErrNotFound) { // the idiom the analyzer wants
+		return true
+	}
+	local := errors.New("ErrLooksLikeOne but function-scoped")
+	return err == local
+}
+
+func allowed(err error) bool {
+	//pgridvet:allow senterr this sentinel is never wrapped, identity is the point
+	return err == ErrNotFound
+}

@@ -1,0 +1,10 @@
+// Package network mirrors the real transport registry's RegisterType just
+// closely enough for the wireconsistency fixture: the analyzer matches the
+// function by name in any package whose import path ends in /network.
+package network
+
+var registry = map[string]any{}
+
+func RegisterType(name string, sample any) {
+	registry[name] = sample
+}

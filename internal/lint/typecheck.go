@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+)
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// parseFiles parses the named source files (with comments, which the allow
+// annotations need) into the fileset.
+func parseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkPackage type-checks one package from source. Soft type errors are
+// tolerated as long as the checker produces a package: the analyzers guard
+// every types.Info lookup, and a partially checked dependency merely
+// weakens facts. The returned error is the first hard failure.
+func checkPackage(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if pkg == nil {
+		return nil, nil, fmt.Errorf("lint: typecheck %s: %w", path, firstErr)
+	}
+	return pkg, info, firstErr
+}
+
+// importerFunc adapts a function to the types.Importer interface.
+type importerFunc func(path string) (*types.Package, error)
+
+// Import implements types.Importer.
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

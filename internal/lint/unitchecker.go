@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the `go vet -vettool` protocol, the same contract
+// golang.org/x/tools/go/analysis/unitchecker speaks, from the tool's side:
+//
+//   - `pgridvet -V=full` prints a versioned build ID line that cmd/go
+//     fingerprints for its action cache (PrintVersion).
+//   - `pgridvet -flags` prints the tool's flag schema as JSON so cmd/go can
+//     validate pass-through vet flags (PrintFlags, handled in cmd/pgridvet).
+//   - `pgridvet <dir>/vet.cfg` analyzes one compilation unit described by a
+//     JSON config: source files, an import map onto compiled export data,
+//     fact (.vetx) inputs from dependencies and one .vetx output
+//     (RunVetTool).
+//
+// go vet drives the tool over every package in the dependency closure;
+// dependency-only units arrive with VetxOnly set and contribute facts but
+// no diagnostics.
+
+// vetConfig describes one compilation unit, as written by cmd/go into
+// $WORK/.../vet.cfg.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements `-V=full`: a line whose trailing build ID (a hash
+// of the executable) keys go vet's result cache, in the exact shape cmd/go
+// parses.
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(os.Args[0]), h.Sum(nil))
+	return err
+}
+
+// RunVetTool analyzes the compilation unit described by the vet.cfg file at
+// cfgPath and returns the process exit code: 0 clean, 1 driver error, 2
+// diagnostics reported.
+func RunVetTool(analyzers []*Analyzer, cfgPath string) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	succeedEmpty := func() int {
+		if cfg.VetxOutput != "" {
+			if err := writeFactsFile(cfg.VetxOutput, Facts{}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		return 0
+	}
+	if cfg.ImportPath == "unsafe" || len(cfg.GoFiles) == 0 {
+		return succeedEmpty()
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			return succeedEmpty()
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if canon, ok := cfg.ImportMap[path]; ok && canon != "" {
+			path = canon
+		}
+		return gcImp.Import(path)
+	})
+
+	pkg, info, softErr := checkPackage(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if pkg == nil || (softErr != nil && (cfg.SucceedOnTypecheckFailure || cfg.VetxOnly)) {
+		// A unit that does not typecheck cleanly (cgo translations, arch
+		// shims) contributes nothing: go vet only needs the facts file.
+		return succeedEmpty()
+	}
+	if softErr != nil {
+		fmt.Fprintf(os.Stderr, "%s: typecheck: %v\n", cfg.ImportPath, softErr)
+		return 1
+	}
+
+	facts := newFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if f := readFactsFile(vetx); f != nil {
+			facts.merge(f)
+		}
+	}
+	diags, err := analyzePackage(analyzers, fset, files, pkg, info, cfg.Dir, facts, cfg.Standard, cfg.VetxOnly)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := writeFactsFile(cfg.VetxOutput, facts.exported); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read vet config: %w", err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("lint: parse vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,74 @@
+package lint_test
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildPgridvet compiles cmd/pgridvet into a temp dir and returns the
+// binary path.
+func buildPgridvet(t *testing.T) (bin, root string) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = filepath.Join(t.TempDir(), "pgridvet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/pgridvet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building pgridvet: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+// TestGoVetIntegration drives the real `go vet -vettool` protocol — the
+// -V=full fingerprint handshake, per-unit vet.cfg analysis and .vetx fact
+// files — over the wire-protocol and transport packages, which must be
+// clean.
+func TestGoVetIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the tree under go vet")
+	}
+	bin, root := buildPgridvet(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/overlay/...", "./internal/network/...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=pgridvet failed: %v\n%s", err, out)
+	}
+}
+
+// TestBrokenInvariantFails proves the acceptance criterion that a
+// deliberately broken invariant fails the run with a message naming the
+// missing leg: the wireconsistency fixture registers a message with no
+// binary codec.
+func TestBrokenInvariantFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles pgridvet")
+	}
+	bin, _ := buildPgridvet(t)
+	fixture, err := filepath.Abs("testdata/src/wireconsistency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-wireconsistency", "./...")
+	cmd.Dir = fixture
+	out, err := cmd.CombinedOutput()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 2 {
+		t.Fatalf("want exit code 2 on broken invariant, got %v\n%s", err, out)
+	}
+	for _, leg := range []string{
+		"has no AppendWire method",
+		"has no UnmarshalWire method",
+		"has no golden vector",
+		"has no fuzz corpus seed",
+	} {
+		if !strings.Contains(string(out), leg) {
+			t.Errorf("diagnostics do not name the missing leg %q:\n%s", leg, out)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -85,7 +86,7 @@ func DecodeMessageBinary(data []byte) (from Addr, payload any, err error) {
 	for {
 		raw, err := readFrame(r)
 		if err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return "", nil, fmt.Errorf("%w: truncated frame sequence", errBinaryProtocol)
 			}
 			return "", nil, err

@@ -192,7 +192,7 @@ func scanWAL(path string, apply func(payload []byte) error) (valid int64, record
 	var hdr [walFrameHeader]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return valid, records, nil // clean end or torn header
 			}
 			return valid, records, fmt.Errorf("replication: read WAL header: %w", err)
@@ -204,7 +204,7 @@ func scanWAL(path string, apply func(payload []byte) error) (valid int64, record
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return valid, records, nil // torn payload
 			}
 			return valid, records, fmt.Errorf("replication: read WAL record: %w", err)

@@ -2,6 +2,7 @@ package pgrid
 
 import (
 	"context"
+	"errors"
 	"testing"
 )
 
@@ -41,7 +42,7 @@ func TestClusterPersistenceRestart(t *testing.T) {
 	}
 
 	// A live write after construction must survive the restarts too.
-	if _, err := cluster.InsertString(ctx, "durability", "doc-durability"); err != nil && err != ErrNoQuorum {
+	if _, err := cluster.InsertString(ctx, "durability", "doc-durability"); err != nil && !errors.Is(err, ErrNoQuorum) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {

@@ -2,6 +2,7 @@ package pgrid
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -300,7 +301,7 @@ func TestClusterLiveMutations(t *testing.T) {
 		}
 	}
 	// Mutations before Build are rejected.
-	if _, err := c.Insert(ctx, FloatKey(0.5), "early"); err != ErrNotBuilt {
+	if _, err := c.Insert(ctx, FloatKey(0.5), "early"); !errors.Is(err, ErrNotBuilt) {
 		t.Errorf("pre-build insert err = %v, want ErrNotBuilt", err)
 	}
 	if _, err := c.Build(ctx); err != nil {
@@ -308,7 +309,7 @@ func TestClusterLiveMutations(t *testing.T) {
 	}
 
 	rep, err := c.InsertString(ctx, "freshterm", "doc-new")
-	if err != nil && err != ErrNoQuorum {
+	if err != nil && !errors.Is(err, ErrNoQuorum) {
 		t.Fatalf("insert: %v", err)
 	}
 	if rep.Acks < 1 {
@@ -319,7 +320,7 @@ func TestClusterLiveMutations(t *testing.T) {
 		t.Fatalf("read-your-write failed: %v %v", hits, err)
 	}
 
-	if _, err := c.DeleteString(ctx, "freshterm", "doc-new"); err != nil && err != ErrNoQuorum {
+	if _, err := c.DeleteString(ctx, "freshterm", "doc-new"); err != nil && !errors.Is(err, ErrNoQuorum) {
 		t.Fatalf("delete: %v", err)
 	}
 	if hits, err := c.SearchString(ctx, "freshterm"); err == nil && len(hits) != 0 {
@@ -360,7 +361,7 @@ func TestClusterConcurrentMutationsAndQueries(t *testing.T) {
 			for i := 0; i < 15; i++ {
 				key := FloatKey(float64((w*15+i)%150)/150 + 0.0003)
 				val := fmt.Sprintf("live-%d-%d", w, i)
-				if _, err := c.Insert(ctx, key, val); err != nil && err != ErrNoQuorum {
+				if _, err := c.Insert(ctx, key, val); err != nil && !errors.Is(err, ErrNoQuorum) {
 					errs <- fmt.Errorf("insert: %w", err)
 					return
 				}
@@ -369,7 +370,7 @@ func TestClusterConcurrentMutationsAndQueries(t *testing.T) {
 					return
 				}
 				if i%3 == 0 {
-					if _, err := c.Delete(ctx, key, val); err != nil && err != ErrNoQuorum {
+					if _, err := c.Delete(ctx, key, val); err != nil && !errors.Is(err, ErrNoQuorum) {
 						errs <- fmt.Errorf("delete: %w", err)
 						return
 					}

@@ -11,5 +11,5 @@
 #
 # Usage: scripts/smoke.sh   (from the repository root; needs go)
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 exec go test ./internal/harness -run 'TestClusterSmoke' -v -count=1 -timeout 300s "$@"
